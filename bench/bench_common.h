@@ -1,0 +1,63 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench accepts:
+//   --scale=smoke|quick|full   sample-count preset (default quick; full
+//                              approaches the paper's counts)
+//   --seed=<n>                 master seed (default 7)
+//   --csv                      emit CSV instead of aligned tables
+// plus bench-specific flags documented in each binary's banner.
+#ifndef HCQ_BENCH_BENCH_COMMON_H
+#define HCQ_BENCH_BENCH_COMMON_H
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace hcq::bench {
+
+/// Parsed common options.
+struct context {
+    util::flag_set flags;
+    util::bench_scale scale = util::bench_scale::quick;
+    std::uint64_t seed = 7;
+    bool csv = false;
+
+    context(int argc, const char* const argv[]) : flags(argc, argv) {
+        scale = util::parse_scale(flags);
+        seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+        csv = flags.get_bool("csv", false);
+    }
+
+    /// Scales a base count by the preset factor (>= 1).
+    [[nodiscard]] std::size_t scaled(std::size_t base) const {
+        const double f = util::scale_factor(scale);
+        const double v = std::ceil(static_cast<double>(base) * f);
+        return static_cast<std::size_t>(std::max(1.0, v));
+    }
+
+    /// Prints the bench banner.
+    void banner(const std::string& title, const std::string& paper_ref) const {
+        std::cout << "== " << title << " ==\n"
+                  << "reproduces: " << paper_ref << "\n"
+                  << "scale: " << util::to_string(scale) << "  seed: " << seed << "\n\n";
+    }
+
+    /// Emits a table in the selected format.
+    void emit(const util::table& t) const {
+        if (csv) {
+            t.print_csv(std::cout);
+        } else {
+            t.print(std::cout);
+        }
+        std::cout << "\n";
+    }
+};
+
+}  // namespace hcq::bench
+
+#endif  // HCQ_BENCH_BENCH_COMMON_H

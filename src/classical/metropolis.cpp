@@ -1,0 +1,62 @@
+#include "classical/metropolis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcq::solvers {
+
+metropolis_engine::metropolis_engine(const qubo::qubo_model& q, qubo::bit_vector initial)
+    : model_(&q), bits_(std::move(initial)) {
+    if (bits_.size() != q.num_variables()) {
+        throw std::invalid_argument("metropolis_engine: bit count mismatch");
+    }
+    rebuild();
+}
+
+void metropolis_engine::set_state(qubo::bit_vector bits) {
+    if (bits.size() != model_->num_variables()) {
+        throw std::invalid_argument("metropolis_engine::set_state: bit count mismatch");
+    }
+    bits_ = std::move(bits);
+    rebuild();
+}
+
+void metropolis_engine::rebuild() {
+    energy_ = model_->energy(bits_);
+    fields_ = model_->local_fields(bits_);
+}
+
+bool metropolis_engine::try_flip(std::size_t i, double temperature, util::rng& rng) {
+    if (temperature < 0.0) throw std::invalid_argument("metropolis: negative temperature");
+    const double delta = bits_[i] ? -fields_[i] : fields_[i];
+    bool accept = delta <= 0.0;
+    if (!accept && temperature > 0.0) {
+        accept = rng.uniform() < std::exp(-delta / temperature);
+    }
+    if (!accept) return false;
+    force_flip(i);
+    return true;
+}
+
+void metropolis_engine::force_flip(std::size_t i) {
+    const double delta = bits_[i] ? -fields_[i] : fields_[i];
+    const double step = bits_[i] ? -1.0 : 1.0;  // q_i change
+    bits_[i] ^= 1U;
+    energy_ += delta;
+    const auto row = model_->row(i);
+    const std::size_t n = bits_.size();
+    for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) fields_[j] += row[j] * step;
+    }
+}
+
+std::size_t metropolis_engine::sweep(double temperature, util::rng& rng) {
+    std::size_t accepted = 0;
+    const std::size_t n = bits_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (try_flip(i, temperature, rng)) ++accepted;
+    }
+    return accepted;
+}
+
+}  // namespace hcq::solvers

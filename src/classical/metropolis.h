@@ -1,0 +1,57 @@
+// Single-spin-flip Metropolis dynamics on a QUBO — the kernel under both the
+// plain simulated-annealing baseline and the annealer emulator (core/anneal).
+//
+// The engine keeps the current assignment, its energy, and all local fields
+// incrementally, so one sweep costs O(N) per accepted flip and O(1) per
+// rejected one (amortised O(N^2) per sweep worst case).
+#ifndef HCQ_CLASSICAL_METROPOLIS_H
+#define HCQ_CLASSICAL_METROPOLIS_H
+
+#include <vector>
+
+#include "qubo/model.h"
+#include "util/rng.h"
+
+namespace hcq::solvers {
+
+/// Incremental Metropolis state over one QUBO.
+class metropolis_engine {
+public:
+    /// Binds to `q` (must outlive the engine) and sets the initial state.
+    metropolis_engine(const qubo::qubo_model& q, qubo::bit_vector initial);
+
+    /// Replaces the current state (recomputes energy and fields, O(N^2)).
+    void set_state(qubo::bit_vector bits);
+
+    /// One pass over all variables at inverse exploration strength
+    /// `temperature` (>= 0; 0 means strictly-greedy descent moves only).
+    /// Returns the number of accepted flips.
+    std::size_t sweep(double temperature, util::rng& rng);
+
+    /// Proposes a single flip of variable i (Metropolis rule); returns true
+    /// if accepted.
+    bool try_flip(std::size_t i, double temperature, util::rng& rng);
+
+    /// Unconditionally flips variable i (used by move-always heuristics such
+    /// as tabu search).
+    void force_flip(std::size_t i);
+
+    [[nodiscard]] const qubo::bit_vector& state() const noexcept { return bits_; }
+    [[nodiscard]] double energy() const noexcept { return energy_; }
+    [[nodiscard]] std::size_t num_variables() const noexcept { return bits_.size(); }
+
+    /// Current local field of variable i (see qubo_model::local_field).
+    [[nodiscard]] double field(std::size_t i) const { return fields_.at(i); }
+
+private:
+    void rebuild();
+
+    const qubo::qubo_model* model_;
+    qubo::bit_vector bits_;
+    std::vector<double> fields_;
+    double energy_ = 0.0;
+};
+
+}  // namespace hcq::solvers
+
+#endif  // HCQ_CLASSICAL_METROPOLIS_H

@@ -1,0 +1,76 @@
+#include "classical/parallel_tempering.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "classical/metropolis.h"
+
+namespace hcq::solvers {
+
+parallel_tempering::parallel_tempering(pt_config config) : config_(config) {
+    if (config_.num_replicas < 2) throw std::invalid_argument("parallel_tempering: need >= 2 replicas");
+    if (config_.num_rounds == 0 || config_.sweeps_per_round == 0) {
+        throw std::invalid_argument("parallel_tempering: zero rounds or sweeps");
+    }
+    if (config_.cold_fraction <= 0.0 || config_.cold_fraction > config_.hot_fraction) {
+        throw std::invalid_argument("parallel_tempering: bad temperature fractions");
+    }
+}
+
+sample_set parallel_tempering::solve(const qubo::qubo_model& q, util::rng& rng) const {
+    const double scale = std::max(q.max_abs_coefficient(), 1e-12);
+    const std::size_t r = config_.num_replicas;
+    std::vector<double> temperature(r);
+    const double t_hot = config_.hot_fraction * scale;
+    const double t_cold = config_.cold_fraction * scale;
+    const double ratio = std::pow(t_cold / t_hot, 1.0 / static_cast<double>(r - 1));
+    for (std::size_t k = 0; k < r; ++k) {
+        temperature[k] = t_hot * std::pow(ratio, static_cast<double>(k));
+    }
+
+    std::vector<std::unique_ptr<metropolis_engine>> replicas;
+    replicas.reserve(r);
+    for (std::size_t k = 0; k < r; ++k) {
+        replicas.push_back(
+            std::make_unique<metropolis_engine>(q, rng.bits(q.num_variables())));
+    }
+
+    sample_set out;
+    out.reserve(config_.num_rounds + 1);
+    qubo::bit_vector best_bits = replicas.back()->state();
+    double best_energy = replicas.back()->energy();
+
+    for (std::size_t round = 0; round < config_.num_rounds; ++round) {
+        for (std::size_t k = 0; k < r; ++k) {
+            for (std::size_t s = 0; s < config_.sweeps_per_round; ++s) {
+                replicas[k]->sweep(temperature[k], rng);
+            }
+        }
+        // Adjacent swap attempts (alternate even/odd pairs per round).
+        for (std::size_t k = round % 2; k + 1 < r; k += 2) {
+            const double beta_a = 1.0 / temperature[k];
+            const double beta_b = 1.0 / temperature[k + 1];
+            // Detailed balance for the pair exchange: accept with probability
+            // min(1, exp((beta_b - beta_a) * (E_b - E_a))).
+            const double delta =
+                (beta_b - beta_a) * (replicas[k + 1]->energy() - replicas[k]->energy());
+            if (delta >= 0.0 || rng.uniform() < std::exp(delta)) {
+                std::swap(replicas[k], replicas[k + 1]);
+            }
+        }
+        const auto& cold = *replicas.back();
+        out.add(cold.state(), cold.energy());
+        for (const auto& rep : replicas) {
+            if (rep->energy() < best_energy) {
+                best_energy = rep->energy();
+                best_bits = rep->state();
+            }
+        }
+    }
+    out.add(std::move(best_bits), best_energy);
+    return out;
+}
+
+}  // namespace hcq::solvers

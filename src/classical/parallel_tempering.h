@@ -1,0 +1,38 @@
+// Parallel tempering (replica-exchange Monte Carlo, Swendsen & Wang [48]) —
+// the strongest of the "quantum-inspired" classical samplers the paper's
+// introduction points to as alternatives to quantum hardware.
+#ifndef HCQ_CLASSICAL_PARALLEL_TEMPERING_H
+#define HCQ_CLASSICAL_PARALLEL_TEMPERING_H
+
+#include "classical/solver.h"
+
+namespace hcq::solvers {
+
+/// Replica-exchange parameters.
+struct pt_config {
+    std::size_t num_replicas = 8;      ///< geometric temperature ladder size
+    std::size_t num_rounds = 50;       ///< sweep+swap rounds
+    std::size_t sweeps_per_round = 2;  ///< Metropolis sweeps per replica per round
+    double hot_fraction = 2.0;         ///< T_hot = hot_fraction * max|Q|
+    double cold_fraction = 1e-2;       ///< T_cold = cold_fraction * max|Q|
+};
+
+/// Parallel tempering over a geometric temperature ladder; returns the
+/// end-of-round states of the coldest replica as samples (plus the overall
+/// best state seen).
+class parallel_tempering final : public solver {
+public:
+    explicit parallel_tempering(pt_config config = {});
+
+    [[nodiscard]] sample_set solve(const qubo::qubo_model& q, util::rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return "PT"; }
+
+    [[nodiscard]] const pt_config& config() const noexcept { return config_; }
+
+private:
+    pt_config config_;
+};
+
+}  // namespace hcq::solvers
+
+#endif  // HCQ_CLASSICAL_PARALLEL_TEMPERING_H

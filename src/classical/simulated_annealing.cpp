@@ -1,0 +1,43 @@
+#include "classical/simulated_annealing.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "classical/metropolis.h"
+
+namespace hcq::solvers {
+
+simulated_annealing::simulated_annealing(sa_config config) : config_(config) {
+    if (config_.num_reads == 0 || config_.num_sweeps == 0) {
+        throw std::invalid_argument("simulated_annealing: zero reads or sweeps");
+    }
+    if (config_.hot_fraction <= 0.0 || config_.cold_fraction <= 0.0 ||
+        config_.cold_fraction > config_.hot_fraction) {
+        throw std::invalid_argument("simulated_annealing: bad temperature fractions");
+    }
+}
+
+sample_set simulated_annealing::solve(const qubo::qubo_model& q, util::rng& rng) const {
+    const double scale = q.max_abs_coefficient();
+    const double t_hot = std::max(config_.hot_fraction * scale, 1e-12);
+    const double t_cold = std::max(config_.cold_fraction * scale, 1e-15);
+    const double ratio =
+        config_.num_sweeps > 1
+            ? std::pow(t_cold / t_hot, 1.0 / static_cast<double>(config_.num_sweeps - 1))
+            : 1.0;
+
+    sample_set out;
+    out.reserve(config_.num_reads);
+    for (std::size_t read = 0; read < config_.num_reads; ++read) {
+        metropolis_engine engine(q, rng.bits(q.num_variables()));
+        double temperature = t_hot;
+        for (std::size_t s = 0; s < config_.num_sweeps; ++s) {
+            engine.sweep(temperature, rng);
+            temperature *= ratio;
+        }
+        out.add(engine.state(), engine.energy());
+    }
+    return out;
+}
+
+}  // namespace hcq::solvers

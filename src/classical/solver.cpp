@@ -1,0 +1,32 @@
+#include "classical/solver.h"
+
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace hcq::solvers {
+
+initial_state random_initializer::initialize(const qubo::qubo_model& q, util::rng& rng) const {
+    const util::timer clock;
+    initial_state out;
+    out.bits = rng.bits(q.num_variables());
+    out.energy = q.energy(out.bits);
+    out.elapsed_us = clock.elapsed_us();
+    return out;
+}
+
+fixed_initializer::fixed_initializer(qubo::bit_vector bits, std::string label)
+    : bits_(std::move(bits)), label_(std::move(label)) {}
+
+initial_state fixed_initializer::initialize(const qubo::qubo_model& q, util::rng&) const {
+    if (bits_.size() != q.num_variables()) {
+        throw std::invalid_argument("fixed_initializer: bit count mismatch");
+    }
+    initial_state out;
+    out.bits = bits_;
+    out.energy = q.energy(out.bits);
+    out.elapsed_us = 0.0;
+    return out;
+}
+
+}  // namespace hcq::solvers

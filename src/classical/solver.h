@@ -1,0 +1,72 @@
+// Interfaces for classical QUBO solvers and for the "classical module" of a
+// hybrid design (paper Figure 1): an initialiser produces a candidate state
+// that seeds the quantum module.
+#ifndef HCQ_CLASSICAL_SOLVER_H
+#define HCQ_CLASSICAL_SOLVER_H
+
+#include <memory>
+#include <string>
+
+#include "classical/sample_set.h"
+#include "qubo/model.h"
+#include "util/rng.h"
+
+namespace hcq::solvers {
+
+/// A full classical QUBO solver: returns one or more samples.
+class solver {
+public:
+    virtual ~solver() = default;
+
+    /// Runs the solver, drawing randomness from `rng`.
+    [[nodiscard]] virtual sample_set solve(const qubo::qubo_model& q, util::rng& rng) const = 0;
+
+    /// Short identifier for bench output.
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Result of running an initialiser: the candidate state and the classical
+/// compute time spent producing it (used for end-to-end hybrid accounting).
+struct initial_state {
+    qubo::bit_vector bits;
+    double energy = 0.0;
+    double elapsed_us = 0.0;
+};
+
+/// The classical half of a hybrid classical-quantum structure.
+class initializer {
+public:
+    virtual ~initializer() = default;
+
+    [[nodiscard]] virtual initial_state initialize(const qubo::qubo_model& q,
+                                                   util::rng& rng) const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Uniform-random initial state (the paper's "RA from a randomly picked
+/// initial state", Figure 6 centre panel).
+class random_initializer final : public initializer {
+public:
+    [[nodiscard]] initial_state initialize(const qubo::qubo_model& q,
+                                           util::rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return "random"; }
+};
+
+/// Fixed, externally supplied initial state (e.g. the ground truth for the
+/// Delta-E_IS = 0 reference runs of Figure 8).
+class fixed_initializer final : public initializer {
+public:
+    explicit fixed_initializer(qubo::bit_vector bits, std::string label = "fixed");
+
+    [[nodiscard]] initial_state initialize(const qubo::qubo_model& q,
+                                           util::rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return label_; }
+
+private:
+    qubo::bit_vector bits_;
+    std::string label_;
+};
+
+}  // namespace hcq::solvers
+
+#endif  // HCQ_CLASSICAL_SOLVER_H

@@ -1,0 +1,70 @@
+#include "classical/tabu.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "classical/metropolis.h"
+#include "util/timer.h"
+
+namespace hcq::solvers {
+
+tabu_search::tabu_search(tabu_config config) : config_(config) {
+    if (config_.max_iterations == 0) throw std::invalid_argument("tabu_search: no iterations");
+}
+
+initial_state tabu_search::initialize(const qubo::qubo_model& q, util::rng& rng) const {
+    const util::timer clock;
+    const auto samples = solve(q, rng);
+    initial_state out;
+    out.bits = samples.best().bits;
+    out.energy = samples.best().energy;
+    out.elapsed_us = clock.elapsed_us();
+    return out;
+}
+
+sample_set tabu_search::solve(const qubo::qubo_model& q, util::rng& rng) const {
+    const std::size_t n = q.num_variables();
+    metropolis_engine engine(q, rng.bits(n));
+
+    qubo::bit_vector best_bits = engine.state();
+    double best_energy = engine.energy();
+
+    std::vector<std::size_t> tabu_until(n, 0);
+    std::size_t stall = 0;
+
+    for (std::size_t iter = 1; iter <= config_.max_iterations && stall < config_.stall_limit;
+         ++iter) {
+        // Pick the best admissible flip.
+        std::size_t chosen = n;
+        double chosen_delta = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < n; ++i) {
+            const double delta = engine.state()[i] ? -engine.field(i) : engine.field(i);
+            const bool is_tabu = tabu_until[i] > iter;
+            const bool aspires = engine.energy() + delta < best_energy;
+            if (is_tabu && !aspires) continue;
+            if (delta < chosen_delta) {
+                chosen_delta = delta;
+                chosen = i;
+            }
+        }
+        if (chosen == n) {
+            ++stall;  // everything tabu and nothing aspires
+            continue;
+        }
+        engine.force_flip(chosen);  // tabu search always moves, even uphill
+        tabu_until[chosen] = iter + config_.tenure;
+        if (engine.energy() < best_energy - 1e-12) {
+            best_energy = engine.energy();
+            best_bits = engine.state();
+            stall = 0;
+        } else {
+            ++stall;
+        }
+    }
+
+    sample_set out;
+    out.add(std::move(best_bits), best_energy);
+    return out;
+}
+
+}  // namespace hcq::solvers

@@ -1,0 +1,91 @@
+// The annealer emulator — this library's substitute for the D-Wave 2000Q
+// (see DESIGN.md, "Hardware substitution").
+//
+// The device executes an anneal_schedule by integrating Metropolis
+// single-spin-flip dynamics whose instantaneous temperature follows the
+// schedule's fluctuation strength: at time t it runs one sweep at
+// T(s(t)) = temperature_scale * max|Q| * f(s(t)), with `sweeps_per_us`
+// sweeps per microsecond of programmed schedule time.  Consequences that
+// mirror the physical device:
+//   * a schedule starting at s = 0 begins from a uniformly random state
+//     (measuring the fully quantum state returns a random bitstring);
+//   * a schedule starting at s = 1 *requires* a programmed classical initial
+//     state — reverse annealing's defining input;
+//   * at s = 1 fluctuations vanish and the state is a frozen classical
+//     register, which is what a read returns.
+#ifndef HCQ_CORE_DEVICE_H
+#define HCQ_CORE_DEVICE_H
+
+#include <optional>
+
+#include "classical/sample_set.h"
+#include "core/schedule.h"
+#include "core/temperature.h"
+#include "qubo/model.h"
+#include "util/rng.h"
+
+namespace hcq::anneal {
+
+/// Emulated-device parameters.
+struct annealer_config {
+    /// Dynamics granularity: Metropolis sweeps per microsecond of schedule
+    /// time.  Kept deliberately low — a ~1 us hardware anneal affords few
+    /// thermal relaxation events, which is why hardware FA is weak; a large
+    /// value here would turn every schedule into a competent simulated
+    /// annealer and erase the hybrid advantage the paper measures.
+    double sweeps_per_us = 24.0;
+    /// Fluctuation-to-temperature scale relative to max|Q| (see
+    /// core/temperature.h).  Calibrated against the barrier spectrum of the
+    /// paper's 8-user 16-QAM QUBOs so the useful s_p window falls mid-range,
+    /// as on hardware (see DESIGN.md and the anneal-ablation bench).
+    double temperature_scale = 0.006;
+    /// Shape of the fluctuation map.
+    temperature_map map{};
+    /// Freezing: when T(s) drops below freeze_fraction * max|Q| the state is
+    /// a frozen classical register and dynamics STOP (no moves at all).
+    /// This mirrors the physical device — at s ~ 1 quantum fluctuations are
+    /// suppressed and the register cannot even relax downhill.  Allowing
+    /// zero-temperature descent here instead would hand every schedule a
+    /// free local-search polish and erase the s_p dependence the paper
+    /// measures (see the anneal-ablation bench, which quantifies exactly
+    /// this design choice).
+    double freeze_fraction = 0.002;
+    /// Analog control error ("ICE" on D-Wave hardware): each programmed
+    /// coefficient is independently perturbed per read by Gaussian noise of
+    /// standard deviation control_noise * max|Q|.  0 disables.
+    double control_noise = 0.0;
+    /// Probability that each qubit's final read-out is flipped.  0 disables.
+    double readout_flip_probability = 0.0;
+};
+
+/// Schedule-driven QUBO sampler emulating an analog quantum annealer.
+class annealer_emulator {
+public:
+    explicit annealer_emulator(annealer_config config = {});
+
+    /// One anneal: executes `schedule` and returns the measured state.
+    /// `initial` is required (non-nullopt) iff the schedule starts classical
+    /// (reverse annealing); forward-start schedules ignore it.
+    [[nodiscard]] qubo::bit_vector anneal_once(
+        const qubo::qubo_model& q, const anneal_schedule& schedule, util::rng& rng,
+        const std::optional<qubo::bit_vector>& initial = std::nullopt) const;
+
+    /// num_reads independent anneals (each from the same initial state for
+    /// reverse schedules, as on hardware).  Internally derives one RNG
+    /// stream per read, so results are independent of read order.
+    [[nodiscard]] solvers::sample_set sample(
+        const qubo::qubo_model& q, const anneal_schedule& schedule, std::size_t num_reads,
+        util::rng& rng, const std::optional<qubo::bit_vector>& initial = std::nullopt) const;
+
+    /// Number of Metropolis sweeps a schedule maps to (>= 1).
+    [[nodiscard]] std::size_t sweeps_for(const anneal_schedule& schedule) const;
+
+    [[nodiscard]] const annealer_config& config() const noexcept { return config_; }
+
+private:
+    annealer_config config_;
+};
+
+}  // namespace hcq::anneal
+
+#endif  // HCQ_CORE_DEVICE_H

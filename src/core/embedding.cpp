@@ -1,0 +1,167 @@
+#include "core/embedding.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hcq::anneal {
+
+embedding clique_embedding(const chimera_graph& graph, std::size_t num_logical) {
+    const std::size_t m = graph.grid_size();
+    const std::size_t l = graph.shore_size();
+    if (num_logical == 0) throw std::invalid_argument("clique_embedding: zero variables");
+    if (num_logical > l * m) {
+        throw std::invalid_argument("clique_embedding: clique of " +
+                                    std::to_string(num_logical) + " exceeds capacity " +
+                                    std::to_string(l * m));
+    }
+    embedding chains(num_logical);
+    for (std::size_t i = 0; i < num_logical; ++i) {
+        const std::size_t a = i / l;  // block (row & column) index
+        const std::size_t b = i % l;  // shore index
+        auto& chain = chains[i];
+        chain.reserve(2 * m);
+        for (std::size_t c = 0; c < m; ++c) chain.push_back(graph.node(a, c, 1, b));
+        for (std::size_t r = 0; r < m; ++r) chain.push_back(graph.node(r, a, 0, b));
+    }
+    return chains;
+}
+
+bool embedding_is_valid(const chimera_graph& graph, const embedding& chains) {
+    std::set<std::size_t> used;
+    for (const auto& chain : chains) {
+        if (chain.empty()) return false;
+        for (const std::size_t node : chain) {
+            if (node >= graph.num_nodes()) return false;
+            if (!used.insert(node).second) return false;  // overlap
+        }
+        // Connectivity by BFS within the chain.
+        std::set<std::size_t> in_chain(chain.begin(), chain.end());
+        std::vector<std::size_t> frontier{chain.front()};
+        std::set<std::size_t> seen{chain.front()};
+        while (!frontier.empty()) {
+            const std::size_t u = frontier.back();
+            frontier.pop_back();
+            for (const std::size_t v : graph.neighbors(u)) {
+                if (in_chain.count(v) && !seen.count(v)) {
+                    seen.insert(v);
+                    frontier.push_back(v);
+                }
+            }
+        }
+        if (seen.size() != in_chain.size()) return false;
+    }
+    return true;
+}
+
+qubo::bit_vector embedded_problem::unembed(std::span<const std::uint8_t> physical_bits) const {
+    if (physical_bits.size() != physical.num_spins()) {
+        throw std::invalid_argument("embedded_problem::unembed: size mismatch");
+    }
+    qubo::bit_vector out(num_logical, 0);
+    for (std::size_t i = 0; i < num_logical; ++i) {
+        std::size_t ones = 0;
+        for (const std::size_t node : chains[i]) ones += physical_bits[node];
+        const std::size_t len = chains[i].size();
+        if (2 * ones > len) {
+            out[i] = 1;
+        } else if (2 * ones < len) {
+            out[i] = 0;
+        } else {
+            out[i] = physical_bits[chains[i].front()];  // tie
+        }
+    }
+    return out;
+}
+
+double embedded_problem::chain_break_fraction(
+    std::span<const std::uint8_t> physical_bits) const {
+    if (physical_bits.size() != physical.num_spins()) {
+        throw std::invalid_argument("embedded_problem::chain_break_fraction: size mismatch");
+    }
+    std::size_t broken = 0;
+    for (const auto& chain : chains) {
+        std::size_t ones = 0;
+        for (const std::size_t node : chain) ones += physical_bits[node];
+        if (ones != 0 && ones != chain.size()) ++broken;
+    }
+    return chains.empty() ? 0.0
+                          : static_cast<double>(broken) / static_cast<double>(chains.size());
+}
+
+qubo::bit_vector embedded_problem::embed_state(
+    std::span<const std::uint8_t> logical_bits) const {
+    if (logical_bits.size() != num_logical) {
+        throw std::invalid_argument("embedded_problem::embed_state: size mismatch");
+    }
+    qubo::bit_vector out(physical.num_spins(), 0);
+    for (std::size_t i = 0; i < num_logical; ++i) {
+        for (const std::size_t node : chains[i]) out[node] = logical_bits[i];
+    }
+    return out;
+}
+
+embedded_problem embed_ising(const qubo::ising_model& logical, const chimera_graph& graph,
+                             const embedding& chains, double chain_strength) {
+    if (chain_strength <= 0.0) throw std::invalid_argument("embed_ising: chain_strength <= 0");
+    if (logical.num_spins() > chains.size()) {
+        throw std::invalid_argument("embed_ising: embedding too small for the model");
+    }
+    embedded_problem out;
+    out.num_logical = logical.num_spins();
+    out.chains = chains;
+    out.chains.resize(out.num_logical);
+    out.chain_strength = chain_strength;
+    out.physical = qubo::ising_model(graph.num_nodes());
+
+    // Fields: spread uniformly along the chain.
+    for (std::size_t i = 0; i < out.num_logical; ++i) {
+        const auto& chain = out.chains[i];
+        if (chain.empty()) throw std::invalid_argument("embed_ising: empty chain");
+        const double share = logical.field(i) / static_cast<double>(chain.size());
+        for (const std::size_t node : chain) out.physical.set_field(node, share);
+    }
+
+    // Logical couplings: first available physical coupler between the chains.
+    for (std::size_t i = 0; i < out.num_logical; ++i) {
+        for (std::size_t j = i + 1; j < out.num_logical; ++j) {
+            const double jij = logical.coupling(i, j);
+            if (jij == 0.0) continue;
+            bool placed = false;
+            for (const std::size_t u : out.chains[i]) {
+                for (const std::size_t v : out.chains[j]) {
+                    if (graph.adjacent(u, v)) {
+                        out.physical.set_coupling(u, v, jij);
+                        placed = true;
+                        break;
+                    }
+                }
+                if (placed) break;
+            }
+            if (!placed) {
+                throw std::invalid_argument("embed_ising: no coupler between chains " +
+                                            std::to_string(i) + " and " + std::to_string(j));
+            }
+        }
+    }
+
+    // Ferromagnetic chains: couple every adjacent pair inside each chain.
+    for (const auto& chain : out.chains) {
+        for (std::size_t a = 0; a < chain.size(); ++a) {
+            for (std::size_t b = a + 1; b < chain.size(); ++b) {
+                if (graph.adjacent(chain[a], chain[b])) {
+                    out.physical.set_coupling(chain[a], chain[b], -chain_strength);
+                }
+            }
+        }
+    }
+    out.physical.set_offset(logical.offset());
+    return out;
+}
+
+embedded_problem embed_qubo(const qubo::qubo_model& logical, const chimera_graph& graph,
+                            const embedding& chains, double chain_strength) {
+    return embed_ising(qubo::to_ising(logical), graph, chains, chain_strength);
+}
+
+}  // namespace hcq::anneal

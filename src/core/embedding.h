@@ -1,0 +1,77 @@
+// Minor embedding of dense problems into the Chimera hardware graph.
+//
+// The paper's MIMO QUBOs are fully connected, but Chimera only offers degree
+// <= L + 2 couplers per qubit, so each *logical* variable must be realised
+// as a ferromagnetically-coupled *chain* of physical qubits (a minor
+// embedding).  This module implements the classic clique embedding
+// (Choi 2011): on a Chimera C_M with shore size L, logical variable
+// i = L*a + b owns the cross-shaped chain
+//     { horizontal qubit b of every cell in row a }  union
+//     { vertical   qubit b of every cell in column a },
+// connected through cell (a, a); any two chains meet in exactly the cells
+// (a_i, a_j) / (a_j, a_i), guaranteeing a coupler for every logical pair.
+// This supports cliques of up to L*M variables with chains of length 2M.
+//
+// Embedding a logical Ising model spreads each field h_i uniformly over its
+// chain, places each coupling J_ij on the first available physical coupler,
+// and adds ferromagnetic intra-chain couplings of strength -chain_strength.
+// After sampling, chains are read out by majority vote; the fraction of
+// broken chains (disagreeing qubits) is the standard health metric.
+#ifndef HCQ_CORE_EMBEDDING_H
+#define HCQ_CORE_EMBEDDING_H
+
+#include <vector>
+
+#include "core/topology.h"
+#include "qubo/ising.h"
+#include "qubo/model.h"
+#include "util/rng.h"
+
+namespace hcq::anneal {
+
+/// One chain per logical variable (physical node ids).
+using embedding = std::vector<std::vector<std::size_t>>;
+
+/// Clique embedding of `num_logical` variables into `graph`; throws
+/// std::invalid_argument when num_logical > shore_size * grid_size.
+[[nodiscard]] embedding clique_embedding(const chimera_graph& graph, std::size_t num_logical);
+
+/// True when every chain is non-empty, connected in `graph`, and disjoint
+/// from every other chain.
+[[nodiscard]] bool embedding_is_valid(const chimera_graph& graph, const embedding& chains);
+
+/// A logical Ising model realised on hardware.
+struct embedded_problem {
+    qubo::ising_model physical;   ///< over graph.num_nodes() spins
+    embedding chains;             ///< logical -> physical nodes
+    std::size_t num_logical = 0;
+    double chain_strength = 0.0;
+
+    /// Majority-vote read-out of a physical assignment (ties broken by the
+    /// chain's first qubit).
+    [[nodiscard]] qubo::bit_vector unembed(std::span<const std::uint8_t> physical_bits) const;
+
+    /// Fraction of chains whose qubits disagree.
+    [[nodiscard]] double chain_break_fraction(std::span<const std::uint8_t> physical_bits) const;
+
+    /// Spreads a logical assignment onto the chains (for reverse-anneal
+    /// initial states on hardware).
+    [[nodiscard]] qubo::bit_vector embed_state(std::span<const std::uint8_t> logical_bits) const;
+};
+
+/// Embeds a logical Ising model; `chain_strength` > 0 is the magnitude of
+/// the ferromagnetic intra-chain coupling.  Throws std::invalid_argument if
+/// the model does not fit the embedding or a required coupler is missing.
+[[nodiscard]] embedded_problem embed_ising(const qubo::ising_model& logical,
+                                           const chimera_graph& graph, const embedding& chains,
+                                           double chain_strength);
+
+/// Convenience: QUBO in, embedded problem out (via the exact Ising
+/// conversion).
+[[nodiscard]] embedded_problem embed_qubo(const qubo::qubo_model& logical,
+                                          const chimera_graph& graph, const embedding& chains,
+                                          double chain_strength);
+
+}  // namespace hcq::anneal
+
+#endif  // HCQ_CORE_EMBEDDING_H

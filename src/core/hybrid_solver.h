@@ -1,0 +1,51 @@
+// The hybrid classical-quantum solver — the paper's prototype design
+// (Section 4.1): a classical initialiser feeding a reverse-annealing run on
+// the (emulated) quantum device, with per-stage time accounting so that
+// end-to-end comparisons can include the classical module's cost.
+#ifndef HCQ_CORE_HYBRID_SOLVER_H
+#define HCQ_CORE_HYBRID_SOLVER_H
+
+#include "classical/solver.h"
+#include "core/device.h"
+#include "core/schedule.h"
+
+namespace hcq::hybrid {
+
+/// Everything one hybrid solve produces.
+struct hybrid_result {
+    solvers::initial_state initial;  ///< classical module output
+    solvers::sample_set samples;     ///< annealer reads
+    qubo::bit_vector best_bits;      ///< best of {initial, samples}
+    double best_energy = 0.0;
+    double classical_us = 0.0;       ///< measured initialiser wall time
+    double quantum_us = 0.0;         ///< programmed schedule time x reads
+};
+
+/// Classical initialiser + (emulated) quantum annealer, run sequentially as
+/// in Figure 1's "sequential" hybrid structure.
+class hybrid_solver {
+public:
+    /// `init` and `device` must outlive the solver.  The schedule must start
+    /// classical (reverse annealing) — that is what makes seeding with the
+    /// classical candidate meaningful; throws std::invalid_argument otherwise.
+    hybrid_solver(const solvers::initializer& init, const anneal::annealer_emulator& device,
+                  anneal::anneal_schedule schedule, std::size_t num_reads);
+
+    [[nodiscard]] hybrid_result solve(const qubo::qubo_model& q, util::rng& rng) const;
+
+    /// "<initialiser>+RA".
+    [[nodiscard]] std::string name() const;
+
+    [[nodiscard]] const anneal::anneal_schedule& schedule() const noexcept { return schedule_; }
+    [[nodiscard]] std::size_t num_reads() const noexcept { return num_reads_; }
+
+private:
+    const solvers::initializer* init_;
+    const anneal::annealer_emulator* device_;
+    anneal::anneal_schedule schedule_;
+    std::size_t num_reads_;
+};
+
+}  // namespace hcq::hybrid
+
+#endif  // HCQ_CORE_HYBRID_SOLVER_H

@@ -1,0 +1,116 @@
+#include "core/schedule.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcq::anneal {
+
+const char* to_string(protocol p) noexcept {
+    switch (p) {
+        case protocol::forward: return "FA";
+        case protocol::reverse: return "RA";
+        case protocol::forward_reverse: return "FR";
+    }
+    return "?";
+}
+
+anneal_schedule::anneal_schedule(std::vector<schedule_point> points, std::string label)
+    : label_(std::move(label)) {
+    if (points.size() < 2) throw std::invalid_argument("anneal_schedule: need >= 2 points");
+    if (points.front().time_us != 0.0) {
+        throw std::invalid_argument("anneal_schedule: must start at t = 0");
+    }
+    for (const auto& p : points) {
+        if (p.s < 0.0 || p.s > 1.0) {
+            throw std::invalid_argument("anneal_schedule: s outside [0, 1]");
+        }
+        if (!std::isfinite(p.time_us) || p.time_us < 0.0) {
+            throw std::invalid_argument("anneal_schedule: bad time");
+        }
+    }
+    points_.push_back(points.front());
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        const auto& prev = points_.back();
+        const auto& cur = points[i];
+        if (cur.time_us == prev.time_us && cur.s == prev.s) continue;  // collapse duplicates
+        if (cur.time_us <= prev.time_us) {
+            throw std::invalid_argument("anneal_schedule: times must strictly increase");
+        }
+        points_.push_back(cur);
+    }
+    if (points_.size() < 2 || points_.back().time_us <= 0.0) {
+        throw std::invalid_argument("anneal_schedule: zero total duration");
+    }
+}
+
+anneal_schedule anneal_schedule::forward_plain(double anneal_time_us) {
+    if (anneal_time_us <= 0.0) throw std::invalid_argument("forward_plain: t_a <= 0");
+    return anneal_schedule({{0.0, 0.0}, {anneal_time_us, 1.0}}, "FA-plain");
+}
+
+anneal_schedule anneal_schedule::forward(double anneal_time_us, double pause_location,
+                                         double pause_time_us) {
+    const double ta = anneal_time_us;
+    const double sp = pause_location;
+    const double tp = pause_time_us;
+    if (sp <= 0.0 || sp >= 1.0) throw std::invalid_argument("forward: s_p outside (0, 1)");
+    if (tp < 0.0) throw std::invalid_argument("forward: t_p < 0");
+    if (ta <= sp) throw std::invalid_argument("forward: requires t_a > s_p (unit ramp rate)");
+    return anneal_schedule({{0.0, 0.0}, {sp, sp}, {sp + tp, sp}, {ta + tp, 1.0}}, "FA");
+}
+
+anneal_schedule anneal_schedule::reverse(double switch_pause_location, double pause_time_us) {
+    const double sp = switch_pause_location;
+    const double tp = pause_time_us;
+    if (sp <= 0.0 || sp >= 1.0) throw std::invalid_argument("reverse: s_p outside (0, 1)");
+    if (tp < 0.0) throw std::invalid_argument("reverse: t_p < 0");
+    return anneal_schedule(
+        {{0.0, 1.0}, {1.0 - sp, sp}, {1.0 - sp + tp, sp}, {2.0 * (1.0 - sp) + tp, 1.0}}, "RA");
+}
+
+anneal_schedule anneal_schedule::forward_reverse(double turn_location,
+                                                 double switch_pause_location,
+                                                 double pause_time_us, double anneal_time_us) {
+    const double cp = turn_location;
+    const double sp = switch_pause_location;
+    const double tp = pause_time_us;
+    const double ta = anneal_time_us;
+    if (sp <= 0.0 || sp >= 1.0) throw std::invalid_argument("forward_reverse: s_p outside (0, 1)");
+    if (cp <= sp || cp >= 1.0) {
+        throw std::invalid_argument("forward_reverse: requires s_p < c_p < 1");
+    }
+    if (tp < 0.0) throw std::invalid_argument("forward_reverse: t_p < 0");
+    if (ta <= sp) throw std::invalid_argument("forward_reverse: requires t_a > s_p");
+    return anneal_schedule({{0.0, 0.0},
+                            {cp, cp},
+                            {2.0 * cp - sp, sp},
+                            {2.0 * cp - sp + tp, sp},
+                            {2.0 * cp - 2.0 * sp + tp + ta, 1.0}},
+                           "FR");
+}
+
+anneal_schedule anneal_schedule::make(protocol p, double s_p, double t_p, double t_a,
+                                      double c_p) {
+    switch (p) {
+        case protocol::forward: return forward(t_a, s_p, t_p);
+        case protocol::reverse: return reverse(s_p, t_p);
+        case protocol::forward_reverse: return forward_reverse(c_p, s_p, t_p, t_a);
+    }
+    throw std::invalid_argument("anneal_schedule::make: unknown protocol");
+}
+
+double anneal_schedule::s_at(double time_us) const {
+    if (time_us <= points_.front().time_us) return points_.front().s;
+    if (time_us >= points_.back().time_us) return points_.back().s;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (time_us <= points_[i].time_us) {
+            const auto& a = points_[i - 1];
+            const auto& b = points_[i];
+            const double frac = (time_us - a.time_us) / (b.time_us - a.time_us);
+            return a.s + frac * (b.s - a.s);
+        }
+    }
+    return points_.back().s;  // unreachable
+}
+
+}  // namespace hcq::anneal

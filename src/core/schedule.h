@@ -1,0 +1,88 @@
+// Anneal schedules — the programmable [time (us), s] waypoint sequences of
+// Section 4.1 and Figure 5.
+//
+// The annealing parameter s in [0, 1] is the inverse strength of the quantum
+// fluctuation signal: s = 0 is a fully quantum state (a measurement returns
+// a random bitstring), s = 1 is a frozen classical register.  The paper's
+// three protocols are built from the exact waypoint algebra it states:
+//
+//   FA:  [0,0] -F-> [s_p, s_p] -P-> [s_p+t_p, s_p] -F-> [t_a+t_p, 1]
+//   RA:  [0,1] -R-> [1-s_p, s_p] -P-> [1-s_p+t_p, s_p] -F-> [2(1-s_p)+t_p, 1]
+//   FR:  [0,0] -F-> [c_p, c_p] -R-> [2c_p-s_p, s_p] -P->
+//        [2c_p-s_p+t_p, s_p] -F-> [2c_p-2s_p+t_p+t_a, 1]
+//
+// so that total durations (which enter TTS) are t_a+t_p, 2(1-s_p)+t_p and
+// 2c_p-2s_p+t_p+t_a respectively.
+#ifndef HCQ_CORE_SCHEDULE_H
+#define HCQ_CORE_SCHEDULE_H
+
+#include <string>
+#include <vector>
+
+namespace hcq::anneal {
+
+/// One waypoint of a piecewise-linear schedule.
+struct schedule_point {
+    double time_us = 0.0;
+    double s = 0.0;
+};
+
+/// The three protocols investigated by the paper.
+enum class protocol { forward, reverse, forward_reverse };
+
+/// "FA" / "RA" / "FR".
+[[nodiscard]] const char* to_string(protocol p) noexcept;
+
+/// Validated piecewise-linear anneal schedule.
+class anneal_schedule {
+public:
+    /// Builds from waypoints; throws std::invalid_argument unless times start
+    /// at 0 and strictly increase (exact duplicates are collapsed), every s is
+    /// within [0, 1], and the total duration is positive.
+    explicit anneal_schedule(std::vector<schedule_point> points, std::string label = "custom");
+
+    /// Plain forward anneal [0,0] -> [t_a, 1] (no pause).
+    [[nodiscard]] static anneal_schedule forward_plain(double anneal_time_us);
+
+    /// Paper FA with a pause of t_p at s_p; requires 0 < s_p < 1 and
+    /// t_a > s_p (the paper's algebra implies a unit ramp rate before the
+    /// pause, so the post-pause ramp lasts t_a - s_p).
+    [[nodiscard]] static anneal_schedule forward(double anneal_time_us, double pause_location,
+                                                 double pause_time_us);
+
+    /// Paper RA: backward from the classical state to s_p, pause t_p, then
+    /// forward; requires 0 < s_p < 1.
+    [[nodiscard]] static anneal_schedule reverse(double switch_pause_location,
+                                                 double pause_time_us);
+
+    /// Paper FR: forward to c_p, backward to s_p (no measurement in
+    /// between), pause, forward; requires 0 < s_p < c_p < 1 and t_a > s_p.
+    [[nodiscard]] static anneal_schedule forward_reverse(double turn_location,
+                                                         double switch_pause_location,
+                                                         double pause_time_us,
+                                                         double anneal_time_us);
+
+    /// Schedule for one protocol with the paper's parameter names.
+    [[nodiscard]] static anneal_schedule make(protocol p, double s_p, double t_p,
+                                              double t_a = 1.0, double c_p = 0.0);
+
+    [[nodiscard]] double duration_us() const noexcept { return points_.back().time_us; }
+
+    /// s(t) by linear interpolation; clamps t outside [0, duration].
+    [[nodiscard]] double s_at(double time_us) const;
+
+    /// True when the schedule begins at s = 1 (requires a programmed
+    /// classical initial state — the defining feature of reverse annealing).
+    [[nodiscard]] bool starts_classical() const noexcept { return points_.front().s >= 1.0; }
+
+    [[nodiscard]] const std::vector<schedule_point>& points() const noexcept { return points_; }
+    [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
+private:
+    std::vector<schedule_point> points_;
+    std::string label_;
+};
+
+}  // namespace hcq::anneal
+
+#endif  // HCQ_CORE_SCHEDULE_H

@@ -1,0 +1,62 @@
+#include "core/sweep.h"
+
+#include <stdexcept>
+
+#include "metrics/delta_e.h"
+#include "metrics/stats.h"
+
+namespace hcq::hybrid {
+
+schedule_eval evaluate_schedule(const anneal::annealer_emulator& device,
+                                const qubo::qubo_model& q,
+                                const anneal::anneal_schedule& schedule, std::size_t reads,
+                                double optimal_energy, util::rng& rng,
+                                const std::optional<qubo::bit_vector>& initial,
+                                double confidence_percent, double energy_tolerance) {
+    const auto samples = device.sample(q, schedule, reads, rng, initial);
+    schedule_eval out;
+    out.reads = reads;
+    out.duration_us = schedule.duration_us();
+    out.p_star = samples.success_probability(optimal_energy, energy_tolerance);
+    out.tts_us = time_to_solution_us(out.duration_us, out.p_star, confidence_percent);
+    metrics::running_stats gap;
+    for (const auto& s : samples.all()) {
+        gap.add(metrics::delta_e_percent(s.energy, optimal_energy));
+    }
+    out.mean_delta_e = gap.mean();
+    return out;
+}
+
+std::vector<double> paper_sp_grid() {
+    std::vector<double> grid;
+    for (double sp = 0.25; sp <= 0.99 + 1e-9; sp += 0.04) grid.push_back(sp);
+    return grid;
+}
+
+fr_oracle_result best_forward_reverse(const anneal::annealer_emulator& device,
+                                      const qubo::qubo_model& q, double s_p, double t_p,
+                                      double t_a, std::size_t reads, double optimal_energy,
+                                      util::rng& rng, double confidence_percent) {
+    fr_oracle_result best;
+    bool found = false;
+    for (const double cp : paper_sp_grid()) {
+        if (cp <= s_p || cp >= 1.0) continue;
+        const auto schedule = anneal::anneal_schedule::forward_reverse(cp, s_p, t_p, t_a);
+        const auto eval = evaluate_schedule(device, q, schedule, reads, optimal_energy, rng,
+                                            std::nullopt, confidence_percent);
+        const bool better =
+            !found || eval.tts_us < best.eval.tts_us ||
+            (eval.tts_us == best.eval.tts_us && eval.p_star > best.eval.p_star);
+        if (better) {
+            best.eval = eval;
+            best.best_cp = cp;
+            found = true;
+        }
+    }
+    if (!found) {
+        throw std::invalid_argument("best_forward_reverse: no feasible c_p above s_p");
+    }
+    return best;
+}
+
+}  // namespace hcq::hybrid

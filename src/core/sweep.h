@@ -1,0 +1,50 @@
+// Parameter-sweep helpers for the Figure-8 style evaluations: run one
+// schedule, estimate the per-read success probability p*, the mean solution
+// quality, and TTS per Eq. (2).
+#ifndef HCQ_CORE_SWEEP_H
+#define HCQ_CORE_SWEEP_H
+
+#include <optional>
+#include <vector>
+
+#include "core/device.h"
+#include "core/schedule.h"
+#include "core/tts.h"
+
+namespace hcq::hybrid {
+
+/// Aggregates of one (schedule, instance) evaluation.
+struct schedule_eval {
+    double p_star = 0.0;        ///< per-read ground-state probability
+    double tts_us = 0.0;        ///< Eq. (2) at the requested confidence
+    double mean_delta_e = 0.0;  ///< mean Delta-E% over reads
+    double duration_us = 0.0;   ///< programmed schedule duration
+    std::size_t reads = 0;
+};
+
+/// Samples `reads` anneals of `schedule` and aggregates the paper's metrics.
+/// `initial` is required for reverse schedules.
+[[nodiscard]] schedule_eval evaluate_schedule(
+    const anneal::annealer_emulator& device, const qubo::qubo_model& q,
+    const anneal::anneal_schedule& schedule, std::size_t reads, double optimal_energy,
+    util::rng& rng, const std::optional<qubo::bit_vector>& initial = std::nullopt,
+    double confidence_percent = 99.0, double energy_tolerance = 1e-6);
+
+/// The paper's s_p grid: 0.25 to 0.99 in steps of 0.04 (Section 4.2).
+[[nodiscard]] std::vector<double> paper_sp_grid();
+
+/// Exhaustive-best ("oracle") forward-reverse evaluation: sweeps c_p over
+/// the grid values above s_p and returns the best eval by TTS (ties by
+/// p_star) together with the chosen c_p.
+struct fr_oracle_result {
+    schedule_eval eval;
+    double best_cp = 0.0;
+};
+[[nodiscard]] fr_oracle_result best_forward_reverse(
+    const anneal::annealer_emulator& device, const qubo::qubo_model& q, double s_p, double t_p,
+    double t_a, std::size_t reads, double optimal_energy, util::rng& rng,
+    double confidence_percent = 99.0);
+
+}  // namespace hcq::hybrid
+
+#endif  // HCQ_CORE_SWEEP_H

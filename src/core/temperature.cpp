@@ -1,0 +1,41 @@
+#include "core/temperature.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcq::anneal {
+
+const char* to_string(temperature_map_kind kind) noexcept {
+    switch (kind) {
+        case temperature_map_kind::rational: return "rational";
+        case temperature_map_kind::linear: return "linear";
+        case temperature_map_kind::exponential: return "exponential";
+    }
+    return "?";
+}
+
+temperature_map::temperature_map(temperature_map_kind kind, double gamma, double s_floor,
+                                 double power)
+    : kind_(kind), gamma_(gamma), s_floor_(s_floor), power_(power) {
+    if (gamma <= 0.0) throw std::invalid_argument("temperature_map: gamma <= 0");
+    if (s_floor <= 0.0 || s_floor >= 1.0) {
+        throw std::invalid_argument("temperature_map: s_floor outside (0, 1)");
+    }
+    if (power <= 0.0) throw std::invalid_argument("temperature_map: power <= 0");
+}
+
+double temperature_map::fluctuation(double s) const {
+    const double x = std::clamp(s, 0.0, 1.0);
+    switch (kind_) {
+        case temperature_map_kind::rational:
+            return std::pow((1.0 - x) / std::max(x, s_floor_), power_);
+        case temperature_map_kind::linear:
+            return 1.0 - x;
+        case temperature_map_kind::exponential:
+            return (std::exp(gamma_ * (1.0 - x)) - 1.0) / (std::exp(gamma_) - 1.0);
+    }
+    return 0.0;
+}
+
+}  // namespace hcq::anneal

@@ -1,0 +1,57 @@
+// Fluctuation-strength models: the map from the annealing parameter s to the
+// effective exploration temperature of the emulated device.
+//
+// On real hardware the transverse field Gamma(s) decays from a large value
+// at s = 0 to ~0 at s = 1, while the device sits at a fixed physical
+// temperature; the *effective* stochasticity of the computation therefore
+// decays monotonically in s.  The emulator models this with a dimensionless
+// map f(s) (f(1) = 0, f decreasing) scaled by the problem's energy scale:
+//     T(s) = temperature_scale * max|Q_ij| * f(s).
+// Three families are provided; `rational` (the default) diverges as s -> 0,
+// matching the "random bitstring if measured at s = 0" limit of Figure 5.
+// The choice is a design parameter of the substitution and is exercised by
+// the anneal-ablation bench.
+#ifndef HCQ_CORE_TEMPERATURE_H
+#define HCQ_CORE_TEMPERATURE_H
+
+#include <string>
+
+namespace hcq::anneal {
+
+/// Shape families for f(s).
+enum class temperature_map_kind {
+    rational,     ///< f(s) = ((1 - s) / max(s, s_floor))^power
+    linear,       ///< f(s) = 1 - s
+    exponential,  ///< f(s) = (exp(g (1 - s)) - 1) / (exp(g) - 1)
+};
+
+/// "rational" / "linear" / "exponential".
+[[nodiscard]] const char* to_string(temperature_map_kind kind) noexcept;
+
+/// Dimensionless fluctuation-strength map f(s).
+///
+/// The default (rational with power 2) makes the hot-to-cold transition
+/// steep: very hot below s ~ 0.25 (a mid-anneal measurement is near-random,
+/// Figure 5's s = 0 limit), passing through the barrier scale of the paper's
+/// MIMO QUBOs mid-range, and effectively frozen beyond s ~ 0.65.  That
+/// steepness is what localises the paper's "s_p window" (Section 4.3).
+class temperature_map {
+public:
+    explicit temperature_map(temperature_map_kind kind = temperature_map_kind::rational,
+                             double gamma = 3.0, double s_floor = 0.02, double power = 2.0);
+
+    /// f(s); s is clamped into [0, 1].  Monotone non-increasing, f(1) == 0.
+    [[nodiscard]] double fluctuation(double s) const;
+
+    [[nodiscard]] temperature_map_kind kind() const noexcept { return kind_; }
+
+private:
+    temperature_map_kind kind_;
+    double gamma_;
+    double s_floor_;
+    double power_;
+};
+
+}  // namespace hcq::anneal
+
+#endif  // HCQ_CORE_TEMPERATURE_H

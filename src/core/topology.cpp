@@ -1,0 +1,90 @@
+#include "core/topology.h"
+
+#include <stdexcept>
+
+namespace hcq::anneal {
+
+chimera_graph::chimera_graph(std::size_t grid_size, std::size_t shore_size)
+    : m_(grid_size), l_(shore_size) {
+    if (grid_size == 0 || shore_size == 0) {
+        throw std::invalid_argument("chimera_graph: zero dimension");
+    }
+}
+
+std::size_t chimera_graph::num_edges() const {
+    const std::size_t intra = m_ * m_ * l_ * l_;           // bipartite in-cell
+    const std::size_t vertical = m_ > 1 ? (m_ - 1) * m_ * l_ : 0;
+    const std::size_t horizontal = m_ > 1 ? m_ * (m_ - 1) * l_ : 0;
+    return intra + vertical + horizontal;
+}
+
+std::size_t chimera_graph::node(std::size_t row, std::size_t column, std::size_t side,
+                                std::size_t index) const {
+    if (row >= m_ || column >= m_ || side > 1 || index >= l_) {
+        throw std::out_of_range("chimera_graph::node: coordinates out of range");
+    }
+    return ((row * m_ + column) * 2 + side) * l_ + index;
+}
+
+chimera_graph::coordinates chimera_graph::locate(std::size_t node_id) const {
+    check_node(node_id);
+    coordinates c;
+    c.index = node_id % l_;
+    const std::size_t rest = node_id / l_;
+    c.side = rest % 2;
+    const std::size_t cell = rest / 2;
+    c.column = cell % m_;
+    c.row = cell / m_;
+    return c;
+}
+
+void chimera_graph::check_node(std::size_t node_id) const {
+    if (node_id >= num_nodes()) throw std::out_of_range("chimera_graph: node out of range");
+}
+
+bool chimera_graph::adjacent(std::size_t u, std::size_t v) const {
+    if (u == v) return false;
+    const coordinates a = locate(u);
+    const coordinates b = locate(v);
+    // Intra-cell: complete bipartite between the two shores.
+    if (a.row == b.row && a.column == b.column) return a.side != b.side;
+    // Vertical shore couples along the column, same index.
+    if (a.side == 0 && b.side == 0 && a.column == b.column && a.index == b.index) {
+        return a.row + 1 == b.row || b.row + 1 == a.row;
+    }
+    // Horizontal shore couples along the row, same index.
+    if (a.side == 1 && b.side == 1 && a.row == b.row && a.index == b.index) {
+        return a.column + 1 == b.column || b.column + 1 == a.column;
+    }
+    return false;
+}
+
+std::vector<std::size_t> chimera_graph::neighbors(std::size_t node_id) const {
+    const coordinates c = locate(node_id);
+    std::vector<std::size_t> out;
+    // Opposite shore of the same cell.
+    for (std::size_t k = 0; k < l_; ++k) {
+        out.push_back(node(c.row, c.column, 1 - c.side, k));
+    }
+    if (c.side == 0) {
+        if (c.row > 0) out.push_back(node(c.row - 1, c.column, 0, c.index));
+        if (c.row + 1 < m_) out.push_back(node(c.row + 1, c.column, 0, c.index));
+    } else {
+        if (c.column > 0) out.push_back(node(c.row, c.column - 1, 1, c.index));
+        if (c.column + 1 < m_) out.push_back(node(c.row, c.column + 1, 1, c.index));
+    }
+    return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> chimera_graph::edges() const {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    out.reserve(num_edges());
+    for (std::size_t u = 0; u < num_nodes(); ++u) {
+        for (const std::size_t v : neighbors(u)) {
+            if (u < v) out.emplace_back(u, v);
+        }
+    }
+    return out;
+}
+
+}  // namespace hcq::anneal

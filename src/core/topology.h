@@ -1,0 +1,63 @@
+// Chimera hardware graph — the qubit topology of the D-Wave 2000Q the paper
+// prototypes on.
+//
+// A Chimera C_M is an M x M grid of K_{4,4} unit cells: each cell holds 4
+// "vertical" and 4 "horizontal" qubits forming a complete bipartite graph;
+// vertical qubits couple to the same-index vertical qubit of the cell below,
+// horizontal qubits to the same-index horizontal qubit of the cell to the
+// right.  Dense problems (like the paper's MIMO QUBOs) are not subgraphs of
+// Chimera and must be *minor-embedded* (core/embedding.h).
+#ifndef HCQ_CORE_TOPOLOGY_H
+#define HCQ_CORE_TOPOLOGY_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hcq::anneal {
+
+/// Chimera C_M graph with L qubits per bipartite shore (D-Wave 2000Q: M = 16,
+/// L = 4).
+class chimera_graph {
+public:
+    /// Builds C_M with shore size L; throws std::invalid_argument on zeros.
+    explicit chimera_graph(std::size_t grid_size, std::size_t shore_size = 4);
+
+    [[nodiscard]] std::size_t grid_size() const noexcept { return m_; }
+    [[nodiscard]] std::size_t shore_size() const noexcept { return l_; }
+    [[nodiscard]] std::size_t num_nodes() const noexcept { return m_ * m_ * 2 * l_; }
+    [[nodiscard]] std::size_t num_edges() const;
+
+    /// Node id of (row, column, side, index): side 0 = vertical shore,
+    /// side 1 = horizontal shore, index < shore_size.  Bounds-checked.
+    [[nodiscard]] std::size_t node(std::size_t row, std::size_t column, std::size_t side,
+                                   std::size_t index) const;
+
+    /// Inverse of `node`.
+    struct coordinates {
+        std::size_t row = 0;
+        std::size_t column = 0;
+        std::size_t side = 0;
+        std::size_t index = 0;
+    };
+    [[nodiscard]] coordinates locate(std::size_t node_id) const;
+
+    /// True when u and v share a coupler.
+    [[nodiscard]] bool adjacent(std::size_t u, std::size_t v) const;
+
+    /// All neighbours of a node.
+    [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t node_id) const;
+
+    /// Every coupler as an (u, v) pair with u < v.
+    [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> edges() const;
+
+private:
+    void check_node(std::size_t node_id) const;
+
+    std::size_t m_;
+    std::size_t l_;
+};
+
+}  // namespace hcq::anneal
+
+#endif  // HCQ_CORE_TOPOLOGY_H

@@ -1,0 +1,21 @@
+#include "core/tts.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hcq::hybrid {
+
+double time_to_solution_us(double duration_us, double p_star, double confidence_percent) {
+    if (duration_us <= 0.0) throw std::invalid_argument("time_to_solution_us: duration <= 0");
+    if (confidence_percent <= 0.0 || confidence_percent >= 100.0) {
+        throw std::invalid_argument("time_to_solution_us: confidence outside (0, 100)");
+    }
+    if (p_star <= 0.0) return std::numeric_limits<double>::infinity();
+    if (p_star >= 1.0) return duration_us;
+    const double tts =
+        duration_us * std::log(1.0 - confidence_percent / 100.0) / std::log(1.0 - p_star);
+    return std::max(tts, duration_us);
+}
+
+}  // namespace hcq::hybrid

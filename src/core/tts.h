@@ -1,0 +1,20 @@
+// Time-to-solution — the paper's Eq. (2) (after Ronnow et al. [43]):
+//     TTS(C_t%) = duration * log(1 - C_t/100) / log(1 - p*),
+// the expected total anneal time needed to see the ground state at least
+// once with confidence C_t, given per-read success probability p*.
+#ifndef HCQ_CORE_TTS_H
+#define HCQ_CORE_TTS_H
+
+namespace hcq::hybrid {
+
+/// TTS in the units of `duration_us`.  Edge cases: p_star <= 0 yields
+/// +infinity; p_star >= 1 yields `duration_us` (one read always suffices —
+/// the formula's limit of 0 is clamped up since no run can beat a single
+/// read).  Throws std::invalid_argument for confidence outside (0, 100) or
+/// non-positive duration.
+[[nodiscard]] double time_to_solution_us(double duration_us, double p_star,
+                                         double confidence_percent = 99.0);
+
+}  // namespace hcq::hybrid
+
+#endif  // HCQ_CORE_TTS_H

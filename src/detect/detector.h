@@ -1,0 +1,43 @@
+// Common interface for classical MIMO detectors.
+//
+// These serve two roles in the paper's architecture: (a) baselines, and
+// (b) candidate *classical initialisers* for the hybrid reverse-annealing
+// design (Section 5 names linear solvers and tree-search solvers as the
+// natural next step beyond greedy search).
+#ifndef HCQ_DETECT_DETECTOR_H
+#define HCQ_DETECT_DETECTOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "wireless/mimo.h"
+
+namespace hcq::detect {
+
+/// Outcome of one detection run.
+struct detection_result {
+    linalg::cvec symbols;                ///< detected symbol vector (lattice points)
+    std::vector<std::uint8_t> bits;      ///< natural-map bits of `symbols`
+    double ml_cost = 0.0;                ///< ||y - H x_hat||^2
+    std::size_t nodes_visited = 0;       ///< tree nodes expanded (0 for linear detectors)
+    double elapsed_us = 0.0;             ///< wall-clock compute time
+};
+
+/// Abstract detector.
+class detector {
+public:
+    virtual ~detector() = default;
+
+    /// Runs detection on one instance.
+    [[nodiscard]] virtual detection_result detect(const wireless::mimo_instance& instance) const = 0;
+
+    /// Short identifier used in bench output (e.g. "ZF", "SD").
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace hcq::detect
+
+#endif  // HCQ_DETECT_DETECTOR_H

@@ -1,0 +1,66 @@
+#include "detect/kbest.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "detect/real_model.h"
+#include "util/timer.h"
+
+namespace hcq::detect {
+
+namespace {
+
+struct partial_path {
+    std::vector<double> amplitudes;  // filled from the last dimension down
+    double cost = 0.0;
+};
+
+}  // namespace
+
+kbest_detector::kbest_detector(std::size_t k) : k_(k) {
+    if (k == 0) throw std::invalid_argument("kbest_detector: k == 0");
+}
+
+std::string kbest_detector::name() const { return "KB" + std::to_string(k_); }
+
+detection_result kbest_detector::detect(const wireless::mimo_instance& instance) const {
+    const util::timer clock;
+    const real_model model = make_real_model(instance);
+    const std::size_t dims = model.dims;
+
+    std::vector<partial_path> beam{partial_path{std::vector<double>(dims, 0.0), 0.0}};
+    std::size_t nodes = 0;
+
+    for (std::size_t step = 0; step < dims; ++step) {
+        const std::size_t level = dims - 1 - step;
+        std::vector<partial_path> expanded;
+        expanded.reserve(beam.size() * model.alphabet.size());
+        for (const auto& path : beam) {
+            double acc = model.y_eff[level];
+            for (std::size_t j = level + 1; j < dims; ++j) {
+                acc -= model.r(level, j) * path.amplitudes[j];
+            }
+            for (const double amplitude : model.alphabet) {
+                const double residual = acc - model.r(level, level) * amplitude;
+                partial_path child = path;
+                child.amplitudes[level] = amplitude;
+                child.cost = path.cost + residual * residual;
+                expanded.push_back(std::move(child));
+                ++nodes;
+            }
+        }
+        const std::size_t keep = std::min(k_, expanded.size());
+        std::partial_sort(expanded.begin(), expanded.begin() + keep, expanded.end(),
+                          [](const partial_path& a, const partial_path& b) {
+                              return a.cost < b.cost;
+                          });
+        expanded.resize(keep);
+        beam = std::move(expanded);
+    }
+
+    auto result = assemble_result(instance, beam.front().amplitudes, nodes);
+    result.elapsed_us = clock.elapsed_us();
+    return result;
+}
+
+}  // namespace hcq::detect

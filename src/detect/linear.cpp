@@ -1,0 +1,50 @@
+#include "detect/linear.h"
+
+#include "linalg/decompose.h"
+#include "util/timer.h"
+
+namespace hcq::detect {
+
+namespace {
+
+detection_result slice_to_result(const wireless::mimo_instance& instance,
+                                 const linalg::cvec& soft) {
+    detection_result result;
+    result.symbols = linalg::cvec(soft.size());
+    for (std::size_t u = 0; u < soft.size(); ++u) {
+        const auto bits = wireless::demodulate_symbol(instance.mod, soft[u]);
+        result.symbols[u] = wireless::modulate_symbol(instance.mod, bits);
+    }
+    result.bits = wireless::demodulate(instance.mod, result.symbols);
+    result.ml_cost = instance.ml_cost(result.symbols);
+    return result;
+}
+
+}  // namespace
+
+detection_result zf_detector::detect(const wireless::mimo_instance& instance) const {
+    const util::timer clock;
+    const auto soft = linalg::least_squares(instance.h, instance.y);
+    auto result = slice_to_result(instance, soft);
+    result.elapsed_us = clock.elapsed_us();
+    return result;
+}
+
+detection_result mmse_detector::detect(const wireless::mimo_instance& instance) const {
+    const util::timer clock;
+    const auto hh = instance.h.hermitian();
+    auto gram = hh * instance.h;
+    const double load = instance.noise_variance / wireless::mean_symbol_energy(instance.mod);
+    for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += load;
+
+    const auto l = linalg::cholesky(gram);
+    const auto rhs = hh * instance.y;
+    const auto z = linalg::solve_lower(l, rhs);
+    const auto soft = linalg::solve_upper(l.hermitian(), z);
+
+    auto result = slice_to_result(instance, soft);
+    result.elapsed_us = clock.elapsed_us();
+    return result;
+}
+
+}  // namespace hcq::detect

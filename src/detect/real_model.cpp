@@ -1,0 +1,89 @@
+#include "detect/real_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decompose.h"
+#include "linalg/real_embed.h"
+
+namespace hcq::detect {
+
+namespace {
+
+std::vector<double> pam_alphabet(std::size_t bits_per_dim) {
+    const double max_amp = std::pow(2.0, static_cast<double>(bits_per_dim)) - 1.0;
+    std::vector<double> out;
+    for (double a = -max_amp; a <= max_amp; a += 2.0) out.push_back(a);
+    return out;
+}
+
+}  // namespace
+
+real_model make_real_model(const wireless::mimo_instance& instance) {
+    real_model model;
+    model.mod = instance.mod;
+    model.num_users = instance.num_users;
+    model.quadrature = wireless::uses_quadrature(instance.mod);
+    model.alphabet = pam_alphabet(wireless::bits_per_dimension(instance.mod));
+
+    linalg::rmat a_real;
+    linalg::rvec y_real = linalg::real_embedding(instance.y);
+    if (model.quadrature) {
+        a_real = linalg::real_embedding(instance.h);
+        model.dims = 2 * instance.num_users;
+    } else {
+        // BPSK: stack [Re H; Im H], imaginary transmit components are zero.
+        const auto& h = instance.h;
+        a_real = linalg::rmat(2 * h.rows(), h.cols());
+        for (std::size_t r = 0; r < h.rows(); ++r) {
+            for (std::size_t c = 0; c < h.cols(); ++c) {
+                a_real(r, c) = h(r, c).real();
+                a_real(h.rows() + r, c) = h(r, c).imag();
+            }
+        }
+        model.dims = instance.num_users;
+    }
+
+    const auto qr = linalg::householder_qr(a_real);
+    model.r = qr.r;
+    model.y_eff = qr.q.hermitian() * y_real;
+    return model;
+}
+
+detection_result assemble_result(const wireless::mimo_instance& instance,
+                                 const std::vector<double>& amplitudes,
+                                 std::size_t nodes_visited) {
+    const bool quadrature = wireless::uses_quadrature(instance.mod);
+    const std::size_t n = instance.num_users;
+    const std::size_t expected = quadrature ? 2 * n : n;
+    if (amplitudes.size() != expected) {
+        throw std::invalid_argument("assemble_result: wrong amplitude count");
+    }
+    detection_result result;
+    result.symbols = linalg::cvec(n);
+    for (std::size_t u = 0; u < n; ++u) {
+        const double re = amplitudes[u];
+        const double im = quadrature ? amplitudes[n + u] : 0.0;
+        result.symbols[u] = linalg::cxd(re, im);
+    }
+    result.bits = wireless::demodulate(instance.mod, result.symbols);
+    result.ml_cost = instance.ml_cost(result.symbols);
+    result.nodes_visited = nodes_visited;
+    return result;
+}
+
+double slice_amplitude(double value, const std::vector<double>& alphabet) {
+    if (alphabet.empty()) throw std::invalid_argument("slice_amplitude: empty alphabet");
+    double best = alphabet.front();
+    double best_dist = std::fabs(value - best);
+    for (const double a : alphabet) {
+        const double d = std::fabs(value - a);
+        if (d < best_dist) {
+            best = a;
+            best_dist = d;
+        }
+    }
+    return best;
+}
+
+}  // namespace hcq::detect

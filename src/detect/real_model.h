@@ -1,0 +1,44 @@
+// Real-valued lattice model shared by the tree-search detectors.
+//
+// Quadrature modulations use the full real embedding (2m x 2n); BPSK, whose
+// symbols are purely real, uses the thinner [Re H; Im H] stacking so that the
+// search never visits imaginary dimensions that carry no bits.  After QR,
+// detectors operate on  min_a ||y_eff - R a||^2  with `a` ranging over the
+// per-dimension odd PAM lattice.
+#ifndef HCQ_DETECT_REAL_MODEL_H
+#define HCQ_DETECT_REAL_MODEL_H
+
+#include <vector>
+
+#include "detect/detector.h"
+#include "linalg/matrix.h"
+#include "wireless/mimo.h"
+
+namespace hcq::detect {
+
+/// QR-preprocessed real lattice problem.
+struct real_model {
+    linalg::rmat r;       ///< dims x dims upper triangular
+    linalg::rvec y_eff;   ///< Q^T y_real
+    std::vector<double> alphabet;  ///< shared per-dimension amplitudes (ascending)
+    std::size_t dims = 0;          ///< real search dimensions
+    std::size_t num_users = 0;
+    wireless::modulation mod = wireless::modulation::bpsk;
+    bool quadrature = false;
+};
+
+/// Builds the model for one instance (QR of the embedded channel).
+[[nodiscard]] real_model make_real_model(const wireless::mimo_instance& instance);
+
+/// Converts per-dimension amplitudes (model ordering: all I components, then
+/// all Q components) into a full detection_result for `instance`.
+[[nodiscard]] detection_result assemble_result(const wireless::mimo_instance& instance,
+                                               const std::vector<double>& amplitudes,
+                                               std::size_t nodes_visited);
+
+/// Slices a real value to the nearest alphabet amplitude.
+[[nodiscard]] double slice_amplitude(double value, const std::vector<double>& alphabet);
+
+}  // namespace hcq::detect
+
+#endif  // HCQ_DETECT_REAL_MODEL_H

@@ -1,0 +1,61 @@
+#include "detect/sic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/decompose.h"
+#include "util/timer.h"
+
+namespace hcq::detect {
+
+detection_result sic_detector::detect(const wireless::mimo_instance& instance) const {
+    const util::timer clock;
+    const std::size_t n = instance.num_users;
+
+    linalg::cvec residual = instance.y;
+    std::vector<std::size_t> remaining(n);
+    for (std::size_t u = 0; u < n; ++u) remaining[u] = u;
+
+    linalg::cvec detected(n);
+    while (!remaining.empty()) {
+        // Channel restricted to the remaining streams.
+        linalg::cmat h_sub(instance.h.rows(), remaining.size());
+        for (std::size_t r = 0; r < instance.h.rows(); ++r) {
+            for (std::size_t c = 0; c < remaining.size(); ++c) {
+                h_sub(r, c) = instance.h(r, remaining[c]);
+            }
+        }
+        const auto soft = linalg::least_squares(h_sub, residual);
+
+        // Detect the stream with the largest post-equalisation confidence
+        // (distance from the decision boundary approximated by magnitude).
+        std::size_t pick = 0;
+        double best_metric = -1.0;
+        for (std::size_t c = 0; c < remaining.size(); ++c) {
+            const double metric = std::abs(soft[c]);
+            if (metric > best_metric) {
+                best_metric = metric;
+                pick = c;
+            }
+        }
+        const std::size_t user = remaining[pick];
+        const auto bits = wireless::demodulate_symbol(instance.mod, soft[pick]);
+        const auto symbol = wireless::modulate_symbol(instance.mod, bits);
+        detected[user] = symbol;
+
+        // Subtract the detected stream's contribution.
+        for (std::size_t r = 0; r < instance.h.rows(); ++r) {
+            residual[r] -= instance.h(r, user) * symbol;
+        }
+        remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+
+    detection_result result;
+    result.symbols = std::move(detected);
+    result.bits = wireless::demodulate(instance.mod, result.symbols);
+    result.ml_cost = instance.ml_cost(result.symbols);
+    result.elapsed_us = clock.elapsed_us();
+    return result;
+}
+
+}  // namespace hcq::detect

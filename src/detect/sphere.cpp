@@ -1,0 +1,93 @@
+#include "detect/sphere.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "detect/real_model.h"
+#include "util/timer.h"
+
+namespace hcq::detect {
+
+namespace {
+
+/// DFS state shared across recursion levels.
+struct search_state {
+    const real_model* model = nullptr;
+    std::vector<double> chosen;      // amplitude per dimension
+    std::vector<double> best;        // best leaf found
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t nodes = 0;
+};
+
+/// Expands dimension `level` (levels run dims-1 .. 0), with `partial_cost`
+/// accumulated from higher levels.
+void descend(search_state& state, std::size_t level, double partial_cost) {
+    const auto& m = *state.model;
+    // Unconstrained center of this level given the higher-level choices.
+    double acc = m.y_eff[level];
+    for (std::size_t j = level + 1; j < m.dims; ++j) {
+        acc -= m.r(level, j) * state.chosen[j];
+    }
+    const double diag = m.r(level, level);
+    const double center = acc / diag;
+
+    // Schnorr-Euchner: visit alphabet points by increasing distance from the
+    // center, so the first leaf is the Babai point and pruning kicks in fast.
+    std::vector<double> order = m.alphabet;
+    std::sort(order.begin(), order.end(), [center](double a, double b) {
+        return std::fabs(a - center) < std::fabs(b - center);
+    });
+
+    for (const double amplitude : order) {
+        const double residual = acc - diag * amplitude;
+        const double cost = partial_cost + residual * residual;
+        if (cost >= state.best_cost) {
+            // SE order is monotone in per-level cost: nothing further helps.
+            break;
+        }
+        ++state.nodes;
+        state.chosen[level] = amplitude;
+        if (level == 0) {
+            state.best_cost = cost;
+            state.best = state.chosen;
+        } else {
+            descend(state, level - 1, cost);
+        }
+    }
+}
+
+}  // namespace
+
+sphere_detector::sphere_detector(double initial_radius_sq)
+    : initial_radius_sq_(initial_radius_sq) {}
+
+detection_result sphere_detector::detect(const wireless::mimo_instance& instance) const {
+    const util::timer clock;
+    const real_model model = make_real_model(instance);
+
+    search_state state;
+    state.model = &model;
+    state.chosen.assign(model.dims, 0.0);
+    state.best.assign(model.dims, 0.0);
+    if (initial_radius_sq_ > 0.0) state.best_cost = initial_radius_sq_;
+
+    descend(state, model.dims - 1, 0.0);
+
+    if (!std::isfinite(state.best_cost)) {
+        // Radius too small: fall back to the Babai (greedy slicing) solution
+        // obtained with an unbounded radius.
+        search_state fallback;
+        fallback.model = &model;
+        fallback.chosen.assign(model.dims, 0.0);
+        fallback.best.assign(model.dims, 0.0);
+        descend(fallback, model.dims - 1, 0.0);
+        state = std::move(fallback);
+    }
+
+    auto result = assemble_result(instance, state.best, state.nodes);
+    result.elapsed_us = clock.elapsed_us();
+    return result;
+}
+
+}  // namespace hcq::detect

@@ -1,0 +1,57 @@
+// Maximum-likelihood MIMO detection -> QUBO reduction (the QuAMax transform,
+// Kim, Venturelli & Jamieson, SIGCOMM 2019 [29]; applied unchanged by the
+// HotNets paper, Section 4.2).
+//
+// ML detection solves  min_x ||y - H x||^2  with each entry of x drawn from a
+// finite constellation.  Writing each symbol through the *natural linear*
+// bit map (wireless/modulation.h)
+//     x_u = sum_j 2^{k-1-j} (2 q_{u,I,j} - 1)  +  i * [same for Q bits]
+// gives x = A t with t_b = 2 q_b - 1 in {-1,+1} and A a complex
+// (users x bits) weight matrix.  With B = H A, G = Re(B^H B), c = Re(B^H y):
+//     ||y - B t||^2 = ||y||^2 + tr(G) - 2 c^T t + sum_{b<b'} 2 G_{bb'} t_b t_b'
+// which is an Ising model (h_b = -2 c_b, J_{bb'} = 2 G_{bb'}) and hence a
+// QUBO via the exact conversion in qubo/ising.h.  The round-trip invariant
+//     qubo.energy(q) + qubo.offset() == ||y - H x(q)||^2
+// holds to numerical precision and is property-tested.
+//
+// Bit layout: user-major; within a user, I-dimension bits MSB-first, then
+// Q-dimension bits MSB-first — identical to wireless::modulate, so QUBO bit
+// strings and transmitted bit strings are directly comparable.
+#ifndef HCQ_DETECT_TRANSFORM_H
+#define HCQ_DETECT_TRANSFORM_H
+
+#include <cstdint>
+#include <span>
+
+#include "qubo/model.h"
+#include "wireless/mimo.h"
+
+namespace hcq::detect {
+
+/// A QUBO produced from an ML detection problem, with enough context to
+/// translate assignments back to symbols.
+struct ml_qubo {
+    qubo::qubo_model model;
+    wireless::modulation mod = wireless::modulation::bpsk;
+    std::size_t num_users = 0;
+
+    /// Decodes a QUBO assignment to the corresponding symbol vector.
+    [[nodiscard]] linalg::cvec symbols(std::span<const std::uint8_t> bits) const;
+};
+
+/// Reduces min_x ||y - H x||^2 over the given modulation to a QUBO.
+[[nodiscard]] ml_qubo ml_to_qubo(const linalg::cmat& h, const linalg::cvec& y,
+                                 wireless::modulation mod);
+
+/// Convenience overload on a synthesised instance.
+[[nodiscard]] ml_qubo ml_to_qubo(const wireless::mimo_instance& instance);
+
+/// Injects the Figure-4 soft-information prior for one user's symbol: the
+/// believed bit pattern receives pairwise constraint terms of the given
+/// strength (see qubo/constraints.h).
+void apply_symbol_prior(ml_qubo& mq, std::size_t user,
+                        std::span<const std::uint8_t> believed_bits, double strength);
+
+}  // namespace hcq::detect
+
+#endif  // HCQ_DETECT_TRANSFORM_H

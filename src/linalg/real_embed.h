@@ -1,0 +1,26 @@
+// Real-valued embedding of complex linear systems.
+//
+// The standard MIMO detection trick: y = H x + n over C^m becomes
+//   [Re y; Im y] = [Re H, -Im H; Im H, Re H] [Re x; Im x] + [Re n; Im n]
+// over R^{2m}, which lets tree-search detectors (sphere decoder, K-best,
+// FCSD) enumerate per-dimension PAM alphabets.
+#ifndef HCQ_LINALG_REAL_EMBED_H
+#define HCQ_LINALG_REAL_EMBED_H
+
+#include "linalg/matrix.h"
+
+namespace hcq::linalg {
+
+/// [Re H, -Im H; Im H, Re H] (2m x 2n).
+[[nodiscard]] rmat real_embedding(const cmat& h);
+
+/// [Re v; Im v] (2m).
+[[nodiscard]] rvec real_embedding(const cvec& v);
+
+/// Inverse of real_embedding on vectors: first half real parts, second half
+/// imaginary parts; size must be even.
+[[nodiscard]] cvec complex_from_embedding(const rvec& v);
+
+}  // namespace hcq::linalg
+
+#endif  // HCQ_LINALG_REAL_EMBED_H

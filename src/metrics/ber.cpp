@@ -1,0 +1,27 @@
+#include "metrics/ber.h"
+
+#include <stdexcept>
+
+namespace hcq::metrics {
+
+std::size_t bit_errors(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+    if (a.size() != b.size()) throw std::invalid_argument("bit_errors: size mismatch");
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) ++errors;
+    }
+    return errors;
+}
+
+void ber_counter::add_frame(std::span<const std::uint8_t> reference,
+                            std::span<const std::uint8_t> detected) {
+    errors_ += bit_errors(reference, detected);
+    total_ += reference.size();
+}
+
+double ber_counter::rate() const noexcept {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(errors_) / static_cast<double>(total_);
+}
+
+}  // namespace hcq::metrics

@@ -1,0 +1,32 @@
+// Bit-error counting for the BER-oriented examples.
+#ifndef HCQ_METRICS_BER_H
+#define HCQ_METRICS_BER_H
+
+#include <cstdint>
+#include <span>
+
+namespace hcq::metrics {
+
+/// Number of positions where the two bit strings differ; sizes must match.
+[[nodiscard]] std::size_t bit_errors(std::span<const std::uint8_t> a,
+                                     std::span<const std::uint8_t> b);
+
+/// Accumulates errors/total over many frames and reports the rate.
+class ber_counter {
+public:
+    void add_frame(std::span<const std::uint8_t> reference,
+                   std::span<const std::uint8_t> detected);
+
+    [[nodiscard]] std::size_t errors() const noexcept { return errors_; }
+    [[nodiscard]] std::size_t total_bits() const noexcept { return total_; }
+    /// Error rate; 0 when no bits were counted.
+    [[nodiscard]] double rate() const noexcept;
+
+private:
+    std::size_t errors_ = 0;
+    std::size_t total_ = 0;
+};
+
+}  // namespace hcq::metrics
+
+#endif  // HCQ_METRICS_BER_H

@@ -1,0 +1,22 @@
+#include "metrics/delta_e.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcq::metrics {
+
+double delta_e_percent(double sample_energy, double ground_energy) {
+    if (ground_energy == 0.0) {
+        throw std::invalid_argument("delta_e_percent: ground energy must be nonzero");
+    }
+    const double gap = 100.0 * (sample_energy - ground_energy) / std::fabs(ground_energy);
+    return gap < 0.0 ? 0.0 : gap;
+}
+
+std::size_t delta_e_bin(double delta_e, double bin_width_percent) {
+    if (bin_width_percent <= 0.0) throw std::invalid_argument("delta_e_bin: bad bin width");
+    if (delta_e < 0.0) return 0;
+    return static_cast<std::size_t>(delta_e / bin_width_percent);
+}
+
+}  // namespace hcq::metrics

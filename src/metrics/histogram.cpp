@@ -1,0 +1,50 @@
+#include "metrics/histogram.h"
+
+#include <stdexcept>
+
+namespace hcq::metrics {
+
+histogram::histogram(double lo, double hi, std::size_t num_bins) : lo_(lo) {
+    if (!(hi > lo)) throw std::invalid_argument("histogram: hi <= lo");
+    if (num_bins == 0) throw std::invalid_argument("histogram: zero bins");
+    width_ = (hi - lo) / static_cast<double>(num_bins);
+    counts_.assign(num_bins + 1, 0);
+}
+
+std::size_t histogram::bin_index(double value) const {
+    if (value < lo_) return 0;
+    const auto raw = static_cast<std::size_t>((value - lo_) / width_);
+    return raw >= num_bins() ? num_bins() : raw;
+}
+
+void histogram::add(double value) {
+    ++counts_[bin_index(value)];
+    ++total_;
+}
+
+std::size_t histogram::count(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("histogram::count");
+    return counts_[bin];
+}
+
+double histogram::fraction(std::size_t bin) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double histogram::cumulative_fraction(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("histogram::cumulative_fraction");
+    if (total_ == 0) return 0.0;
+    std::size_t acc = 0;
+    for (std::size_t b = 0; b <= bin; ++b) acc += counts_[b];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double histogram::bin_lower(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("histogram::bin_lower");
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+double histogram::bin_center(std::size_t bin) const { return bin_lower(bin) + width_ / 2.0; }
+
+}  // namespace hcq::metrics

@@ -1,0 +1,47 @@
+// Fixed-width binned histograms for the solution-quality distributions of
+// Figure 6 and the Delta-E_IS binning of Figures 7 and 8.
+#ifndef HCQ_METRICS_HISTOGRAM_H
+#define HCQ_METRICS_HISTOGRAM_H
+
+#include <cstddef>
+#include <vector>
+
+namespace hcq::metrics {
+
+/// Histogram over [lo, hi) with uniform bins plus an overflow bin; values
+/// below `lo` clamp into the first bin (the distributions this library bins
+/// are non-negative by construction).
+class histogram {
+public:
+    histogram(double lo, double hi, std::size_t num_bins);
+
+    void add(double value);
+
+    [[nodiscard]] std::size_t num_bins() const noexcept { return counts_.size() - 1; }
+    /// Count of bin b (b == num_bins() addresses the overflow bin).
+    [[nodiscard]] std::size_t count(std::size_t bin) const;
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+    [[nodiscard]] std::size_t overflow() const { return counts_.back(); }
+
+    /// Fraction of all samples landing in bin b.
+    [[nodiscard]] double fraction(std::size_t bin) const;
+    /// Fraction of samples at or below the upper edge of bin b (CDF).
+    [[nodiscard]] double cumulative_fraction(std::size_t bin) const;
+
+    [[nodiscard]] double bin_lower(std::size_t bin) const;
+    [[nodiscard]] double bin_center(std::size_t bin) const;
+    [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+    /// Bin index a value would land in (overflow index if >= hi).
+    [[nodiscard]] std::size_t bin_index(double value) const;
+
+private:
+    double lo_;
+    double width_;
+    std::size_t total_ = 0;
+    std::vector<std::size_t> counts_;  // num_bins + overflow
+};
+
+}  // namespace hcq::metrics
+
+#endif  // HCQ_METRICS_HISTOGRAM_H

@@ -1,0 +1,44 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcq::metrics {
+
+void running_stats::add(double x) noexcept {
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const noexcept {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) throw std::invalid_argument("percentile: empty data");
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p outside [0,100]");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1) return values.front();
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double median(std::vector<double> values) { return percentile(std::move(values), 50.0); }
+
+}  // namespace hcq::metrics

@@ -1,0 +1,40 @@
+// Streaming summary statistics and percentile helpers.
+#ifndef HCQ_METRICS_STATS_H
+#define HCQ_METRICS_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace hcq::metrics {
+
+/// Welford-style running mean/variance with min/max tracking.
+class running_stats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// p-th percentile (0..100) by linear interpolation of the sorted data.
+/// Throws std::invalid_argument on empty input or p outside [0, 100].
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Median shorthand.
+[[nodiscard]] double median(std::vector<double> values);
+
+}  // namespace hcq::metrics
+
+#endif  // HCQ_METRICS_STATS_H

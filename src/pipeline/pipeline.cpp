@@ -1,0 +1,104 @@
+#include "pipeline/pipeline.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/stats.h"
+
+namespace hcq::pipeline {
+
+stage::stage(std::string name, service_model service)
+    : name_(std::move(name)), service_(std::move(service)) {
+    if (!service_) throw std::invalid_argument("stage: null service model");
+}
+
+stage stage::constant(std::string name, double service_us) {
+    if (service_us < 0.0) throw std::invalid_argument("stage::constant: negative service");
+    return stage(std::move(name), [service_us](std::size_t, util::rng&) { return service_us; });
+}
+
+stage stage::lognormal(std::string name, double median_us, double sigma) {
+    if (median_us <= 0.0 || sigma < 0.0) {
+        throw std::invalid_argument("stage::lognormal: bad parameters");
+    }
+    const double mu = std::log(median_us);
+    return stage(std::move(name), [mu, sigma](std::size_t, util::rng& rng) {
+        return std::exp(rng.normal(mu, sigma));
+    });
+}
+
+double stage::service_us(std::size_t job_index, util::rng& rng) const {
+    const double s = service_(job_index, rng);
+    if (s < 0.0 || !std::isfinite(s)) throw std::runtime_error("stage: bad service time");
+    return s;
+}
+
+simulation_result simulate(const std::vector<stage>& stages, std::size_t num_jobs,
+                           const arrival_process& arrivals, util::rng& rng) {
+    if (stages.empty()) throw std::invalid_argument("simulate: no stages");
+    if (num_jobs == 0) throw std::invalid_argument("simulate: no jobs");
+    if (arrivals.interarrival_us <= 0.0) throw std::invalid_argument("simulate: bad interarrival");
+
+    const std::size_t k = stages.size();
+    std::vector<double> stage_free(k, 0.0);   // when each stage's server frees up
+    std::vector<double> busy(k, 0.0);
+    std::vector<double> wait_acc(k, 0.0);
+
+    simulation_result result;
+    result.num_jobs = num_jobs;
+    result.latencies_us.reserve(num_jobs);
+
+    double arrival = 0.0;
+    metrics::running_stats latency_stats;
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+        if (j > 0) {
+            arrival += arrivals.poisson
+                           ? -arrivals.interarrival_us * std::log(1.0 - rng.uniform())
+                           : arrivals.interarrival_us;
+        }
+        double ready = arrival;  // job available to the first stage
+        for (std::size_t s = 0; s < k; ++s) {
+            const double start = std::max(ready, stage_free[s]);
+            wait_acc[s] += start - ready;
+            const double service = stages[s].service_us(j, rng);
+            const double done = start + service;
+            busy[s] += service;
+            stage_free[s] = done;
+            ready = done;
+        }
+        const double latency = ready - arrival;
+        latency_stats.add(latency);
+        result.latencies_us.push_back(latency);
+        result.makespan_us = std::max(result.makespan_us, ready);
+    }
+
+    result.throughput_per_us =
+        result.makespan_us > 0.0 ? static_cast<double>(num_jobs) / result.makespan_us : 0.0;
+    result.mean_latency_us = latency_stats.mean();
+    result.p50_latency_us = metrics::percentile(result.latencies_us, 50.0);
+    result.p99_latency_us = metrics::percentile(result.latencies_us, 99.0);
+    result.max_latency_us = latency_stats.max();
+    result.stage_utilization.resize(k);
+    result.mean_queue_wait_us.resize(k);
+    for (std::size_t s = 0; s < k; ++s) {
+        result.stage_utilization[s] =
+            result.makespan_us > 0.0 ? busy[s] / result.makespan_us : 0.0;
+        result.mean_queue_wait_us[s] = wait_acc[s] / static_cast<double>(num_jobs);
+    }
+    return result;
+}
+
+std::vector<stage> make_hybrid_stages(double classical_us, double schedule_duration_us,
+                                      std::size_t reads_per_use, double programming_us) {
+    if (schedule_duration_us <= 0.0 || reads_per_use == 0) {
+        throw std::invalid_argument("make_hybrid_stages: bad quantum stage parameters");
+    }
+    const double quantum_us =
+        programming_us + schedule_duration_us * static_cast<double>(reads_per_use);
+    std::vector<stage> stages;
+    stages.push_back(stage::constant("classical", classical_us));
+    stages.push_back(stage::constant("quantum", quantum_us));
+    return stages;
+}
+
+}  // namespace hcq::pipeline

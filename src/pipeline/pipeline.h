@@ -1,0 +1,82 @@
+// Pipelined classical-quantum computation structures (paper Figure 2).
+//
+// Successive wireless channel uses arrive as a stream of jobs; each job
+// passes through a fixed sequence of processing stages (e.g. a classical
+// greedy-search unit, then a quantum reverse-annealing unit).  While the
+// quantum unit processes channel use N, the classical unit may already work
+// on N+1 — exactly the overlap the figure depicts.  The simulator is a
+// tandem queue with unbounded buffers and single-server stages:
+//     start[k][j] = max(done[k-1][j], done[k][j-1]),
+//     done[k][j]  = start[k][j] + service_k(j).
+// It reports the link-layer quantities of interest: sustained throughput,
+// per-channel-use latency percentiles (the ARQ turnaround budget), stage
+// utilisation, and queueing delay.
+#ifndef HCQ_PIPELINE_PIPELINE_H
+#define HCQ_PIPELINE_PIPELINE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hcq::pipeline {
+
+/// One pipeline stage: a name plus a per-job service-time model.
+class stage {
+public:
+    using service_model = std::function<double(std::size_t job_index, util::rng& rng)>;
+
+    stage(std::string name, service_model service);
+
+    /// Deterministic service time.
+    [[nodiscard]] static stage constant(std::string name, double service_us);
+
+    /// Lognormal-jittered service time: exp(N(log median, sigma)).
+    [[nodiscard]] static stage lognormal(std::string name, double median_us, double sigma);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] double service_us(std::size_t job_index, util::rng& rng) const;
+
+private:
+    std::string name_;
+    service_model service_;
+};
+
+/// Arrival process for channel uses.
+struct arrival_process {
+    double interarrival_us = 10.0;  ///< mean spacing between channel uses
+    bool poisson = false;           ///< exponential spacing instead of fixed
+};
+
+/// Aggregate simulation outcome.
+struct simulation_result {
+    std::size_t num_jobs = 0;
+    double makespan_us = 0.0;               ///< last departure time
+    double throughput_per_us = 0.0;         ///< jobs / makespan
+    double mean_latency_us = 0.0;           ///< arrival -> final departure
+    double p50_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+    double max_latency_us = 0.0;
+    std::vector<double> stage_utilization;  ///< busy time / makespan, per stage
+    std::vector<double> mean_queue_wait_us; ///< time waiting before each stage
+    std::vector<double> latencies_us;       ///< per-job, for custom analysis
+};
+
+/// Runs `num_jobs` channel uses through the stages.  Throws
+/// std::invalid_argument on an empty stage list or non-positive parameters.
+[[nodiscard]] simulation_result simulate(const std::vector<stage>& stages,
+                                         std::size_t num_jobs, const arrival_process& arrivals,
+                                         util::rng& rng);
+
+/// Convenience builder for the paper's two-stage hybrid: a classical
+/// initialiser stage followed by a quantum annealer stage whose service time
+/// is reads x schedule duration plus a per-job programming overhead.
+[[nodiscard]] std::vector<stage> make_hybrid_stages(double classical_us,
+                                                    double schedule_duration_us,
+                                                    std::size_t reads_per_use,
+                                                    double programming_us = 0.0);
+
+}  // namespace hcq::pipeline
+
+#endif  // HCQ_PIPELINE_PIPELINE_H

@@ -1,0 +1,44 @@
+#include "qubo/brute_force.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcq::qubo {
+
+brute_force_result brute_force_minimize(const qubo_model& q, std::size_t max_variables,
+                                        double tie_tolerance) {
+    const std::size_t n = q.num_variables();
+    if (n == 0) throw std::invalid_argument("brute_force_minimize: empty model");
+    if (n > max_variables) {
+        throw std::invalid_argument("brute_force_minimize: " + std::to_string(n) +
+                                    " variables exceeds limit " + std::to_string(max_variables));
+    }
+
+    bit_vector bits(n, 0);
+    double energy = 0.0;  // all-zeros assignment
+
+    brute_force_result result;
+    result.best_bits = bits;
+    result.best_energy = energy;
+    result.num_optima = 1;
+
+    const std::uint64_t total = std::uint64_t{1} << n;
+    for (std::uint64_t step = 1; step < total; ++step) {
+        // Reflected-Gray-code neighbour: flip the lowest set bit's index.
+        const auto flip = static_cast<std::size_t>(std::countr_zero(step));
+        energy += q.flip_delta(flip, bits);
+        bits[flip] ^= 1U;
+
+        if (energy < result.best_energy - tie_tolerance) {
+            result.best_energy = energy;
+            result.best_bits = bits;
+            result.num_optima = 1;
+        } else if (std::fabs(energy - result.best_energy) <= tie_tolerance) {
+            ++result.num_optima;
+        }
+    }
+    return result;
+}
+
+}  // namespace hcq::qubo

@@ -1,0 +1,32 @@
+// Exact QUBO minimisation by Gray-code exhaustive enumeration.
+//
+// Visits all 2^N assignments flipping exactly one bit per step, so each step
+// costs one O(N) local-field evaluation.  Practical to ~26 variables; used as
+// the ground-truth oracle in tests and for small evaluation instances.  (The
+// paper's noiseless corpus does not need it — there the transmitted bits are
+// the global optimum by construction — but an oracle with no such assumption
+// is required to *verify* that property.)
+#ifndef HCQ_QUBO_BRUTE_FORCE_H
+#define HCQ_QUBO_BRUTE_FORCE_H
+
+#include "qubo/model.h"
+
+namespace hcq::qubo {
+
+/// Result of exhaustive minimisation.
+struct brute_force_result {
+    bit_vector best_bits;       ///< lexicographically-first optimal assignment
+    double best_energy = 0.0;   ///< minimum of Eq. (1) (offset not included)
+    std::size_t num_optima = 0; ///< assignments within `tie_tolerance` of the minimum
+};
+
+/// Exhaustively minimises `q`.  Throws std::invalid_argument when
+/// q.num_variables() exceeds `max_variables` (guard against accidental
+/// exponential blow-up) or the model is empty.
+[[nodiscard]] brute_force_result brute_force_minimize(const qubo_model& q,
+                                                      std::size_t max_variables = 26,
+                                                      double tie_tolerance = 1e-9);
+
+}  // namespace hcq::qubo
+
+#endif  // HCQ_QUBO_BRUTE_FORCE_H

@@ -1,0 +1,43 @@
+#include "qubo/constraints.h"
+
+#include <stdexcept>
+
+namespace hcq::qubo {
+
+void add_pair_constraint(qubo_model& q, std::size_t i, std::size_t j, std::uint8_t target_i,
+                         std::uint8_t target_j, double strength) {
+    if (i == j) throw std::invalid_argument("add_pair_constraint: i == j");
+    if (target_i > 1 || target_j > 1) {
+        throw std::invalid_argument("add_pair_constraint: targets must be 0/1");
+    }
+    // C (q_i - t_i)(q_j - t_j) = C q_i q_j - C t_j q_i - C t_i q_j + C t_i t_j
+    q.add_term(i, j, strength);
+    if (target_j == 1) q.add_term(i, i, -strength);
+    if (target_i == 1) q.add_term(j, j, -strength);
+    if (target_i == 1 && target_j == 1) q.add_offset(strength);
+}
+
+void add_bit_bias(qubo_model& q, std::size_t i, std::uint8_t target, double strength) {
+    if (target > 1) throw std::invalid_argument("add_bit_bias: target must be 0/1");
+    // C (q - t)^2 = C q - 2 C t q + C t^2   (q^2 == q)
+    q.add_term(i, i, strength * (1.0 - 2.0 * target));
+    if (target == 1) q.add_offset(strength);
+}
+
+void add_pattern_constraint(qubo_model& q, std::size_t first,
+                            std::span<const std::uint8_t> pattern, double strength) {
+    if (pattern.size() < 2) throw std::invalid_argument("add_pattern_constraint: need >= 2 bits");
+    for (std::size_t k = 0; k + 1 < pattern.size(); k += 2) {
+        // d_i d_j = (-1)^(t_i + t_j) (q_i - t_i)(q_j - t_j): flip the sign of
+        // the raw product once per 1-target so the both-deviating corner
+        // always pays +strength.
+        const int sign = ((pattern[k] + pattern[k + 1]) % 2 == 0) ? 1 : -1;
+        add_pair_constraint(q, first + k, first + k + 1, pattern[k], pattern[k + 1],
+                            sign * strength);
+    }
+    if (pattern.size() % 2 == 1) {
+        add_bit_bias(q, first + pattern.size() - 1, pattern.back(), strength);
+    }
+}
+
+}  // namespace hcq::qubo

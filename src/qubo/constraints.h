@@ -1,0 +1,44 @@
+// Soft-information constraint injection (paper Section 3.1, Figure 4).
+//
+// Pre-knowledge that a group of bits is "very likely" a particular pattern
+// can be folded into the QUBO as penalty terms that raise the energy of
+// assignments deviating from the pattern — e.g. the paper's
+//   C1 * (q1 - 1) * (q2 - 1) + C2 * (q3 - 1) * (q4 - 1)
+// for a symbol believed to be 1111 on a 16-QAM constellation.  The paper
+// found tuning the C factors on analog hardware impractical, but the
+// machinery is part of the explored design space, so it is provided (and
+// benchmarked in the pre-processing ablation).
+#ifndef HCQ_QUBO_CONSTRAINTS_H
+#define HCQ_QUBO_CONSTRAINTS_H
+
+#include <cstdint>
+#include <span>
+
+#include "qubo/model.h"
+
+namespace hcq::qubo {
+
+/// Adds C * (q_i - t_i) * (q_j - t_j) to the model (t in {0,1}; i != j).
+/// With C < 0 this *rewards* matching both targets; with C > 0 it penalises
+/// the assignment opposite to (t_i, t_j).  Exact expansion, offset included.
+void add_pair_constraint(qubo_model& q, std::size_t i, std::size_t j, std::uint8_t target_i,
+                         std::uint8_t target_j, double strength);
+
+/// Adds C * (q_i - t)^2 — a single-bit prior; q^2 == q makes it linear.
+void add_bit_bias(qubo_model& q, std::size_t i, std::uint8_t target, double strength);
+
+/// Applies the Figure-4 scheme to a run of bits believed to equal `pattern`:
+/// consecutive bit pairs (0,1), (2,3), ... each receive a penalty of
+/// `strength` when BOTH bits deviate from the pattern (an odd trailing bit
+/// gets a single-bit bias).  Internally this is
+///     strength * d_i * d_j   with deviation indicator d_i = q_i XOR t_i,
+/// which equals the paper's  C (q_i - 1)(q_j - 1)  exactly when the believed
+/// pattern bits are 1, and keeps the penalty non-negative for any pattern
+/// (the raw product (q_i - t_i)(q_j - t_j) would *reward* some deviations
+/// for mixed targets).  `first` is the index of pattern[0] in the QUBO.
+void add_pattern_constraint(qubo_model& q, std::size_t first,
+                            std::span<const std::uint8_t> pattern, double strength);
+
+}  // namespace hcq::qubo
+
+#endif  // HCQ_QUBO_CONSTRAINTS_H

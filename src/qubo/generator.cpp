@@ -1,0 +1,40 @@
+#include "qubo/generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcq::qubo {
+
+qubo_model random_qubo(util::rng& rng, std::size_t n, double density, double lo, double hi) {
+    if (n == 0) throw std::invalid_argument("random_qubo: n == 0");
+    if (density < 0.0 || density > 1.0) throw std::invalid_argument("random_qubo: bad density");
+    qubo_model q(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            if (rng.uniform() < density) q.set_term(i, j, rng.uniform(lo, hi));
+        }
+    }
+    return q;
+}
+
+ising_model sk_spin_glass(util::rng& rng, std::size_t n) {
+    if (n < 2) throw std::invalid_argument("sk_spin_glass: need n >= 2");
+    ising_model m(n);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            m.set_coupling(i, j, rng.normal() * scale);
+        }
+    }
+    return m;
+}
+
+ising_model ferromagnetic_chain(std::size_t n, double coupling, double field) {
+    if (n == 0) throw std::invalid_argument("ferromagnetic_chain: n == 0");
+    ising_model m(n);
+    for (std::size_t i = 0; i < n; ++i) m.set_field(i, field);
+    for (std::size_t i = 0; i + 1 < n; ++i) m.set_coupling(i, i + 1, coupling);
+    return m;
+}
+
+}  // namespace hcq::qubo

@@ -1,0 +1,26 @@
+// Synthetic QUBO/Ising instance generators for tests and solver baselines.
+#ifndef HCQ_QUBO_GENERATOR_H
+#define HCQ_QUBO_GENERATOR_H
+
+#include "qubo/ising.h"
+#include "qubo/model.h"
+#include "util/rng.h"
+
+namespace hcq::qubo {
+
+/// Random dense QUBO: each coefficient (including linear) is nonzero with
+/// probability `density` and drawn uniformly from [lo, hi].
+[[nodiscard]] qubo_model random_qubo(util::rng& rng, std::size_t n, double density = 1.0,
+                                     double lo = -1.0, double hi = 1.0);
+
+/// Sherrington-Kirkpatrick spin glass: J_ij ~ N(0, 1/sqrt(n)), h = 0.
+[[nodiscard]] ising_model sk_spin_glass(util::rng& rng, std::size_t n);
+
+/// Ferromagnetic chain with field: classic easy instance whose ground state
+/// is all-ones — useful for solver smoke tests.
+[[nodiscard]] ising_model ferromagnetic_chain(std::size_t n, double coupling = -1.0,
+                                              double field = -0.5);
+
+}  // namespace hcq::qubo
+
+#endif  // HCQ_QUBO_GENERATOR_H

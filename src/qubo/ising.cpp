@@ -1,0 +1,118 @@
+#include "qubo/ising.h"
+
+#include <stdexcept>
+
+namespace hcq::qubo {
+
+ising_model::ising_model(std::size_t n) : n_(n), h_(n, 0.0), j_(n * n, 0.0) {}
+
+void ising_model::check(std::size_t i) const {
+    if (i >= n_) throw std::out_of_range("ising_model: spin index out of range");
+}
+
+double ising_model::field(std::size_t i) const {
+    check(i);
+    return h_[i];
+}
+
+void ising_model::set_field(std::size_t i, double h) {
+    check(i);
+    h_[i] = h;
+}
+
+double ising_model::coupling(std::size_t i, std::size_t j) const {
+    check(i);
+    check(j);
+    if (i == j) throw std::invalid_argument("ising_model::coupling: i == j");
+    return j_[i * n_ + j];
+}
+
+void ising_model::set_coupling(std::size_t i, std::size_t j, double jij) {
+    check(i);
+    check(j);
+    if (i == j) throw std::invalid_argument("ising_model::set_coupling: i == j");
+    j_[i * n_ + j] = jij;
+    j_[j * n_ + i] = jij;
+}
+
+double ising_model::energy(std::span<const std::int8_t> spins) const {
+    if (spins.size() != n_) throw std::invalid_argument("ising_model::energy: wrong spin count");
+    double e = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+        if (spins[i] != 1 && spins[i] != -1) {
+            throw std::invalid_argument("ising_model::energy: spin not +/-1");
+        }
+        e += h_[i] * spins[i];
+        for (std::size_t j = i + 1; j < n_; ++j) {
+            e += j_[i * n_ + j] * spins[i] * spins[j];
+        }
+    }
+    return e;
+}
+
+ising_model to_ising(const qubo_model& q) {
+    const std::size_t n = q.num_variables();
+    ising_model out(n);
+    double offset = q.offset();
+    for (std::size_t i = 0; i < n; ++i) {
+        double h = q.linear(i) / 2.0;
+        offset += q.linear(i) / 2.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            h += q.coefficient(i, j) / 4.0;  // symmetric accessor: counts each pair once per endpoint
+        }
+        out.set_field(i, h);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double c = q.coefficient(i, j);
+            if (c != 0.0) out.set_coupling(i, j, c / 4.0);
+            offset += c / 4.0;
+        }
+    }
+    out.set_offset(offset);
+    return out;
+}
+
+qubo_model to_qubo(const ising_model& ising) {
+    // h_i s_i             = 2 h_i q_i - h_i
+    // J_ij s_i s_j        = 4 J_ij q_i q_j - 2 J_ij q_i - 2 J_ij q_j + J_ij
+    const std::size_t n = ising.num_spins();
+    qubo_model out(n);
+    double offset = ising.offset();
+    for (std::size_t i = 0; i < n; ++i) {
+        double lin = 2.0 * ising.field(i);
+        offset -= ising.field(i);
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j != i) lin -= 2.0 * ising.coupling(i, j);
+        }
+        out.set_term(i, i, lin);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double jij = ising.coupling(i, j);
+            if (jij != 0.0) out.set_term(i, j, 4.0 * jij);
+            offset += jij;
+        }
+    }
+    out.set_offset(offset);
+    return out;
+}
+
+spin_vector spins_from_bits(std::span<const std::uint8_t> bits) {
+    spin_vector out(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] > 1) throw std::invalid_argument("spins_from_bits: bit not 0/1");
+        out[i] = bits[i] ? 1 : -1;
+    }
+    return out;
+}
+
+bit_vector bits_from_spins(std::span<const std::int8_t> spins) {
+    bit_vector out(spins.size());
+    for (std::size_t i = 0; i < spins.size(); ++i) {
+        if (spins[i] != 1 && spins[i] != -1) {
+            throw std::invalid_argument("bits_from_spins: spin not +/-1");
+        }
+        out[i] = spins[i] == 1 ? 1 : 0;
+    }
+    return out;
+}
+
+}  // namespace hcq::qubo

@@ -1,0 +1,66 @@
+// Ising model and the exact QUBO <-> Ising correspondence (spins s = 2q - 1).
+//
+// Quantum annealers natively minimise Ising Hamiltonians
+//   E({s}) = sum_i h_i s_i + sum_{i<j} J_ij s_i s_j,   s in {-1, +1};
+// the paper treats this form as "trivially equivalent" to the QUBO of Eq. (1).
+// The conversions here are exact including the constant offset, and the
+// Ising linear terms h_i are precisely the sort key of the paper's greedy
+// search (|1/2 Q_ii + 1/4 sum Q_ki + 1/4 sum Q_ik|, see Section 4.1 footnote).
+#ifndef HCQ_QUBO_ISING_H
+#define HCQ_QUBO_ISING_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qubo/model.h"
+
+namespace hcq::qubo {
+
+/// Spin string: one int8 per variable, each -1 or +1.
+using spin_vector = std::vector<std::int8_t>;
+
+/// Dense Ising model over n spins.
+class ising_model {
+public:
+    ising_model() = default;
+    explicit ising_model(std::size_t n);
+
+    [[nodiscard]] std::size_t num_spins() const noexcept { return n_; }
+
+    [[nodiscard]] double field(std::size_t i) const;
+    void set_field(std::size_t i, double h);
+
+    /// Coupling J_ij, order-insensitive; i == j is invalid.
+    [[nodiscard]] double coupling(std::size_t i, std::size_t j) const;
+    void set_coupling(std::size_t i, std::size_t j, double jij);
+
+    [[nodiscard]] double offset() const noexcept { return offset_; }
+    void set_offset(double v) noexcept { offset_ = v; }
+
+    /// sum h_i s_i + sum_{i<j} J_ij s_i s_j (offset not included).
+    [[nodiscard]] double energy(std::span<const std::int8_t> spins) const;
+
+private:
+    void check(std::size_t i) const;
+
+    std::size_t n_ = 0;
+    double offset_ = 0.0;
+    std::vector<double> h_;
+    std::vector<double> j_;  // symmetric dense, diagonal unused
+};
+
+/// q = (1 + s)/2 conversion; preserves total energy:
+///   qubo.energy(q) + qubo.offset() == ising.energy(s) + ising.offset().
+[[nodiscard]] ising_model to_ising(const qubo_model& q);
+
+/// Inverse conversion with the same energy-preservation guarantee.
+[[nodiscard]] qubo_model to_qubo(const ising_model& ising);
+
+/// Bit/spin translations.
+[[nodiscard]] spin_vector spins_from_bits(std::span<const std::uint8_t> bits);
+[[nodiscard]] bit_vector bits_from_spins(std::span<const std::int8_t> spins);
+
+}  // namespace hcq::qubo
+
+#endif  // HCQ_QUBO_ISING_H

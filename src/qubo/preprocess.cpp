@@ -1,0 +1,131 @@
+#include "qubo/preprocess.h"
+
+#include <stdexcept>
+
+namespace hcq::qubo {
+
+std::size_t preprocess_result::num_fixed() const {
+    std::size_t count = 0;
+    for (const auto& f : fixed) {
+        if (f.has_value()) ++count;
+    }
+    return count;
+}
+
+bit_vector preprocess_result::lift(std::span<const std::uint8_t> reduced_bits) const {
+    if (reduced_bits.size() != mapping.size()) {
+        throw std::invalid_argument("preprocess_result::lift: wrong reduced size");
+    }
+    bit_vector out(fixed.size(), 0);
+    for (std::size_t i = 0; i < fixed.size(); ++i) {
+        if (fixed[i].has_value()) out[i] = *fixed[i];
+    }
+    for (std::size_t r = 0; r < mapping.size(); ++r) out[mapping[r]] = reduced_bits[r];
+    return out;
+}
+
+namespace {
+
+/// Finds one fixable variable in `q`, or returns false.
+bool find_fixing(const qubo_model& q, std::size_t& index, std::uint8_t& value) {
+    const std::size_t n = q.num_variables();
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto row = q.row(i);
+        double neg = 0.0;
+        double pos = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            const double c = row[j];
+            if (c < 0.0) neg += c;
+            if (c > 0.0) pos += c;
+        }
+        const double lin = row[i];
+        if (lin + neg >= 0.0) {
+            index = i;
+            value = 0;
+            return true;
+        }
+        if (lin + pos <= 0.0) {
+            index = i;
+            value = 1;
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+preprocess_result prefix_variables(const qubo_model& q, bool iterate) {
+    const std::size_t n = q.num_variables();
+    preprocess_result result;
+    result.fixed.assign(n, std::nullopt);
+    result.reduced = q;
+    result.mapping.resize(n);
+    for (std::size_t i = 0; i < n; ++i) result.mapping[i] = i;
+
+    // Single sweep: evaluate the rule per variable on the original model
+    // without substitution (the paper's Figure 3 description).
+    std::vector<std::pair<std::size_t, std::uint8_t>> first_pass;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto row = q.row(i);
+        double neg = 0.0;
+        double pos = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            if (row[j] < 0.0) neg += row[j];
+            if (row[j] > 0.0) pos += row[j];
+        }
+        if (row[i] + neg >= 0.0) {
+            first_pass.emplace_back(i, std::uint8_t{0});
+        } else if (row[i] + pos <= 0.0) {
+            first_pass.emplace_back(i, std::uint8_t{1});
+        }
+    }
+
+    if (!iterate) {
+        // Apply exactly the first-pass fixings (in descending index order so
+        // reduced indices stay valid).
+        for (auto it = first_pass.rbegin(); it != first_pass.rend(); ++it) {
+            const std::size_t original = it->first;
+            // Locate current reduced position of `original`.
+            std::size_t pos = result.mapping.size();
+            for (std::size_t r = 0; r < result.mapping.size(); ++r) {
+                if (result.mapping[r] == original) {
+                    pos = r;
+                    break;
+                }
+            }
+            if (pos == result.mapping.size()) continue;  // already gone
+            result.fixed[original] = it->second;
+            std::vector<std::size_t> submap;
+            result.reduced = result.reduced.fix_variable(pos, it->second, &submap);
+            std::vector<std::size_t> new_mapping(submap.size());
+            for (std::size_t r = 0; r < submap.size(); ++r) {
+                new_mapping[r] = result.mapping[submap[r]];
+            }
+            result.mapping = std::move(new_mapping);
+        }
+        return result;
+    }
+
+    // Fixpoint iteration: keep substituting while any variable is fixable.
+    for (;;) {
+        std::size_t idx = 0;
+        std::uint8_t val = 0;
+        if (result.reduced.num_variables() == 0) break;
+        if (!find_fixing(result.reduced, idx, val)) break;
+        const std::size_t original = result.mapping[idx];
+        result.fixed[original] = val;
+        std::vector<std::size_t> submap;
+        result.reduced = result.reduced.fix_variable(idx, val, &submap);
+        std::vector<std::size_t> new_mapping(submap.size());
+        for (std::size_t r = 0; r < submap.size(); ++r) {
+            new_mapping[r] = result.mapping[submap[r]];
+        }
+        result.mapping = std::move(new_mapping);
+    }
+    return result;
+}
+
+}  // namespace hcq::qubo

@@ -1,0 +1,50 @@
+// Classical QUBO pre-processing by variable prefixing — the scheme the paper
+// evaluates (and finds wanting on >32-40 variable MIMO problems) in
+// Section 3.1 / Figure 3, after Lewis & Glover [33, 34].
+//
+// Rule (with symmetric coupling c_ij and linear term Q_ii): activating q_i
+// changes the energy by Q_ii + sum_{j != i} c_ij q_j, bounded between
+// Q_ii + sum of negative c_ij and Q_ii + sum of positive c_ij.  Hence
+//   * Q_ii + sum_{j} min(0, c_ij) >= 0  ==>  q_i = 0 in some optimum,
+//   * Q_ii + sum_{j} max(0, c_ij) <= 0  ==>  q_i = 1 in some optimum.
+// (The paper's prose says the first case "can be fixed to 1"; the standard
+// rule — and the one that provably preserves an optimum — fixes it to 0.  We
+// implement the standard rule.)
+//
+// Each fixing substitutes the variable away, which may enable further
+// fixings; `iterate == true` (default) runs to a fixpoint, while the paper's
+// one-shot description corresponds to `iterate == false`.
+#ifndef HCQ_QUBO_PREPROCESS_H
+#define HCQ_QUBO_PREPROCESS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "qubo/model.h"
+
+namespace hcq::qubo {
+
+/// Outcome of the prefixing pass.
+struct preprocess_result {
+    /// Per original variable: the forced value, or nullopt if still free.
+    std::vector<std::optional<std::uint8_t>> fixed;
+    /// Reduced QUBO over the free variables (offset updated accordingly).
+    qubo_model reduced;
+    /// reduced index -> original index.
+    std::vector<std::size_t> mapping;
+
+    [[nodiscard]] std::size_t num_fixed() const;
+    [[nodiscard]] bool simplified() const { return num_fixed() > 0; }
+
+    /// Lifts an assignment of the reduced model back to the original
+    /// variable space (fixed variables take their forced values).
+    [[nodiscard]] bit_vector lift(std::span<const std::uint8_t> reduced_bits) const;
+};
+
+/// Runs the prefixing rules on `q`.
+[[nodiscard]] preprocess_result prefix_variables(const qubo_model& q, bool iterate = true);
+
+}  // namespace hcq::qubo
+
+#endif  // HCQ_QUBO_PREPROCESS_H

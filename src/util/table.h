@@ -1,0 +1,55 @@
+// Column-aligned text tables for bench output (the "rows/series the paper
+// reports"), with optional CSV emission for downstream plotting.
+#ifndef HCQ_UTIL_TABLE_H
+#define HCQ_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hcq::util {
+
+/// Formats a double with `precision` significant decimals, trimming noise.
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+/// Simple row/column table.  Cells are strings; use `add_row` with
+/// heterogeneous convertible values via the variadic overload.
+class table {
+public:
+    explicit table(std::vector<std::string> headers);
+
+    /// Appends a pre-formatted row; must match the header arity.
+    void add_row(std::vector<std::string> cells);
+
+    /// Appends a row of printable values (numbers formatted compactly).
+    template <typename... Ts>
+    void add(const Ts&... cells) {
+        add_row({cell_to_string(cells)...});
+    }
+
+    /// Writes an aligned, human-readable rendering.
+    void print(std::ostream& os) const;
+
+    /// Writes RFC-4180-ish CSV (no quoting of embedded commas: callers keep
+    /// cells comma-free).
+    void print_csv(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+    [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+private:
+    static std::string cell_to_string(const std::string& s) { return s; }
+    static std::string cell_to_string(const char* s) { return s; }
+    static std::string cell_to_string(double v) { return format_double(v); }
+    static std::string cell_to_string(int v) { return std::to_string(v); }
+    static std::string cell_to_string(long v) { return std::to_string(v); }
+    static std::string cell_to_string(unsigned v) { return std::to_string(v); }
+    static std::string cell_to_string(std::size_t v) { return std::to_string(v); }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hcq::util
+
+#endif  // HCQ_UTIL_TABLE_H

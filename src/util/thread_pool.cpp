@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace hcq::util {
+
+thread_pool::thread_pool(std::size_t num_threads) {
+    if (num_threads == 0) {
+        num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::scoped_lock lock(mutex_);
+        stopping_ = true;
+    }
+    task_available_.notify_all();
+    for (auto& w : workers_) {
+        if (w.joinable()) w.join();
+    }
+}
+
+void thread_pool::submit(std::function<void()> task) {
+    {
+        const std::scoped_lock lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    task_available_.notify_one();
+}
+
+void thread_pool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) return;  // stopping_ and drained
+            task = std::move(tasks_.front());
+            tasks_.pop();
+            ++in_flight_;
+        }
+        task();
+        {
+            const std::scoped_lock lock(mutex_);
+            --in_flight_;
+        }
+        idle_.notify_all();
+    }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t num_threads) {
+    if (n == 0) return;
+    if (num_threads == 0) {
+        num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    num_threads = std::min(num_threads, n);
+    if (num_threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+        threads.emplace_back([&] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n) return;
+                fn(i);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+}
+
+}  // namespace hcq::util

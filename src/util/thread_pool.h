@@ -1,0 +1,58 @@
+// Minimal task-parallel execution support for parameter sweeps and
+// per-instance fan-out in benches.  Guideline CP.*: tasks over raw threads,
+// no shared mutable state beyond the internally synchronised queue.
+#ifndef HCQ_UTIL_THREAD_POOL_H
+#define HCQ_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hcq::util {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+/// Destruction waits for all submitted tasks to finish.
+class thread_pool {
+public:
+    /// Creates `num_threads` workers (0 selects hardware concurrency).
+    explicit thread_pool(std::size_t num_threads = 0);
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    ~thread_pool();
+
+    /// Enqueues a task for asynchronous execution.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has completed.
+    void wait_idle();
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable task_available_;
+    std::condition_variable idle_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across `num_threads` workers (0 = hardware
+/// concurrency; n below 2 or single-threaded environments degrade to a plain
+/// loop).  Blocks until all iterations complete.  `fn` must be safe to call
+/// concurrently for distinct i.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t num_threads = 0);
+
+}  // namespace hcq::util
+
+#endif  // HCQ_UTIL_THREAD_POOL_H

@@ -1,0 +1,34 @@
+// Wall-clock timing helper.
+#ifndef HCQ_UTIL_TIMER_H
+#define HCQ_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace hcq::util {
+
+/// Monotonic stopwatch started at construction.
+class timer {
+public:
+    timer() : start_(clock::now()) {}
+
+    /// Restarts the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Elapsed time in microseconds.
+    [[nodiscard]] double elapsed_us() const {
+        return std::chrono::duration<double, std::micro>(clock::now() - start_).count();
+    }
+
+    /// Elapsed time in seconds.
+    [[nodiscard]] double elapsed_s() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace hcq::util
+
+#endif  // HCQ_UTIL_TIMER_H

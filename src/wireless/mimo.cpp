@@ -1,0 +1,58 @@
+#include "wireless/mimo.h"
+
+#include <stdexcept>
+
+namespace hcq::wireless {
+
+double mimo_instance::ml_cost(const linalg::cvec& x) const {
+    if (x.size() != num_users) throw std::invalid_argument("ml_cost: wrong symbol count");
+    linalg::cvec residual = y;
+    residual -= h * x;
+    const double n = residual.norm2();
+    return n * n;
+}
+
+double mimo_instance::ml_cost_bits(std::span<const std::uint8_t> bits) const {
+    return ml_cost(modulate(mod, bits));
+}
+
+mimo_instance synthesize(util::rng& rng, const mimo_config& config) {
+    if (config.num_users == 0 || config.num_antennas == 0) {
+        throw std::invalid_argument("synthesize: empty dimensions");
+    }
+    if (config.num_antennas < config.num_users) {
+        throw std::invalid_argument("synthesize: needs num_antennas >= num_users");
+    }
+    mimo_instance inst;
+    inst.mod = config.mod;
+    inst.num_users = config.num_users;
+    inst.num_antennas = config.num_antennas;
+    inst.h = draw_channel(rng, config.channel, config.num_antennas, config.num_users);
+    inst.tx_bits = rng.bits(config.num_users * bits_per_symbol(config.mod));
+    inst.tx_symbols = modulate(config.mod, inst.tx_bits);
+    inst.y = inst.h * inst.tx_symbols;
+    inst.noise_variance = config.noise_variance;
+    add_awgn(rng, inst.y, config.noise_variance);
+    return inst;
+}
+
+mimo_instance noiseless_paper_instance(util::rng& rng, std::size_t num_users, modulation mod) {
+    mimo_config config;
+    config.mod = mod;
+    config.num_users = num_users;
+    config.num_antennas = num_users;
+    config.channel = channel_model::unit_gain_random_phase;
+    config.noise_variance = 0.0;
+    return synthesize(rng, config);
+}
+
+std::size_t users_for_variables(modulation mod, std::size_t num_variables) {
+    const std::size_t per = bits_per_symbol(mod);
+    if (num_variables == 0 || num_variables % per != 0) {
+        throw std::invalid_argument("users_for_variables: " + std::to_string(num_variables) +
+                                    " variables not divisible by " + to_string(mod));
+    }
+    return num_variables / per;
+}
+
+}  // namespace hcq::wireless

@@ -1,0 +1,65 @@
+// Uplink multi-user MIMO detection instances: y = H x + n.
+//
+// An instance bundles everything a detector needs (channel, observation,
+// modulation) plus the ground truth used for evaluation.  The paper's corpus
+// (Section 4.2) is synthesised with `noiseless_paper_instance`.
+#ifndef HCQ_WIRELESS_MIMO_H
+#define HCQ_WIRELESS_MIMO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "wireless/channel.h"
+#include "wireless/modulation.h"
+
+namespace hcq::wireless {
+
+/// One detection problem y = H x (+ n) together with its ground truth.
+struct mimo_instance {
+    modulation mod = modulation::bpsk;
+    std::size_t num_users = 0;     ///< transmit streams (N_t)
+    std::size_t num_antennas = 0;  ///< receive antennas (N_r)
+    linalg::cmat h;                ///< num_antennas x num_users channel
+    std::vector<std::uint8_t> tx_bits;  ///< ground-truth bits (natural map)
+    linalg::cvec tx_symbols;       ///< ground-truth symbols
+    linalg::cvec y;                ///< received vector
+    double noise_variance = 0.0;   ///< AWGN variance (0 = noiseless)
+
+    /// Number of QUBO variables this instance reduces to.
+    [[nodiscard]] std::size_t num_bits() const {
+        return num_users * bits_per_symbol(mod);
+    }
+
+    /// Maximum-likelihood cost ||y - H x||^2 of a candidate symbol vector.
+    [[nodiscard]] double ml_cost(const linalg::cvec& x) const;
+
+    /// ML cost of a candidate bit string (natural map).
+    [[nodiscard]] double ml_cost_bits(std::span<const std::uint8_t> bits) const;
+};
+
+/// Parameters for instance synthesis.
+struct mimo_config {
+    modulation mod = modulation::qam16;
+    std::size_t num_users = 8;
+    std::size_t num_antennas = 8;  ///< paper uses N_r = N_t
+    channel_model channel = channel_model::unit_gain_random_phase;
+    double noise_variance = 0.0;   ///< 0 disables AWGN (paper setting)
+};
+
+/// Draws a random instance: random channel, uniform random bits, y = Hx + n.
+[[nodiscard]] mimo_instance synthesize(util::rng& rng, const mimo_config& config);
+
+/// The exact corpus recipe of the paper: unit-gain random-phase channel,
+/// N_r = N_t = num_users, no AWGN.
+[[nodiscard]] mimo_instance noiseless_paper_instance(util::rng& rng, std::size_t num_users,
+                                                     modulation mod);
+
+/// Chooses (users, modulation) combinations giving `num_variables` QUBO
+/// variables; throws if no modulation divides the requested size.
+[[nodiscard]] std::size_t users_for_variables(modulation mod, std::size_t num_variables);
+
+}  // namespace hcq::wireless
+
+#endif  // HCQ_WIRELESS_MIMO_H

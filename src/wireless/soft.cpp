@@ -1,0 +1,58 @@
+#include "wireless/soft.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/decompose.h"
+
+namespace hcq::wireless {
+
+std::vector<double> symbol_llrs(modulation mod, linalg::cxd equalized, double noise_variance) {
+    if (noise_variance <= 0.0) throw std::invalid_argument("symbol_llrs: noise_variance <= 0");
+    const auto points = constellation(mod);
+    const std::size_t bps = bits_per_symbol(mod);
+    std::vector<double> min0(bps, std::numeric_limits<double>::infinity());
+    std::vector<double> min1(bps, std::numeric_limits<double>::infinity());
+    for (std::size_t pattern = 0; pattern < points.size(); ++pattern) {
+        const double dist = std::norm(equalized - points[pattern]);
+        for (std::size_t b = 0; b < bps; ++b) {
+            // `constellation` indexes by the natural-map pattern, MSB-first.
+            const bool bit = ((pattern >> (bps - 1 - b)) & 1U) != 0;
+            auto& best = bit ? min1[b] : min0[b];
+            best = std::min(best, dist);
+        }
+    }
+    std::vector<double> llrs(bps);
+    for (std::size_t b = 0; b < bps; ++b) {
+        llrs[b] = (min1[b] - min0[b]) / noise_variance;
+    }
+    return llrs;
+}
+
+std::vector<double> zf_soft_bits(const mimo_instance& instance, double noise_floor) {
+    if (noise_floor <= 0.0) throw std::invalid_argument("zf_soft_bits: noise_floor <= 0");
+    const auto soft = linalg::least_squares(instance.h, instance.y);
+
+    // Per-stream post-ZF noise enhancement: sigma_u^2 = sigma^2 [(H^H H)^-1]_uu.
+    const auto gram = instance.h.hermitian() * instance.h;
+    const auto gram_inv = linalg::inverse(gram);
+    const double sigma_sq = std::max(instance.noise_variance, noise_floor);
+
+    std::vector<double> llrs;
+    llrs.reserve(instance.num_bits());
+    for (std::size_t u = 0; u < instance.num_users; ++u) {
+        const double enhancement = std::max(gram_inv(u, u).real(), 1e-12);
+        const auto per_symbol = symbol_llrs(instance.mod, soft[u], sigma_sq * enhancement);
+        llrs.insert(llrs.end(), per_symbol.begin(), per_symbol.end());
+    }
+    return llrs;
+}
+
+std::vector<std::uint8_t> harden(const std::vector<double>& llrs) {
+    std::vector<std::uint8_t> bits(llrs.size());
+    for (std::size_t b = 0; b < llrs.size(); ++b) bits[b] = llrs[b] >= 0.0 ? 0 : 1;
+    return bits;
+}
+
+}  // namespace hcq::wireless

@@ -1,0 +1,36 @@
+// Soft information: per-bit log-likelihood ratios (LLRs) from a linear
+// equaliser — the "pre-knowledge of variables (wireless symbols)" the paper's
+// Section 3.1 proposes feeding into the QUBO as constraints (Figure 4).
+//
+// Convention: LLR_b = log P(b = 0 | y) - log P(b = 1 | y) under max-log
+// approximation, so positive LLR favours bit 0 and |LLR| measures
+// confidence.
+#ifndef HCQ_WIRELESS_SOFT_H
+#define HCQ_WIRELESS_SOFT_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "wireless/mimo.h"
+#include "wireless/modulation.h"
+
+namespace hcq::wireless {
+
+/// Max-log LLRs of every bit of one symbol given a scalar observation
+/// `equalized` with effective noise variance `noise_variance` (> 0).
+[[nodiscard]] std::vector<double> symbol_llrs(modulation mod, linalg::cxd equalized,
+                                              double noise_variance);
+
+/// Per-bit LLRs for a whole instance via zero-forcing equalisation with
+/// per-stream noise enhancement (diag of (H^H H)^-1).  Layout matches the
+/// QUBO/transform bit layout (user-major, I bits then Q bits).  For a
+/// noiseless instance pass `noise_floor` > 0 to bound confidences.
+[[nodiscard]] std::vector<double> zf_soft_bits(const mimo_instance& instance,
+                                               double noise_floor = 1e-3);
+
+/// Hard decisions from LLRs (0 when LLR >= 0).
+[[nodiscard]] std::vector<std::uint8_t> harden(const std::vector<double>& llrs);
+
+}  // namespace hcq::wireless
+
+#endif  // HCQ_WIRELESS_SOFT_H

@@ -1,0 +1,212 @@
+// Tests for the annealer emulator and its temperature maps — the hardware
+// substitution's contract (see DESIGN.md).
+#include <gtest/gtest.h>
+
+#include "classical/metropolis.h"
+#include "core/device.h"
+#include "core/schedule.h"
+#include "core/temperature.h"
+#include "qubo/brute_force.h"
+#include "qubo/generator.h"
+#include "qubo/ising.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace an = hcq::anneal;
+namespace q = hcq::qubo;
+
+TEST(TemperatureMap, VanishesAtSOne) {
+    for (const auto kind : {an::temperature_map_kind::rational,
+                            an::temperature_map_kind::linear,
+                            an::temperature_map_kind::exponential}) {
+        const an::temperature_map map(kind);
+        EXPECT_NEAR(map.fluctuation(1.0), 0.0, 1e-12) << an::to_string(kind);
+    }
+}
+
+TEST(TemperatureMap, MonotoneNonIncreasing) {
+    for (const auto kind : {an::temperature_map_kind::rational,
+                            an::temperature_map_kind::linear,
+                            an::temperature_map_kind::exponential}) {
+        const an::temperature_map map(kind);
+        double prev = map.fluctuation(0.0);
+        for (double s = 0.05; s <= 1.0; s += 0.05) {
+            const double cur = map.fluctuation(s);
+            EXPECT_LE(cur, prev + 1e-12) << an::to_string(kind) << " at s=" << s;
+            prev = cur;
+        }
+    }
+}
+
+TEST(TemperatureMap, RationalDivergesTowardsSZero) {
+    const an::temperature_map map(an::temperature_map_kind::rational, 3.0, 0.05);
+    EXPECT_GT(map.fluctuation(0.0), 10.0);
+    EXPECT_NEAR(map.fluctuation(0.5), 1.0, 1e-12);
+}
+
+TEST(TemperatureMap, ClampsInput) {
+    const an::temperature_map map;
+    EXPECT_DOUBLE_EQ(map.fluctuation(-1.0), map.fluctuation(0.0));
+    EXPECT_DOUBLE_EQ(map.fluctuation(2.0), map.fluctuation(1.0));
+}
+
+TEST(TemperatureMap, Validation) {
+    EXPECT_THROW(an::temperature_map(an::temperature_map_kind::rational, -1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(an::temperature_map(an::temperature_map_kind::rational, 1.0, 0.0),
+                 std::invalid_argument);
+    EXPECT_STREQ(an::to_string(an::temperature_map_kind::linear), "linear");
+}
+
+TEST(Device, ConfigValidation) {
+    an::annealer_config config;
+    config.sweeps_per_us = 0.0;
+    EXPECT_THROW(an::annealer_emulator{config}, std::invalid_argument);
+    config = {};
+    config.temperature_scale = -1.0;
+    EXPECT_THROW(an::annealer_emulator{config}, std::invalid_argument);
+    config = {};
+    config.freeze_fraction = -1.0;
+    EXPECT_THROW(an::annealer_emulator{config}, std::invalid_argument);
+}
+
+TEST(Device, SweepsScaleWithDuration) {
+    an::annealer_config config;
+    config.sweeps_per_us = 10.0;
+    const an::annealer_emulator device(config);
+    EXPECT_EQ(device.sweeps_for(an::anneal_schedule::forward_plain(2.0)), 20u);
+    EXPECT_EQ(device.sweeps_for(an::anneal_schedule::forward_plain(0.01)), 1u);  // minimum 1
+}
+
+TEST(Device, ReverseScheduleRequiresInitialState) {
+    hcq::util::rng rng(1);
+    const auto m = q::random_qubo(rng, 8, 1.0, -1.0, 1.0);
+    const an::annealer_emulator device;
+    const auto ra = an::anneal_schedule::reverse(0.5, 1.0);
+    EXPECT_THROW((void)device.anneal_once(m, ra, rng), std::invalid_argument);
+    EXPECT_THROW((void)device.anneal_once(m, ra, rng, q::bit_vector(3, 0)),
+                 std::invalid_argument);
+    // With a state it runs fine.
+    const auto bits = device.anneal_once(m, ra, rng, q::bit_vector(8, 0));
+    EXPECT_EQ(bits.size(), 8u);
+}
+
+TEST(Device, FrozenScheduleIsIdentityOnInitialState) {
+    hcq::util::rng rng(2);
+    const auto m = q::random_qubo(rng, 10, 1.0, -1.0, 1.0);
+    const an::annealer_emulator device;
+    // Hold at s = 1 throughout: zero fluctuation... but note Metropolis at
+    // T=0 still performs strictly-downhill moves; a true frozen register
+    // requires the initial state to be a local minimum.  Use one.
+    auto bits = rng.bits(10);
+    hcq::solvers::metropolis_engine descent(m, bits);
+    for (int i = 0; i < 50; ++i) descent.sweep(0.0, rng);
+    const auto local_min = descent.state();
+    const an::anneal_schedule hold({{0.0, 1.0}, {2.0, 1.0}}, "hold");
+    const auto out = device.anneal_once(m, hold, rng, local_min);
+    EXPECT_EQ(out, local_min);
+}
+
+TEST(Device, ForwardStartIsRandomised) {
+    // At s ~ 0 the fluctuation is huge: an immediately-measured forward
+    // anneal behaves like a random bitstring source.  Run many very hot,
+    // very short anneals and check the marginal of each bit is ~1/2.
+    hcq::util::rng rng(3);
+    const auto m = q::random_qubo(rng, 6, 1.0, -0.2, 0.2);
+    an::annealer_config config;
+    config.sweeps_per_us = 4.0;
+    const an::annealer_emulator device(config);
+    const an::anneal_schedule hot({{0.0, 0.0}, {0.25, 0.05}}, "hot");
+    std::vector<int> ones(6, 0);
+    const int reads = 400;
+    for (int r = 0; r < reads; ++r) {
+        const auto bits = device.anneal_once(m, hot, rng);
+        for (std::size_t i = 0; i < 6; ++i) ones[i] += bits[i];
+    }
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_NEAR(static_cast<double>(ones[i]) / reads, 0.5, 0.15);
+    }
+}
+
+TEST(Device, ForwardAnnealingSolvesEasyInstance) {
+    const auto m = q::to_qubo(q::ferromagnetic_chain(10));
+    const auto exact = q::brute_force_minimize(m);
+    hcq::util::rng rng(4);
+    const an::annealer_emulator device;
+    const auto samples =
+        device.sample(m, an::anneal_schedule::forward_plain(4.0), 50, rng);
+    EXPECT_GT(samples.success_probability(exact.best_energy), 0.5);
+}
+
+TEST(Device, ReverseFromOptimumAtHighSpStaysOptimal) {
+    hcq::util::rng rng(5);
+    const auto m = q::random_qubo(rng, 12, 1.0, -1.0, 1.0);
+    const auto exact = q::brute_force_minimize(m);
+    const an::annealer_emulator device;
+    // s_p = 0.95: barely any fluctuation — a refined local search around the
+    // ground state must keep finding it.
+    const auto samples = device.sample(m, an::anneal_schedule::reverse(0.95, 1.0), 40, rng,
+                                       exact.best_bits);
+    EXPECT_GT(samples.success_probability(exact.best_energy), 0.9);
+}
+
+TEST(Device, ReverseAtVeryLowSpWipesOutInitialState) {
+    // s_p near 0 wipes the initial-state information (paper Section 4.3):
+    // success from the ground state should drop markedly vs high s_p.
+    hcq::util::rng rng(6);
+    const auto m = q::random_qubo(rng, 14, 1.0, -1.0, 1.0);
+    const auto exact = q::brute_force_minimize(m);
+    const an::annealer_emulator device;
+    const auto high =
+        device.sample(m, an::anneal_schedule::reverse(0.9, 1.0), 60, rng, exact.best_bits);
+    const auto low =
+        device.sample(m, an::anneal_schedule::reverse(0.05, 1.0), 60, rng, exact.best_bits);
+    EXPECT_GE(high.success_probability(exact.best_energy),
+              low.success_probability(exact.best_energy));
+}
+
+TEST(Device, SampleCountAndDeterminism) {
+    hcq::util::rng rng_a(7);
+    hcq::util::rng rng_b(7);
+    const auto m = q::random_qubo(rng_a, 8, 1.0, -1.0, 1.0);
+    const auto m2 = q::random_qubo(rng_b, 8, 1.0, -1.0, 1.0);
+    const an::annealer_emulator device;
+    const auto fa = an::anneal_schedule::forward_plain(1.0);
+    const auto s1 = device.sample(m, fa, 25, rng_a);
+    const auto s2 = device.sample(m2, fa, 25, rng_b);
+    ASSERT_EQ(s1.size(), 25u);
+    ASSERT_EQ(s2.size(), 25u);
+    for (std::size_t i = 0; i < 25; ++i) {
+        EXPECT_EQ(s1[i].bits, s2[i].bits);  // same seed, same stream
+    }
+    EXPECT_THROW((void)device.sample(m, fa, 0, rng_a), std::invalid_argument);
+}
+
+TEST(Device, RepeatedSampleCallsDiffer) {
+    hcq::util::rng rng(8);
+    const auto m = q::random_qubo(rng, 10, 1.0, -1.0, 1.0);
+    const an::annealer_emulator device;
+    // End the schedule while still hot so final states stay spread out (a
+    // full anneal may legitimately funnel every read into one basin).
+    const an::anneal_schedule hot({{0.0, 0.0}, {1.0, 0.15}}, "hot-end");
+    const auto s1 = device.sample(m, hot, 10, rng);
+    const auto s2 = device.sample(m, hot, 10, rng);
+    int differing = 0;
+    for (std::size_t i = 0; i < 10; ++i) {
+        if (s1[i].bits != s2[i].bits) ++differing;
+    }
+    EXPECT_GT(differing, 0);  // the salt advances the caller's generator
+}
+
+TEST(Device, SampleEnergiesMatchModel) {
+    hcq::util::rng rng(9);
+    const auto m = q::random_qubo(rng, 9, 1.0, -1.0, 1.0);
+    const an::annealer_emulator device;
+    const auto samples = device.sample(m, an::anneal_schedule::forward_plain(1.0), 15, rng);
+    for (const auto& s : samples.all()) {
+        EXPECT_NEAR(s.energy, m.energy(s.bits), 1e-10);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// Tests for the Chimera topology model and clique minor embedding — the
+// hardware-realism layer of the D-Wave substitution.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/device.h"
+#include "core/embedding.h"
+#include "core/topology.h"
+#include "qubo/brute_force.h"
+#include "qubo/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace an = hcq::anneal;
+namespace q = hcq::qubo;
+
+TEST(Chimera, CountsMatchFormulae) {
+    const an::chimera_graph c1(1, 4);
+    EXPECT_EQ(c1.num_nodes(), 8u);
+    EXPECT_EQ(c1.num_edges(), 16u);  // single K_{4,4}
+    const an::chimera_graph c2(2, 4);
+    EXPECT_EQ(c2.num_nodes(), 32u);
+    EXPECT_EQ(c2.num_edges(), 4u * 16u + 2u * 4u + 2u * 4u);
+    EXPECT_THROW(an::chimera_graph(0, 4), std::invalid_argument);
+    EXPECT_THROW(an::chimera_graph(2, 0), std::invalid_argument);
+}
+
+TEST(Chimera, NodeLocateRoundTrip) {
+    const an::chimera_graph g(3, 4);
+    for (std::size_t id = 0; id < g.num_nodes(); ++id) {
+        const auto c = g.locate(id);
+        EXPECT_EQ(g.node(c.row, c.column, c.side, c.index), id);
+    }
+    EXPECT_THROW((void)g.locate(g.num_nodes()), std::out_of_range);
+    EXPECT_THROW((void)g.node(3, 0, 0, 0), std::out_of_range);
+}
+
+TEST(Chimera, AdjacencyRules) {
+    const an::chimera_graph g(2, 4);
+    // In-cell: opposite shores adjacent, same shore not.
+    EXPECT_TRUE(g.adjacent(g.node(0, 0, 0, 0), g.node(0, 0, 1, 3)));
+    EXPECT_FALSE(g.adjacent(g.node(0, 0, 0, 0), g.node(0, 0, 0, 1)));
+    // Vertical couplers along a column, same index only.
+    EXPECT_TRUE(g.adjacent(g.node(0, 0, 0, 2), g.node(1, 0, 0, 2)));
+    EXPECT_FALSE(g.adjacent(g.node(0, 0, 0, 2), g.node(1, 0, 0, 3)));
+    EXPECT_FALSE(g.adjacent(g.node(0, 0, 0, 2), g.node(1, 1, 0, 2)));
+    // Horizontal couplers along a row, same index only.
+    EXPECT_TRUE(g.adjacent(g.node(0, 0, 1, 1), g.node(0, 1, 1, 1)));
+    EXPECT_FALSE(g.adjacent(g.node(0, 0, 1, 1), g.node(1, 0, 1, 1)));
+    // No self loops.
+    EXPECT_FALSE(g.adjacent(g.node(0, 0, 0, 0), g.node(0, 0, 0, 0)));
+}
+
+TEST(Chimera, NeighborsConsistentWithAdjacency) {
+    const an::chimera_graph g(2, 4);
+    for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+        const auto nbrs = g.neighbors(u);
+        const std::set<std::size_t> nbr_set(nbrs.begin(), nbrs.end());
+        for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+            EXPECT_EQ(g.adjacent(u, v), nbr_set.count(v) == 1) << u << " " << v;
+        }
+    }
+}
+
+TEST(Chimera, EdgeListMatchesCount) {
+    const an::chimera_graph g(3, 4);
+    EXPECT_EQ(g.edges().size(), g.num_edges());
+}
+
+class CliqueEmbedding : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CliqueEmbedding, ValidAndComplete) {
+    const std::size_t n = GetParam();
+    const std::size_t m = (n + 3) / 4;
+    const an::chimera_graph g(m, 4);
+    const auto chains = an::clique_embedding(g, n);
+    ASSERT_EQ(chains.size(), n);
+    EXPECT_TRUE(an::embedding_is_valid(g, chains));
+    // Every pair of chains shares at least one coupler (clique property).
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            bool coupled = false;
+            for (const std::size_t u : chains[i]) {
+                for (const std::size_t v : chains[j]) {
+                    if (g.adjacent(u, v)) {
+                        coupled = true;
+                        break;
+                    }
+                }
+                if (coupled) break;
+            }
+            EXPECT_TRUE(coupled) << "chains " << i << " and " << j;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CliqueEmbedding, ::testing::Values(2, 4, 5, 8, 12, 16));
+
+TEST(CliqueEmbeddingLimits, CapacityEnforced) {
+    const an::chimera_graph g(2, 4);
+    EXPECT_NO_THROW((void)an::clique_embedding(g, 8));
+    EXPECT_THROW((void)an::clique_embedding(g, 9), std::invalid_argument);
+    EXPECT_THROW((void)an::clique_embedding(g, 0), std::invalid_argument);
+}
+
+TEST(EmbeddingValidity, DetectsBrokenChains) {
+    const an::chimera_graph g(2, 4);
+    auto chains = an::clique_embedding(g, 4);
+    EXPECT_TRUE(an::embedding_is_valid(g, chains));
+    // Overlapping chains are invalid.
+    auto overlapping = chains;
+    overlapping[1][0] = overlapping[0][0];
+    EXPECT_FALSE(an::embedding_is_valid(g, overlapping));
+    // Disconnected chain: two far-apart qubits.
+    an::embedding disconnected{{g.node(0, 0, 0, 0), g.node(1, 1, 0, 0)}};
+    EXPECT_FALSE(an::embedding_is_valid(g, disconnected));
+    // Empty chain invalid.
+    an::embedding empty{{}};
+    EXPECT_FALSE(an::embedding_is_valid(g, empty));
+}
+
+TEST(EmbedIsing, UnbrokenChainsPreserveEnergyDifferences) {
+    // For chain-respecting states the physical energy equals the logical
+    // energy plus a constant (all chain couplings satisfied).
+    hcq::util::rng rng(5);
+    const std::size_t n = 6;
+    const an::chimera_graph g(2, 4);
+    const auto chains = an::clique_embedding(g, n);
+    const auto logical_qubo = q::random_qubo(rng, n, 1.0, -1.0, 1.0);
+    const auto logical = q::to_ising(logical_qubo);
+    const auto embedded = an::embed_ising(logical, g, chains, 3.0);
+
+    const auto physical_energy = [&](const q::bit_vector& logical_bits) {
+        const auto phys_bits = embedded.embed_state(logical_bits);
+        return embedded.physical.energy(q::spins_from_bits(phys_bits));
+    };
+    const auto logical_energy = [&](const q::bit_vector& logical_bits) {
+        return logical.energy(q::spins_from_bits(logical_bits));
+    };
+
+    const auto ref = rng.bits(n);
+    const double offset = physical_energy(ref) - logical_energy(ref);
+    for (int trial = 0; trial < 15; ++trial) {
+        const auto bits = rng.bits(n);
+        EXPECT_NEAR(physical_energy(bits) - logical_energy(bits), offset, 1e-9);
+    }
+}
+
+TEST(EmbedIsing, ChainStateRoundTrip) {
+    hcq::util::rng rng(6);
+    const an::chimera_graph g(2, 4);
+    const auto chains = an::clique_embedding(g, 5);
+    const auto logical = q::to_ising(q::random_qubo(rng, 5, 1.0, -1.0, 1.0));
+    const auto embedded = an::embed_ising(logical, g, chains, 2.0);
+    const auto bits = rng.bits(5);
+    const auto physical = embedded.embed_state(bits);
+    EXPECT_EQ(embedded.unembed(physical), bits);
+    EXPECT_DOUBLE_EQ(embedded.chain_break_fraction(physical), 0.0);
+}
+
+TEST(EmbedIsing, MajorityVoteAndBreakDetection) {
+    hcq::util::rng rng(7);
+    const an::chimera_graph g(2, 4);
+    const auto chains = an::clique_embedding(g, 3);
+    const auto logical = q::to_ising(q::random_qubo(rng, 3, 1.0, -1.0, 1.0));
+    const auto embedded = an::embed_ising(logical, g, chains, 2.0);
+
+    q::bit_vector bits{1, 0, 1};
+    auto physical = embedded.embed_state(bits);
+    // Break chain 0 by flipping a single qubit: majority still reads 1.
+    physical[embedded.chains[0][0]] ^= 1U;
+    EXPECT_EQ(embedded.unembed(physical), bits);
+    EXPECT_NEAR(embedded.chain_break_fraction(physical), 1.0 / 3.0, 1e-12);
+}
+
+TEST(EmbedIsing, Validation) {
+    hcq::util::rng rng(8);
+    const an::chimera_graph g(2, 4);
+    const auto chains = an::clique_embedding(g, 4);
+    const auto logical = q::to_ising(q::random_qubo(rng, 4, 1.0, -1.0, 1.0));
+    EXPECT_THROW((void)an::embed_ising(logical, g, chains, 0.0), std::invalid_argument);
+    const auto big = q::to_ising(q::random_qubo(rng, 9, 1.0, -1.0, 1.0));
+    EXPECT_THROW((void)an::embed_ising(big, g, chains, 1.0), std::invalid_argument);
+}
+
+TEST(EmbedIsing, DeviceSolvesEmbeddedProblemEndToEnd) {
+    // Full hardware-realism path: logical QUBO -> clique embedding ->
+    // physical Ising -> emulated anneal -> majority-vote unembedding.
+    hcq::util::rng rng(9);
+    const std::size_t n = 5;
+    const auto logical_qubo = q::random_qubo(rng, n, 1.0, -1.0, 1.0);
+    const auto exact = q::brute_force_minimize(logical_qubo);
+
+    const an::chimera_graph g(2, 4);
+    const auto chains = an::clique_embedding(g, n);
+    const auto embedded = an::embed_qubo(logical_qubo, g, chains,
+                                         2.0 * logical_qubo.max_abs_coefficient());
+    const auto physical_qubo = q::to_qubo(embedded.physical);
+
+    const an::annealer_emulator device;
+    const auto samples =
+        device.sample(physical_qubo, an::anneal_schedule::forward_plain(8.0), 60, rng);
+    double best = 1e300;
+    for (const auto& s : samples.all()) {
+        const auto logical_bits = embedded.unembed(s.bits);
+        best = std::min(best, logical_qubo.energy(logical_bits));
+    }
+    // The emulated device must find the logical optimum through the
+    // embedding at least once in 60 reads on a 5-variable problem.
+    EXPECT_NEAR(best, exact.best_energy, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Cross-module integration tests: weak, seeded versions of the paper's
+// headline observations, plus end-to-end flows through the full stack.
+#include <gtest/gtest.h>
+
+#include "classical/greedy.h"
+#include "classical/solver.h"
+#include "core/device.h"
+#include "core/experiment.h"
+#include "core/hybrid_solver.h"
+#include "core/sweep.h"
+#include "detect/linear.h"
+#include "detect/sphere.h"
+#include "metrics/ber.h"
+#include "metrics/delta_e.h"
+#include "pipeline/pipeline.h"
+#include "qubo/preprocess.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace hy = hcq::hybrid;
+namespace an = hcq::anneal;
+namespace wl = hcq::wireless;
+namespace sv = hcq::solvers;
+
+/// Mean Delta-E% over reads for one protocol on a small seeded corpus.
+double mean_gap(const an::annealer_emulator& device, const an::anneal_schedule& schedule,
+                const std::vector<hy::experiment_instance>& corpus, std::size_t reads,
+                bool init_greedy, bool init_random, std::uint64_t seed) {
+    hcq::util::rng rng(seed);
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const auto& e : corpus) {
+        std::optional<hcq::qubo::bit_vector> initial;
+        if (init_greedy) {
+            initial = sv::greedy_search().initialize(e.reduced.model, rng).bits;
+        } else if (init_random) {
+            initial = rng.bits(e.num_variables());
+        }
+        const auto samples = device.sample(e.reduced.model, schedule, reads, rng, initial);
+        for (const auto& s : samples.all()) {
+            total += hcq::metrics::delta_e_percent(s.energy, e.optimal_energy);
+            ++count;
+        }
+    }
+    return total / static_cast<double>(count);
+}
+
+TEST(Integration, RaFromGreedyBeatsRaFromRandom) {
+    // Figure 6's qualitative core: at each protocol's median-best parameter
+    // setting, seeding RA with GS concentrates the sample distribution near
+    // the optimum compared to random seeding.
+    const auto corpus = hy::make_paper_corpus(2024, 4, 4, wl::modulation::qam16);
+    const an::annealer_emulator device;
+    double best_gs_gap = 1e300;
+    double best_random_gap = 1e300;
+    for (const double sp : {0.33, 0.37, 0.41, 0.45}) {
+        const auto ra = an::anneal_schedule::reverse(sp, 1.0);
+        best_gs_gap = std::min(best_gs_gap, mean_gap(device, ra, corpus, 50, true, false, 11));
+        best_random_gap =
+            std::min(best_random_gap, mean_gap(device, ra, corpus, 50, false, true, 12));
+    }
+    EXPECT_LT(best_gs_gap, best_random_gap + 0.5);
+}
+
+TEST(Integration, HybridFindsOptimumOnSmallInstances) {
+    // On 12-variable instances the refinement window sits at lower s_p than
+    // on the 32-variable Figure-8 workload (the temperature scale tracks
+    // max|Q|, which grows with problem size).
+    hcq::util::rng rng(2025);
+    const auto corpus = hy::make_paper_corpus(77, 3, 3, wl::modulation::qam16);
+    const an::annealer_emulator device;
+    const sv::greedy_search gs;
+    const hy::hybrid_solver solver(gs, device, an::anneal_schedule::reverse(0.29, 1.0), 120);
+    int solved = 0;
+    for (const auto& e : corpus) {
+        const auto result = solver.solve(e.reduced.model, rng);
+        if (result.best_energy <= e.optimal_energy + 1e-6) ++solved;
+    }
+    EXPECT_GE(solved, 2);
+}
+
+TEST(Integration, ReverseWindowExists) {
+    // Figure 8's qualitative core, on its own workload (8-user 16-QAM) with
+    // the figure's initial-state semantics (a harvested candidate solution
+    // of known quality): RA succeeds on mid-range s_p, fails both when s_p
+    // is extremely low (initial state wiped out) and when s_p is close to 1
+    // (frozen register, a non-optimal state cannot improve).
+    hcq::util::rng rng(2026);
+    const auto e = hy::make_paper_instance(rng, 8, wl::modulation::qam16);
+    const an::annealer_emulator device;
+    // A single-bit-flip of the optimum: the canonical refinable candidate
+    // (one strictly-downhill move from the ground state, Delta-E_IS > 0).
+    auto init = e.optimal_bits;
+    init[3] ^= 1U;
+    ASSERT_GT(hcq::metrics::delta_e_percent(e.reduced.model.energy(init), e.optimal_energy),
+              0.0);
+
+    double best_mid = 0.0;
+    for (const double sp : {0.41, 0.49, 0.57, 0.65}) {
+        const auto eval =
+            hy::evaluate_schedule(device, e.reduced.model, an::anneal_schedule::reverse(sp, 1.0),
+                                  60, e.optimal_energy, rng, init);
+        best_mid = std::max(best_mid, eval.p_star);
+    }
+    const auto low = hy::evaluate_schedule(device, e.reduced.model,
+                                           an::anneal_schedule::reverse(0.03, 1.0), 60,
+                                           e.optimal_energy, rng, init);
+    const auto frozen = hy::evaluate_schedule(device, e.reduced.model,
+                                              an::anneal_schedule::reverse(0.97, 1.0), 60,
+                                              e.optimal_energy, rng, init);
+    EXPECT_GT(best_mid, 0.2);
+    EXPECT_GT(best_mid, low.p_star);
+    EXPECT_DOUBLE_EQ(frozen.p_star, 0.0);  // frozen non-optimal state never improves
+}
+
+TEST(Integration, PrefixingUselessOnLargeMimoQubos) {
+    // Figure 3's finding: 36-variable MIMO QUBOs are essentially never
+    // simplified by the prefixing rules.
+    std::size_t total_fixed = 0;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        hcq::util::rng rng(9000 + seed);
+        const auto e = hy::make_paper_instance(rng, 9, wl::modulation::qam16);  // 36 vars
+        const auto result = hcq::qubo::prefix_variables(e.reduced.model);
+        total_fixed += result.num_fixed();
+    }
+    EXPECT_EQ(total_fixed, 0u);
+}
+
+TEST(Integration, PrefixingSometimesHelpsOnTinyBpsk) {
+    // ...while very small BPSK problems do occasionally simplify.
+    std::size_t simplified = 0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        hcq::util::rng rng(9100 + seed);
+        const auto e = hy::make_paper_instance(rng, 2, wl::modulation::bpsk);
+        if (hcq::qubo::prefix_variables(e.reduced.model).simplified()) ++simplified;
+    }
+    EXPECT_GT(simplified, 0u);
+}
+
+TEST(Integration, DetectorInitializersMatchQuboSpace) {
+    // Detector bits plug directly into the QUBO as initial states: same
+    // layout, same energies.
+    hcq::util::rng rng(2027);
+    const auto e = hy::make_paper_instance(rng, 5, wl::modulation::qam16);
+    const auto zf = hcq::detect::zf_detector().detect(e.instance);
+    const double qubo_total = e.reduced.model.energy_with_offset(zf.bits);
+    EXPECT_NEAR(qubo_total, zf.ml_cost, 1e-7);
+    // Noiseless: ZF is exact, so it is a Delta-E_IS = 0 initial state.
+    EXPECT_NEAR(hcq::metrics::delta_e_percent(e.reduced.model.energy(zf.bits),
+                                              e.optimal_energy),
+                0.0, 1e-9);
+}
+
+TEST(Integration, EndToEndBerAtModerateSnr) {
+    // With AWGN, the exact detector's BER must not exceed zero-forcing's.
+    hcq::util::rng rng(2028);
+    hcq::metrics::ber_counter zf_ber;
+    hcq::metrics::ber_counter sd_ber;
+    for (int frame = 0; frame < 40; ++frame) {
+        wl::mimo_config config;
+        config.mod = wl::modulation::qpsk;
+        config.num_users = 4;
+        config.num_antennas = 4;
+        config.channel = wl::channel_model::rayleigh;
+        config.noise_variance = wl::noise_variance_for_snr(config.mod, 4, 12.0);
+        const auto inst = wl::synthesize(rng, config);
+        zf_ber.add_frame(inst.tx_bits, hcq::detect::zf_detector().detect(inst).bits);
+        sd_ber.add_frame(inst.tx_bits, hcq::detect::sphere_detector().detect(inst).bits);
+    }
+    EXPECT_LE(sd_ber.errors(), zf_ber.errors());
+}
+
+TEST(Integration, HybridPipelineMeetsLatencyBudget) {
+    // Compose measured hybrid timings into the Figure-2 pipeline: with a
+    // per-channel-use budget of a few ms, a handful of reads fits easily.
+    hcq::util::rng rng(2029);
+    const auto e = hy::make_paper_instance(rng, 4, wl::modulation::qam16);
+    const auto init = sv::greedy_search().initialize(e.reduced.model, rng);
+    const auto schedule = an::anneal_schedule::reverse(0.45, 1.0);
+    const auto stages = hcq::pipeline::make_hybrid_stages(
+        std::max(init.elapsed_us, 1.0), schedule.duration_us(), 100);
+    const auto sim = hcq::pipeline::simulate(stages, 100, {.interarrival_us = 500.0}, rng);
+    EXPECT_LT(sim.p99_latency_us, 1000.0);
+    EXPECT_GT(sim.throughput_per_us, 0.0);
+}
+
+TEST(Integration, FullQuantumVsHybridTimingAccounting) {
+    // The hybrid's quantum_us must equal duration x reads, and adding the
+    // classical time yields the end-to-end cost used by the ablation bench.
+    hcq::util::rng rng(2030);
+    const auto e = hy::make_paper_instance(rng, 4, wl::modulation::qpsk);
+    const an::annealer_emulator device;
+    const sv::greedy_search gs;
+    const auto schedule = an::anneal_schedule::reverse(0.41, 1.0);
+    const hy::hybrid_solver solver(gs, device, schedule, 25);
+    const auto result = solver.solve(e.reduced.model, rng);
+    EXPECT_NEAR(result.quantum_us, schedule.duration_us() * 25.0, 1e-9);
+    const double end_to_end = result.classical_us + result.quantum_us;
+    EXPECT_GE(end_to_end, result.quantum_us);
+}
+
+}  // namespace

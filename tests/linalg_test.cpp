@@ -1,0 +1,305 @@
+// Tests for hcq::linalg — matrix/vector algebra, QR, solves, Cholesky, and
+// the real embedding of complex systems.
+#include <gtest/gtest.h>
+
+#include "linalg/decompose.h"
+#include "linalg/matrix.h"
+#include "linalg/real_embed.h"
+#include "util/rng.h"
+
+namespace {
+
+using hcq::linalg::cmat;
+using hcq::linalg::cvec;
+using hcq::linalg::cxd;
+using hcq::linalg::rmat;
+using hcq::linalg::rvec;
+
+cmat random_cmat(hcq::util::rng& rng, std::size_t r, std::size_t c) {
+    cmat m(r, c);
+    for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < c; ++j) m(i, j) = cxd(rng.normal(), rng.normal());
+    }
+    return m;
+}
+
+rmat random_rmat(hcq::util::rng& rng, std::size_t r, std::size_t c) {
+    rmat m(r, c);
+    for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+    }
+    return m;
+}
+
+cvec random_cvec(hcq::util::rng& rng, std::size_t n) {
+    cvec v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = cxd(rng.normal(), rng.normal());
+    return v;
+}
+
+TEST(Matrix, ZeroConstructionAndShape) {
+    const cmat m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m(2, 3), cxd(0.0, 0.0));
+}
+
+TEST(Matrix, InitializerListAndAt) {
+    const rmat m(2, 2, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+    EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+    EXPECT_THROW(rmat(2, 2, {1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+    hcq::util::rng rng(1);
+    const cmat a = random_cmat(rng, 4, 4);
+    const cmat i4 = cmat::identity(4);
+    const cmat prod = a * i4;
+    EXPECT_NEAR((prod - a).norm_fro(), 0.0, 1e-12);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+    const rmat a(2, 3, {1, 2, 3, 4, 5, 6});
+    const rmat b(3, 2, {7, 8, 9, 10, 11, 12});
+    const rmat c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+    const rmat a(2, 3);
+    const rmat b(2, 3);
+    EXPECT_THROW((void)(a * b), std::invalid_argument);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+    const rmat a(1, 2, {1, 2});
+    const rmat b(1, 2, {10, 20});
+    const rmat sum = a + b;
+    EXPECT_DOUBLE_EQ(sum(0, 1), 22.0);
+    const rmat diff = b - a;
+    EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+    const rmat scaled = a * 3.0;
+    EXPECT_DOUBLE_EQ(scaled(0, 1), 6.0);
+    EXPECT_THROW((void)(a + rmat(2, 2)), std::invalid_argument);
+}
+
+TEST(Matrix, HermitianConjugates) {
+    cmat m(1, 2);
+    m(0, 0) = cxd(1.0, 2.0);
+    m(0, 1) = cxd(3.0, -4.0);
+    const cmat h = m.hermitian();
+    EXPECT_EQ(h.rows(), 2u);
+    EXPECT_EQ(h(0, 0), cxd(1.0, -2.0));
+    EXPECT_EQ(h(1, 0), cxd(3.0, 4.0));
+}
+
+TEST(Matrix, TransposeDoesNotConjugate) {
+    cmat m(1, 2);
+    m(0, 0) = cxd(1.0, 2.0);
+    const cmat t = m.transpose();
+    EXPECT_EQ(t(0, 0), cxd(1.0, 2.0));
+}
+
+TEST(Matrix, FrobeniusNorm) {
+    const rmat m(2, 2, {3, 0, 0, 4});
+    EXPECT_DOUBLE_EQ(m.norm_fro(), 5.0);
+}
+
+TEST(Vector, NormAndArithmetic) {
+    const rvec v({3.0, 4.0});
+    EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+    rvec w({1.0, 1.0});
+    w += v;
+    EXPECT_DOUBLE_EQ(w[0], 4.0);
+    w -= v;
+    EXPECT_DOUBLE_EQ(w[1], 1.0);
+    EXPECT_THROW(w += rvec(3), std::invalid_argument);
+}
+
+TEST(Vector, InnerProductConjugatesFirstArgument) {
+    const cvec a({cxd(0.0, 1.0)});
+    const cvec b({cxd(0.0, 1.0)});
+    const cxd ip = inner(a, b);
+    EXPECT_NEAR(ip.real(), 1.0, 1e-15);
+    EXPECT_NEAR(ip.imag(), 0.0, 1e-15);
+}
+
+TEST(Vector, MatVecKnownValues) {
+    const rmat a(2, 2, {1, 2, 3, 4});
+    const rvec x({1.0, 1.0});
+    const rvec y = a * x;
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+    EXPECT_THROW((void)(a * rvec(3)), std::invalid_argument);
+}
+
+class QrShapes : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(QrShapes, ComplexQrReconstructsAndIsOrthonormal) {
+    const auto [m, n] = GetParam();
+    hcq::util::rng rng(m * 100 + n);
+    const cmat a = random_cmat(rng, m, n);
+    const auto qr = hcq::linalg::householder_qr(a);
+
+    const cmat qhq = qr.q.hermitian() * qr.q;
+    EXPECT_NEAR((qhq - cmat::identity(n)).norm_fro(), 0.0, 1e-9);
+
+    const cmat recon = qr.q * qr.r;
+    EXPECT_NEAR((recon - a).norm_fro(), 0.0, 1e-9);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            EXPECT_NEAR(std::abs(qr.r(i, j)), 0.0, 1e-12);
+        }
+        EXPECT_GT(qr.r(i, i).real(), 0.0);          // diagonal real positive
+        EXPECT_NEAR(qr.r(i, i).imag(), 0.0, 1e-9);  // by construction
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QrShapes,
+                         ::testing::Values(std::make_pair(std::size_t{2}, std::size_t{2}),
+                                           std::make_pair(std::size_t{4}, std::size_t{3}),
+                                           std::make_pair(std::size_t{8}, std::size_t{8}),
+                                           std::make_pair(std::size_t{16}, std::size_t{8}),
+                                           std::make_pair(std::size_t{12}, std::size_t{12})));
+
+TEST(Qr, RealMatrixAlsoWorks) {
+    hcq::util::rng rng(5);
+    const rmat a = random_rmat(rng, 6, 4);
+    const auto qr = hcq::linalg::householder_qr(a);
+    EXPECT_NEAR((qr.q * qr.r - a).norm_fro(), 0.0, 1e-10);
+}
+
+TEST(Qr, RejectsUnderdeterminedAndEmpty) {
+    EXPECT_THROW((void)hcq::linalg::householder_qr(rmat(2, 3)), std::invalid_argument);
+    EXPECT_THROW((void)hcq::linalg::householder_qr(rmat(0, 0)), std::invalid_argument);
+}
+
+TEST(Qr, DetectsRankDeficiency) {
+    rmat a(3, 2);
+    a(0, 0) = 1.0;
+    a(1, 0) = 2.0;
+    a(2, 0) = 3.0;
+    // Second column is a multiple of the first.
+    a(0, 1) = 2.0;
+    a(1, 1) = 4.0;
+    a(2, 1) = 6.0;
+    EXPECT_THROW((void)hcq::linalg::householder_qr(a), std::runtime_error);
+}
+
+TEST(Solve, UpperTriangular) {
+    const rmat r(2, 2, {2.0, 1.0, 0.0, 4.0});
+    const rvec b({5.0, 8.0});
+    const rvec x = hcq::linalg::solve_upper(r, b);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+    EXPECT_NEAR(x[0], 1.5, 1e-12);
+    EXPECT_THROW((void)hcq::linalg::solve_upper(r, rvec(3)), std::invalid_argument);
+}
+
+TEST(Solve, LowerTriangular) {
+    const rmat l(2, 2, {2.0, 0.0, 1.0, 4.0});
+    const rvec b({4.0, 10.0});
+    const rvec x = hcq::linalg::solve_lower(l, b);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+    const rmat r(2, 2, {1.0, 1.0, 0.0, 0.0});
+    EXPECT_THROW((void)hcq::linalg::solve_upper(r, rvec(2)), std::runtime_error);
+}
+
+TEST(LeastSquares, RecoversExactSolution) {
+    hcq::util::rng rng(9);
+    const cmat a = random_cmat(rng, 10, 6);
+    const cvec x_true = random_cvec(rng, 6);
+    const cvec y = a * x_true;
+    const cvec x = hcq::linalg::least_squares(a, y);
+    cvec diff = x;
+    diff -= x_true;
+    EXPECT_NEAR(diff.norm2(), 0.0, 1e-9);
+}
+
+TEST(LeastSquares, MinimisesResidualAgainstPerturbations) {
+    hcq::util::rng rng(10);
+    const cmat a = random_cmat(rng, 8, 4);
+    const cvec y = random_cvec(rng, 8);
+    const cvec x = hcq::linalg::least_squares(a, y);
+    cvec base = y;
+    base -= a * x;
+    const double best = base.norm2();
+    for (int trial = 0; trial < 10; ++trial) {
+        cvec xp = x;
+        xp[rng.uniform_index(4)] += cxd(rng.normal() * 0.1, rng.normal() * 0.1);
+        cvec res = y;
+        res -= a * xp;
+        EXPECT_GE(res.norm2() + 1e-12, best);
+    }
+}
+
+TEST(Inverse, RoundTrip) {
+    hcq::util::rng rng(12);
+    const cmat a = random_cmat(rng, 5, 5);
+    const cmat inv = hcq::linalg::inverse(a);
+    EXPECT_NEAR((a * inv - cmat::identity(5)).norm_fro(), 0.0, 1e-9);
+    EXPECT_NEAR((inv * a - cmat::identity(5)).norm_fro(), 0.0, 1e-9);
+    EXPECT_THROW((void)hcq::linalg::inverse(cmat(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, FactorsHermitianPositiveDefinite) {
+    hcq::util::rng rng(15);
+    const cmat b = random_cmat(rng, 6, 4);
+    cmat a = b.hermitian() * b;  // PSD; add ridge to make PD
+    for (std::size_t i = 0; i < 4; ++i) a(i, i) += 0.5;
+    const cmat l = hcq::linalg::cholesky(a);
+    EXPECT_NEAR((l * l.hermitian() - a).norm_fro(), 0.0, 1e-9);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = i + 1; j < 4; ++j) EXPECT_EQ(l(i, j), cxd(0.0, 0.0));
+    }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+    rmat a(2, 2, {1.0, 2.0, 2.0, 1.0});  // eigenvalues 3, -1
+    EXPECT_THROW((void)hcq::linalg::cholesky(a), std::runtime_error);
+}
+
+TEST(RealEmbed, MatrixBlocksCorrect) {
+    cmat h(1, 1);
+    h(0, 0) = cxd(2.0, 3.0);
+    const rmat e = hcq::linalg::real_embedding(h);
+    ASSERT_EQ(e.rows(), 2u);
+    ASSERT_EQ(e.cols(), 2u);
+    EXPECT_DOUBLE_EQ(e(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(e(0, 1), -3.0);
+    EXPECT_DOUBLE_EQ(e(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(e(1, 1), 2.0);
+}
+
+TEST(RealEmbed, ProductCommutesWithEmbedding) {
+    hcq::util::rng rng(21);
+    const cmat h = random_cmat(rng, 4, 3);
+    const cvec x = random_cvec(rng, 3);
+    const cvec y = h * x;
+    const rvec y_embed = hcq::linalg::real_embedding(y);
+    const rvec y_via_real = hcq::linalg::real_embedding(h) * hcq::linalg::real_embedding(x);
+    rvec diff = y_embed;
+    diff -= y_via_real;
+    EXPECT_NEAR(diff.norm2(), 0.0, 1e-12);
+}
+
+TEST(RealEmbed, VectorRoundTrip) {
+    hcq::util::rng rng(22);
+    const cvec v = random_cvec(rng, 5);
+    const cvec back = hcq::linalg::complex_from_embedding(hcq::linalg::real_embedding(v));
+    cvec diff = back;
+    diff -= v;
+    EXPECT_NEAR(diff.norm2(), 0.0, 1e-15);
+    EXPECT_THROW((void)hcq::linalg::complex_from_embedding(rvec(3)), std::invalid_argument);
+}
+
+}  // namespace

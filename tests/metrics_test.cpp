@@ -1,0 +1,116 @@
+// Tests for hcq::metrics — running stats, percentiles, histograms, BER.
+#include <gtest/gtest.h>
+
+#include "metrics/ber.h"
+#include "metrics/histogram.h"
+#include "metrics/stats.h"
+
+namespace {
+
+namespace mt = hcq::metrics;
+
+TEST(RunningStats, MeanVarianceMinMax) {
+    mt::running_stats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, DegenerateCases) {
+    mt::running_stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+    const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(mt::percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(mt::percentile(v, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(mt::percentile(v, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(mt::median(v), 25.0);
+    EXPECT_DOUBLE_EQ(mt::percentile({7.0}, 30.0), 7.0);
+}
+
+TEST(Percentile, OrderIndependentAndValidated) {
+    EXPECT_DOUBLE_EQ(mt::percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+    EXPECT_THROW((void)mt::percentile({}, 50.0), std::invalid_argument);
+    EXPECT_THROW((void)mt::percentile({1.0}, -1.0), std::invalid_argument);
+    EXPECT_THROW((void)mt::percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+    mt::histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.num_bins(), 5u);
+    EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+    h.add(0.0);   // bin 0
+    h.add(1.99);  // bin 0
+    h.add(2.0);   // bin 1
+    h.add(9.99);  // bin 4
+    h.add(10.0);  // overflow
+    h.add(42.0);  // overflow
+    h.add(-3.0);  // clamps to bin 0
+    EXPECT_EQ(h.count(0), 3u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, FractionsAndCdf) {
+    mt::histogram h(0.0, 4.0, 4);
+    for (const double x : {0.5, 1.5, 1.6, 2.5, 3.5, 3.6, 3.7, 9.0}) h.add(x);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 1.0 / 8.0);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 2.0 / 8.0);
+    EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 3.0 / 8.0);
+    EXPECT_DOUBLE_EQ(h.cumulative_fraction(3), 7.0 / 8.0);
+    EXPECT_DOUBLE_EQ(h.cumulative_fraction(4), 1.0);  // incl. overflow
+}
+
+TEST(Histogram, BinGeometry) {
+    mt::histogram h(-1.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.bin_lower(0), -1.0);
+    EXPECT_DOUBLE_EQ(h.bin_center(0), -0.75);
+    EXPECT_DOUBLE_EQ(h.bin_lower(3), 0.5);
+    EXPECT_EQ(h.bin_index(-0.999), 0u);
+    EXPECT_EQ(h.bin_index(0.999), 3u);
+    EXPECT_EQ(h.bin_index(1.0), 4u);  // overflow index
+}
+
+TEST(Histogram, Validation) {
+    EXPECT_THROW(mt::histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(mt::histogram(0.0, 1.0, 0), std::invalid_argument);
+    mt::histogram h(0.0, 1.0, 2);
+    EXPECT_THROW((void)h.count(5), std::out_of_range);
+    EXPECT_THROW((void)h.bin_lower(5), std::out_of_range);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);  // empty histogram
+}
+
+TEST(Ber, CountsErrors) {
+    const std::vector<std::uint8_t> a{0, 1, 0, 1};
+    const std::vector<std::uint8_t> b{0, 1, 1, 0};
+    EXPECT_EQ(mt::bit_errors(a, b), 2u);
+    EXPECT_EQ(mt::bit_errors(a, a), 0u);
+    const std::vector<std::uint8_t> c{0};
+    EXPECT_THROW((void)mt::bit_errors(a, c), std::invalid_argument);
+}
+
+TEST(Ber, CounterAccumulates) {
+    mt::ber_counter counter;
+    EXPECT_DOUBLE_EQ(counter.rate(), 0.0);
+    const std::vector<std::uint8_t> ref{0, 0, 0, 0};
+    const std::vector<std::uint8_t> det{0, 1, 0, 0};
+    counter.add_frame(ref, det);
+    counter.add_frame(ref, ref);
+    EXPECT_EQ(counter.errors(), 1u);
+    EXPECT_EQ(counter.total_bits(), 8u);
+    EXPECT_DOUBLE_EQ(counter.rate(), 0.125);
+}
+
+}  // namespace

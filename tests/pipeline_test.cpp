@@ -1,0 +1,152 @@
+// Tests for the Figure-2 pipeline simulator (tandem queue of classical and
+// quantum stages).
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace pl = hcq::pipeline;
+
+TEST(Stage, ConstantServiceTime) {
+    hcq::util::rng rng(1);
+    const auto s = pl::stage::constant("c", 5.0);
+    EXPECT_EQ(s.name(), "c");
+    EXPECT_DOUBLE_EQ(s.service_us(0, rng), 5.0);
+    EXPECT_DOUBLE_EQ(s.service_us(99, rng), 5.0);
+    EXPECT_THROW((void)pl::stage::constant("bad", -1.0), std::invalid_argument);
+}
+
+TEST(Stage, LognormalPositiveAndSpread) {
+    hcq::util::rng rng(2);
+    const auto s = pl::stage::lognormal("ln", 10.0, 0.5);
+    double lo = 1e300;
+    double hi = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const double v = s.service_us(i, rng);
+        EXPECT_GT(v, 0.0);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_LT(lo, 10.0);
+    EXPECT_GT(hi, 10.0);
+    EXPECT_THROW((void)pl::stage::lognormal("bad", 0.0, 0.5), std::invalid_argument);
+}
+
+TEST(Simulate, SingleJobLatencyIsSumOfServices) {
+    hcq::util::rng rng(3);
+    const std::vector<pl::stage> stages{pl::stage::constant("a", 2.0),
+                                        pl::stage::constant("b", 3.0)};
+    const auto result = pl::simulate(stages, 1, {.interarrival_us = 10.0}, rng);
+    EXPECT_EQ(result.num_jobs, 1u);
+    EXPECT_DOUBLE_EQ(result.mean_latency_us, 5.0);
+    EXPECT_DOUBLE_EQ(result.makespan_us, 5.0);
+}
+
+TEST(Simulate, ThroughputLimitedByBottleneck) {
+    hcq::util::rng rng(4);
+    const std::vector<pl::stage> stages{pl::stage::constant("fast", 1.0),
+                                        pl::stage::constant("slow", 8.0)};
+    // Arrivals far faster than the bottleneck: throughput -> 1/8 per us.
+    const auto result = pl::simulate(stages, 400, {.interarrival_us = 0.5}, rng);
+    EXPECT_NEAR(result.throughput_per_us, 1.0 / 8.0, 0.01);
+    // The bottleneck stage saturates.
+    EXPECT_GT(result.stage_utilization[1], 0.95);
+    EXPECT_LT(result.stage_utilization[0], 0.2);
+}
+
+TEST(Simulate, NoQueueingWhenArrivalsAreSlow) {
+    hcq::util::rng rng(5);
+    const std::vector<pl::stage> stages{pl::stage::constant("a", 1.0),
+                                        pl::stage::constant("b", 2.0)};
+    const auto result = pl::simulate(stages, 100, {.interarrival_us = 10.0}, rng);
+    EXPECT_NEAR(result.mean_latency_us, 3.0, 1e-9);
+    EXPECT_NEAR(result.mean_queue_wait_us[0], 0.0, 1e-9);
+    EXPECT_NEAR(result.mean_queue_wait_us[1], 0.0, 1e-9);
+    EXPECT_NEAR(result.p99_latency_us, 3.0, 1e-9);
+}
+
+TEST(Simulate, QueueBuildsWhenOverloaded) {
+    hcq::util::rng rng(6);
+    const std::vector<pl::stage> stages{pl::stage::constant("only", 2.0)};
+    const auto result = pl::simulate(stages, 50, {.interarrival_us = 1.0}, rng);
+    // Job j waits ~ j * (2 - 1) us: latency grows with position.
+    EXPECT_GT(result.max_latency_us, 40.0);
+    EXPECT_GT(result.mean_queue_wait_us[0], 10.0);
+}
+
+TEST(Simulate, PipeliningOverlapsStages) {
+    // Two balanced stages of 2 us each: pipelined completion of n jobs takes
+    // ~ 2n + 2, not 4n — the essence of Figure 2.
+    hcq::util::rng rng(7);
+    const std::vector<pl::stage> stages{pl::stage::constant("cl", 2.0),
+                                        pl::stage::constant("qu", 2.0)};
+    const auto result = pl::simulate(stages, 100, {.interarrival_us = 0.01}, rng);
+    EXPECT_LT(result.makespan_us, 100 * 2.0 + 10.0);
+    EXPECT_GT(result.makespan_us, 100 * 2.0 - 10.0);
+}
+
+TEST(Simulate, LatencyPercentilesOrdered) {
+    hcq::util::rng rng(8);
+    const std::vector<pl::stage> stages{pl::stage::lognormal("jitter", 3.0, 0.8)};
+    const auto result = pl::simulate(stages, 300, {.interarrival_us = 4.0}, rng);
+    EXPECT_LE(result.p50_latency_us, result.p99_latency_us);
+    EXPECT_LE(result.p99_latency_us, result.max_latency_us + 1e-12);
+    EXPECT_EQ(result.latencies_us.size(), 300u);
+}
+
+TEST(Simulate, PoissonArrivalsProduceVariableLatency) {
+    hcq::util::rng rng(9);
+    const std::vector<pl::stage> stages{pl::stage::constant("s", 1.0)};
+    const auto result =
+        pl::simulate(stages, 500, {.interarrival_us = 1.2, .poisson = true}, rng);
+    // With utilisation ~0.83 there must be queueing some of the time.
+    EXPECT_GT(result.p99_latency_us, result.p50_latency_us);
+}
+
+TEST(Simulate, Validation) {
+    hcq::util::rng rng(10);
+    EXPECT_THROW((void)pl::simulate({}, 10, {.interarrival_us = 1.0}, rng),
+                 std::invalid_argument);
+    const std::vector<pl::stage> stages{pl::stage::constant("s", 1.0)};
+    EXPECT_THROW((void)pl::simulate(stages, 0, {.interarrival_us = 1.0}, rng),
+                 std::invalid_argument);
+    EXPECT_THROW((void)pl::simulate(stages, 10, {.interarrival_us = 0.0}, rng),
+                 std::invalid_argument);
+}
+
+TEST(Simulate, UtilizationBounded) {
+    hcq::util::rng rng(11);
+    const std::vector<pl::stage> stages{pl::stage::constant("a", 1.0),
+                                        pl::stage::constant("b", 2.0),
+                                        pl::stage::constant("c", 0.5)};
+    const auto result = pl::simulate(stages, 200, {.interarrival_us = 2.5}, rng);
+    for (const double u : result.stage_utilization) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0 + 1e-9);
+    }
+}
+
+TEST(HybridStages, BuilderComposesTimes) {
+    const auto stages = pl::make_hybrid_stages(3.0, 2.2, 10, 1.5);
+    ASSERT_EQ(stages.size(), 2u);
+    hcq::util::rng rng(12);
+    EXPECT_DOUBLE_EQ(stages[0].service_us(0, rng), 3.0);
+    EXPECT_DOUBLE_EQ(stages[1].service_us(0, rng), 1.5 + 22.0);
+    EXPECT_EQ(stages[0].name(), "classical");
+    EXPECT_EQ(stages[1].name(), "quantum");
+    EXPECT_THROW((void)pl::make_hybrid_stages(1.0, 0.0, 10), std::invalid_argument);
+    EXPECT_THROW((void)pl::make_hybrid_stages(1.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HybridStages, EndToEndHybridPipelineRuns) {
+    hcq::util::rng rng(13);
+    // Classical 1 us, quantum = 5 reads x 2.18 us (RA at s_p = 0.41).
+    const auto stages = pl::make_hybrid_stages(1.0, 2.18, 5);
+    const auto result = pl::simulate(stages, 200, {.interarrival_us = 12.0}, rng);
+    EXPECT_NEAR(result.mean_latency_us, 1.0 + 5 * 2.18, 1e-6);
+    EXPECT_GT(result.stage_utilization[1], result.stage_utilization[0]);
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Tests for QUBO pre-processing (Section 3.1 variable prefixing) and the
+// Figure-4 soft-information constraints.
+#include <gtest/gtest.h>
+
+#include "qubo/brute_force.h"
+#include "qubo/constraints.h"
+#include "qubo/generator.h"
+#include "qubo/preprocess.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace q = hcq::qubo;
+
+TEST(Preprocess, FixesDominatedPositiveDiagonalToZero) {
+    // Q_00 = 5 with only coupling -1: activating q0 can never pay off.
+    q::qubo_model m(2);
+    m.set_term(0, 0, 5.0);
+    m.set_term(1, 1, -1.0);
+    m.set_term(0, 1, -1.0);
+    const auto result = q::prefix_variables(m);
+    ASSERT_TRUE(result.fixed[0].has_value());
+    EXPECT_EQ(*result.fixed[0], 0);
+}
+
+TEST(Preprocess, FixesDominatedNegativeDiagonalToOne) {
+    q::qubo_model m(2);
+    m.set_term(0, 0, -5.0);
+    m.set_term(0, 1, 1.0);
+    m.set_term(1, 1, 0.5);
+    const auto result = q::prefix_variables(m);
+    ASSERT_TRUE(result.fixed[0].has_value());
+    EXPECT_EQ(*result.fixed[0], 1);
+}
+
+TEST(Preprocess, DiagonalOnlyModelFullyFixed) {
+    q::qubo_model m(4);
+    m.set_term(0, 0, 1.0);
+    m.set_term(1, 1, -1.0);
+    m.set_term(2, 2, 2.0);
+    m.set_term(3, 3, -0.5);
+    const auto result = q::prefix_variables(m);
+    EXPECT_EQ(result.num_fixed(), 4u);
+    EXPECT_TRUE(result.simplified());
+    EXPECT_EQ(result.reduced.num_variables(), 0u);
+    EXPECT_EQ(*result.fixed[0], 0);
+    EXPECT_EQ(*result.fixed[1], 1);
+    EXPECT_EQ(*result.fixed[2], 0);
+    EXPECT_EQ(*result.fixed[3], 1);
+    // The offset of the reduced model carries the fixed contribution.
+    EXPECT_DOUBLE_EQ(result.reduced.offset(), -1.5);
+}
+
+TEST(Preprocess, StronglyCoupledModelNotSimplified) {
+    // Large couplings relative to the diagonal: the rule cannot decide.
+    q::qubo_model m(3);
+    m.set_term(0, 0, 0.1);
+    m.set_term(1, 1, -0.1);
+    m.set_term(2, 2, 0.1);
+    m.set_term(0, 1, -1.0);
+    m.set_term(1, 2, 1.0);
+    m.set_term(0, 2, -1.0);
+    const auto result = q::prefix_variables(m);
+    EXPECT_EQ(result.num_fixed(), 0u);
+    EXPECT_FALSE(result.simplified());
+    EXPECT_EQ(result.reduced.num_variables(), 3u);
+}
+
+TEST(Preprocess, FixpointCascades) {
+    // Fixing q0 = 0 removes the only large coupling of q1, enabling a second
+    // fixing that a single pass on the original model would not make.
+    q::qubo_model m(2);
+    m.set_term(0, 0, 10.0);  // dominated: fix q0 = 0
+    m.set_term(0, 1, -9.0);
+    m.set_term(1, 1, 1.0);   // with q0 present: 1 - 9 < 0 undecided; after: fix 0
+    const auto iterated = q::prefix_variables(m, true);
+    EXPECT_EQ(iterated.num_fixed(), 2u);
+    const auto single = q::prefix_variables(m, false);
+    EXPECT_EQ(single.num_fixed(), 1u);
+}
+
+TEST(Preprocess, LiftRestoresFullAssignment) {
+    q::qubo_model m(3);
+    m.set_term(0, 0, 5.0);
+    m.set_term(0, 1, -1.0);
+    m.set_term(1, 1, -0.2);
+    m.set_term(1, 2, 0.6);
+    m.set_term(2, 2, -0.2);
+    const auto result = q::prefix_variables(m);
+    ASSERT_GE(result.num_fixed(), 1u);
+    const std::size_t free_count = result.reduced.num_variables();
+    const q::bit_vector reduced_bits(free_count, 1);
+    const auto full = result.lift(reduced_bits);
+    ASSERT_EQ(full.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        if (result.fixed[i].has_value()) EXPECT_EQ(full[i], *result.fixed[i]);
+    }
+    const q::bit_vector wrong(free_count + 1, 0);
+    EXPECT_THROW((void)result.lift(wrong), std::invalid_argument);
+}
+
+class PreprocessProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PreprocessProperty, FixingNeverLosesTheOptimum) {
+    const std::size_t n = GetParam();
+    hcq::util::rng rng(n * 97 + 5);
+    for (int trial = 0; trial < 15; ++trial) {
+        // Skew towards diagonal-dominant models so fixings actually occur.
+        auto m = q::random_qubo(rng, n, 0.6, -0.4, 0.4);
+        for (std::size_t i = 0; i < n; ++i) {
+            m.add_term(i, i, rng.uniform(-2.0, 2.0));
+        }
+        const auto exact = q::brute_force_minimize(m);
+        const auto result = q::prefix_variables(m);
+        if (result.reduced.num_variables() == 0) {
+            const auto full = result.lift({});
+            EXPECT_NEAR(m.energy(full), exact.best_energy, 1e-9);
+        } else {
+            const auto sub = q::brute_force_minimize(result.reduced);
+            const auto full = result.lift(sub.best_bits);
+            EXPECT_NEAR(m.energy(full), exact.best_energy, 1e-9);
+        }
+    }
+}
+
+TEST_P(PreprocessProperty, ReducedEnergyConsistentWithLift) {
+    const std::size_t n = GetParam();
+    hcq::util::rng rng(n * 97 + 6);
+    auto m = q::random_qubo(rng, n, 0.7, -1.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) m.add_term(i, i, rng.uniform(-1.5, 1.5));
+    const auto result = q::prefix_variables(m);
+    const std::size_t free_count = result.reduced.num_variables();
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto sub_bits = rng.bits(free_count);
+        const auto full = result.lift(sub_bits);
+        EXPECT_NEAR(result.reduced.energy_with_offset(sub_bits), m.energy_with_offset(full),
+                    1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PreprocessProperty, ::testing::Values(3, 5, 8, 12, 16));
+
+TEST(Constraints, PairConstraintTruthTable) {
+    // C (q0 - 1)(q1 - 1): penalty C only when both bits are 0.
+    for (const double c : {2.5, -1.0}) {
+        q::qubo_model m(2);
+        q::add_pair_constraint(m, 0, 1, 1, 1, c);
+        const q::bit_vector b00{0, 0}, b01{0, 1}, b10{1, 0}, b11{1, 1};
+        EXPECT_NEAR(m.energy_with_offset(b00), c, 1e-12);
+        EXPECT_NEAR(m.energy_with_offset(b01), 0.0, 1e-12);
+        EXPECT_NEAR(m.energy_with_offset(b10), 0.0, 1e-12);
+        EXPECT_NEAR(m.energy_with_offset(b11), 0.0, 1e-12);
+    }
+}
+
+TEST(Constraints, PairConstraintAllTargets) {
+    for (std::uint8_t ti = 0; ti <= 1; ++ti) {
+        for (std::uint8_t tj = 0; tj <= 1; ++tj) {
+            q::qubo_model m(2);
+            q::add_pair_constraint(m, 0, 1, ti, tj, 3.0);
+            for (std::uint8_t qi = 0; qi <= 1; ++qi) {
+                for (std::uint8_t qj = 0; qj <= 1; ++qj) {
+                    const q::bit_vector bits{qi, qj};
+                    const double expected =
+                        3.0 * (static_cast<double>(qi) - ti) * (static_cast<double>(qj) - tj);
+                    EXPECT_NEAR(m.energy_with_offset(bits), expected, 1e-12)
+                        << "targets " << int(ti) << int(tj) << " bits " << int(qi) << int(qj);
+                }
+            }
+        }
+    }
+}
+
+TEST(Constraints, PairConstraintValidation) {
+    q::qubo_model m(2);
+    EXPECT_THROW(q::add_pair_constraint(m, 0, 0, 1, 1, 1.0), std::invalid_argument);
+    EXPECT_THROW(q::add_pair_constraint(m, 0, 1, 2, 0, 1.0), std::invalid_argument);
+}
+
+TEST(Constraints, BitBiasTruthTable) {
+    q::qubo_model m(1);
+    q::add_bit_bias(m, 0, 1, 4.0);  // 4 (q - 1)^2
+    const q::bit_vector zero{0}, one{1};
+    EXPECT_NEAR(m.energy_with_offset(zero), 4.0, 1e-12);
+    EXPECT_NEAR(m.energy_with_offset(one), 0.0, 1e-12);
+    q::qubo_model m2(1);
+    q::add_bit_bias(m2, 0, 0, 4.0);  // 4 q^2
+    EXPECT_NEAR(m2.energy_with_offset(zero), 0.0, 1e-12);
+    EXPECT_NEAR(m2.energy_with_offset(one), 4.0, 1e-12);
+    EXPECT_THROW(q::add_bit_bias(m2, 0, 3, 1.0), std::invalid_argument);
+}
+
+TEST(Constraints, PatternConstraintPenalisesOnlyDoubleDeviations) {
+    // The Figure-4 scheme charges a pair only when BOTH bits deviate from
+    // the believed pattern — single deviations within a pair are free (one
+    // reason the paper found the scheme hard to tune).  Verify the exact
+    // truth table for every pattern of one pair.
+    for (std::uint8_t t0 = 0; t0 <= 1; ++t0) {
+        for (std::uint8_t t1 = 0; t1 <= 1; ++t1) {
+            q::qubo_model m(2);
+            const q::bit_vector pattern{t0, t1};
+            q::add_pattern_constraint(m, 0, pattern, 9.0);
+            for (std::uint8_t q0 = 0; q0 <= 1; ++q0) {
+                for (std::uint8_t q1 = 0; q1 <= 1; ++q1) {
+                    const q::bit_vector bits{q0, q1};
+                    const double expected = (q0 != t0 && q1 != t1) ? 9.0 : 0.0;
+                    EXPECT_NEAR(m.energy_with_offset(bits), expected, 1e-12)
+                        << "pattern " << int(t0) << int(t1) << " bits " << int(q0) << int(q1);
+                }
+            }
+        }
+    }
+}
+
+TEST(Constraints, PatternConstraintNeverRewardsDeviation) {
+    hcq::util::rng rng(41);
+    const auto base = q::random_qubo(rng, 4, 1.0, -0.3, 0.3);
+    auto m = base;
+    const q::bit_vector pattern{1, 0, 1, 1};
+    q::add_pattern_constraint(m, 0, pattern, 50.0);
+    // Penalty is always >= 0 and is 0 on the believed pattern itself.
+    for (std::size_t p = 0; p < 16; ++p) {
+        q::bit_vector bits(4);
+        for (std::size_t i = 0; i < 4; ++i) bits[i] = static_cast<std::uint8_t>((p >> i) & 1U);
+        EXPECT_GE(m.energy_with_offset(bits) - base.energy_with_offset(bits), -1e-12);
+    }
+    EXPECT_NEAR(m.energy_with_offset(pattern), base.energy_with_offset(pattern), 1e-12);
+    // The fully-wrong assignment pays the full 2 * 50 penalty.
+    const q::bit_vector wrong{0, 1, 0, 0};
+    EXPECT_NEAR(m.energy_with_offset(wrong) - base.energy_with_offset(wrong), 100.0, 1e-9);
+}
+
+TEST(Constraints, PatternConstraintOddLengthUsesBias) {
+    q::qubo_model m(3);
+    const q::bit_vector pattern{1, 1, 0};
+    q::add_pattern_constraint(m, 0, pattern, 10.0);
+    // Trailing bit gets a plain bias: deviating on it costs 10.
+    const q::bit_vector tail_wrong{1, 1, 1};
+    EXPECT_NEAR(m.energy_with_offset(tail_wrong), 10.0, 1e-12);
+    EXPECT_NEAR(m.energy_with_offset(pattern), 0.0, 1e-12);
+    // And the pattern is among the optima.
+    const auto exact = q::brute_force_minimize(m);
+    EXPECT_NEAR(m.energy(pattern), exact.best_energy, 1e-12);
+    const q::bit_vector tiny{1};
+    EXPECT_THROW(q::add_pattern_constraint(m, 0, tiny, 1.0), std::invalid_argument);
+}
+
+TEST(Constraints, ZeroStrengthIsNeutral) {
+    hcq::util::rng rng(43);
+    const auto base = q::random_qubo(rng, 3, 1.0, -1.0, 1.0);
+    auto modified = base;
+    q::add_pair_constraint(modified, 0, 1, 1, 1, 0.0);
+    for (int trial = 0; trial < 8; ++trial) {
+        const auto bits = rng.bits(3);
+        EXPECT_DOUBLE_EQ(base.energy_with_offset(bits), modified.energy_with_offset(bits));
+    }
+}
+
+}  // namespace

@@ -1,0 +1,321 @@
+// Tests for hcq::qubo — model semantics (Eq. 1), local fields, Ising
+// round-trips, brute force, and generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qubo/brute_force.h"
+#include "qubo/generator.h"
+#include "qubo/ising.h"
+#include "qubo/model.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace q = hcq::qubo;
+
+/// Naive reference: E = sum_{i<=j} Q_ij q_i q_j.
+double naive_energy(const q::qubo_model& m, const q::bit_vector& bits) {
+    double e = 0.0;
+    for (std::size_t i = 0; i < m.num_variables(); ++i) {
+        for (std::size_t j = i; j < m.num_variables(); ++j) {
+            e += m.coefficient(i, j) * bits[i] * bits[j];
+        }
+    }
+    return e;
+}
+
+TEST(QuboModel, EmptyAndSizes) {
+    const q::qubo_model m(5);
+    EXPECT_EQ(m.num_variables(), 5u);
+    EXPECT_DOUBLE_EQ(m.linear(0), 0.0);
+    EXPECT_DOUBLE_EQ(m.offset(), 0.0);
+    EXPECT_DOUBLE_EQ(m.max_abs_coefficient(), 0.0);
+}
+
+TEST(QuboModel, TermAccessorsAreOrderInsensitive) {
+    q::qubo_model m(3);
+    m.set_term(0, 2, 1.5);
+    EXPECT_DOUBLE_EQ(m.coefficient(0, 2), 1.5);
+    EXPECT_DOUBLE_EQ(m.coefficient(2, 0), 1.5);
+    m.add_term(2, 0, 0.5);
+    EXPECT_DOUBLE_EQ(m.coefficient(0, 2), 2.0);
+    m.set_term(1, 1, -3.0);
+    EXPECT_DOUBLE_EQ(m.linear(1), -3.0);
+    EXPECT_DOUBLE_EQ(m.coefficient(1, 1), -3.0);
+}
+
+TEST(QuboModel, IndexValidation) {
+    q::qubo_model m(2);
+    EXPECT_THROW((void)m.linear(2), std::out_of_range);
+    EXPECT_THROW(m.set_term(0, 5, 1.0), std::out_of_range);
+    EXPECT_THROW((void)m.row(7), std::out_of_range);
+}
+
+TEST(QuboModel, EnergyMatchesHandComputation) {
+    // E = 2 q0 - 3 q1 + 4 q0 q1
+    q::qubo_model m(2);
+    m.set_term(0, 0, 2.0);
+    m.set_term(1, 1, -3.0);
+    m.set_term(0, 1, 4.0);
+    const q::bit_vector b00{0, 0}, b10{1, 0}, b01{0, 1}, b11{1, 1};
+    EXPECT_DOUBLE_EQ(m.energy(b00), 0.0);
+    EXPECT_DOUBLE_EQ(m.energy(b10), 2.0);
+    EXPECT_DOUBLE_EQ(m.energy(b01), -3.0);
+    EXPECT_DOUBLE_EQ(m.energy(b11), 3.0);
+    m.set_offset(10.0);
+    EXPECT_DOUBLE_EQ(m.energy_with_offset(b01), 7.0);
+}
+
+TEST(QuboModel, EnergyRejectsWrongSize) {
+    const q::qubo_model m(3);
+    const q::bit_vector bits{0, 1};
+    EXPECT_THROW((void)m.energy(bits), std::invalid_argument);
+}
+
+class QuboProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuboProperty, EnergyMatchesNaiveOnRandomModels) {
+    const std::size_t n = GetParam();
+    hcq::util::rng rng(n * 31 + 1);
+    const auto m = q::random_qubo(rng, n, 0.8, -2.0, 2.0);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto bits = rng.bits(n);
+        EXPECT_NEAR(m.energy(bits), naive_energy(m, bits), 1e-10);
+    }
+}
+
+TEST_P(QuboProperty, FlipDeltaMatchesRecomputation) {
+    const std::size_t n = GetParam();
+    hcq::util::rng rng(n * 31 + 2);
+    const auto m = q::random_qubo(rng, n, 0.7, -1.0, 1.0);
+    for (int trial = 0; trial < 10; ++trial) {
+        auto bits = rng.bits(n);
+        const double base = m.energy(bits);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double delta = m.flip_delta(i, bits);
+            auto flipped = bits;
+            flipped[i] ^= 1U;
+            EXPECT_NEAR(base + delta, m.energy(flipped), 1e-10);
+        }
+    }
+}
+
+TEST_P(QuboProperty, LocalFieldsConsistent) {
+    const std::size_t n = GetParam();
+    hcq::util::rng rng(n * 31 + 3);
+    const auto m = q::random_qubo(rng, n, 1.0, -1.0, 1.0);
+    const auto bits = rng.bits(n);
+    const auto fields = m.local_fields(bits);
+    ASSERT_EQ(fields.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(fields[i], m.local_field(i, bits), 1e-12);
+    }
+}
+
+TEST_P(QuboProperty, FixVariablePreservesEnergies) {
+    const std::size_t n = GetParam();
+    hcq::util::rng rng(n * 31 + 4);
+    const auto m = q::random_qubo(rng, n, 0.9, -1.5, 1.5);
+    for (std::uint8_t value = 0; value <= 1; ++value) {
+        const std::size_t victim = rng.uniform_index(n);
+        std::vector<std::size_t> mapping;
+        const auto reduced = m.fix_variable(victim, value, &mapping);
+        ASSERT_EQ(reduced.num_variables(), n - 1);
+        ASSERT_EQ(mapping.size(), n - 1);
+        for (int trial = 0; trial < 10; ++trial) {
+            const auto sub_bits = rng.bits(n - 1);
+            q::bit_vector full(n, 0);
+            full[victim] = value;
+            for (std::size_t r = 0; r < mapping.size(); ++r) full[mapping[r]] = sub_bits[r];
+            EXPECT_NEAR(reduced.energy_with_offset(sub_bits), m.energy_with_offset(full), 1e-10);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuboProperty, ::testing::Values(2, 3, 5, 8, 13, 21, 34));
+
+TEST(QuboModel, RowSpanMirrorsCoefficients) {
+    hcq::util::rng rng(5);
+    const auto m = q::random_qubo(rng, 6, 1.0, -1.0, 1.0);
+    for (std::size_t i = 0; i < 6; ++i) {
+        const auto row = m.row(i);
+        ASSERT_EQ(row.size(), 6u);
+        for (std::size_t j = 0; j < 6; ++j) {
+            EXPECT_DOUBLE_EQ(row[j], m.coefficient(i, j));
+        }
+    }
+}
+
+TEST(QuboModel, MaxAbsCoefficient) {
+    q::qubo_model m(3);
+    m.set_term(0, 1, -5.0);
+    m.set_term(2, 2, 3.0);
+    EXPECT_DOUBLE_EQ(m.max_abs_coefficient(), 5.0);
+}
+
+TEST(QuboModel, HammingDistance) {
+    const q::bit_vector a{0, 1, 1, 0};
+    const q::bit_vector b{1, 1, 0, 0};
+    EXPECT_EQ(q::hamming_distance(a, b), 2u);
+    const q::bit_vector c{1, 1};
+    EXPECT_THROW((void)q::hamming_distance(a, c), std::invalid_argument);
+}
+
+TEST(Ising, FieldCouplingAccessors) {
+    q::ising_model m(3);
+    m.set_field(0, 1.5);
+    m.set_coupling(0, 2, -0.5);
+    EXPECT_DOUBLE_EQ(m.field(0), 1.5);
+    EXPECT_DOUBLE_EQ(m.coupling(2, 0), -0.5);
+    EXPECT_THROW((void)m.coupling(1, 1), std::invalid_argument);
+    EXPECT_THROW(m.set_field(5, 0.0), std::out_of_range);
+}
+
+TEST(Ising, EnergyKnownValues) {
+    // E = s0 - 2 s1 + 3 s0 s1
+    q::ising_model m(2);
+    m.set_field(0, 1.0);
+    m.set_field(1, -2.0);
+    m.set_coupling(0, 1, 3.0);
+    const q::spin_vector up_up{1, 1};
+    const q::spin_vector up_down{1, -1};
+    EXPECT_DOUBLE_EQ(m.energy(up_up), 1.0 - 2.0 + 3.0);
+    EXPECT_DOUBLE_EQ(m.energy(up_down), 1.0 + 2.0 - 3.0);
+    const q::spin_vector bad{1, 0};
+    EXPECT_THROW((void)m.energy(bad), std::invalid_argument);
+}
+
+class IsingRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IsingRoundTrip, QuboToIsingPreservesTotalEnergy) {
+    const std::size_t n = GetParam();
+    hcq::util::rng rng(n * 57 + 1);
+    auto m = q::random_qubo(rng, n, 0.8, -2.0, 2.0);
+    m.set_offset(rng.uniform(-5.0, 5.0));
+    const auto ising = q::to_ising(m);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto bits = rng.bits(n);
+        const auto spins = q::spins_from_bits(bits);
+        EXPECT_NEAR(m.energy(bits) + m.offset(), ising.energy(spins) + ising.offset(), 1e-9);
+    }
+}
+
+TEST_P(IsingRoundTrip, IsingToQuboPreservesTotalEnergy) {
+    const std::size_t n = GetParam();
+    hcq::util::rng rng(n * 57 + 2);
+    q::ising_model ising(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ising.set_field(i, rng.uniform(-1.0, 1.0));
+        for (std::size_t j = i + 1; j < n; ++j) {
+            ising.set_coupling(i, j, rng.uniform(-1.0, 1.0));
+        }
+    }
+    ising.set_offset(rng.uniform(-3.0, 3.0));
+    const auto m = q::to_qubo(ising);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto bits = rng.bits(n);
+        const auto spins = q::spins_from_bits(bits);
+        EXPECT_NEAR(m.energy(bits) + m.offset(), ising.energy(spins) + ising.offset(), 1e-9);
+    }
+}
+
+TEST_P(IsingRoundTrip, DoubleRoundTripIsIdentity) {
+    const std::size_t n = GetParam();
+    hcq::util::rng rng(n * 57 + 3);
+    const auto m = q::random_qubo(rng, n, 1.0, -1.0, 1.0);
+    const auto back = q::to_qubo(q::to_ising(m));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            EXPECT_NEAR(back.coefficient(i, j), m.coefficient(i, j), 1e-9);
+        }
+    }
+    EXPECT_NEAR(back.offset(), m.offset(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IsingRoundTrip, ::testing::Values(1, 2, 4, 9, 16));
+
+TEST(Ising, SpinBitTranslations) {
+    const q::bit_vector bits{0, 1, 1};
+    const auto spins = q::spins_from_bits(bits);
+    EXPECT_EQ(spins[0], -1);
+    EXPECT_EQ(spins[1], 1);
+    EXPECT_EQ(q::bits_from_spins(spins), bits);
+    const q::bit_vector bad{3};
+    EXPECT_THROW((void)q::spins_from_bits(bad), std::invalid_argument);
+    const q::spin_vector bad_spin{0};
+    EXPECT_THROW((void)q::bits_from_spins(bad_spin), std::invalid_argument);
+}
+
+TEST(BruteForce, FindsKnownMinimum) {
+    // E = -q0 - q1 + 2 q0 q1: minima at (1,0) and (0,1), energy -1.
+    q::qubo_model m(2);
+    m.set_term(0, 0, -1.0);
+    m.set_term(1, 1, -1.0);
+    m.set_term(0, 1, 2.0);
+    const auto result = q::brute_force_minimize(m);
+    EXPECT_DOUBLE_EQ(result.best_energy, -1.0);
+    EXPECT_EQ(result.num_optima, 2u);
+}
+
+TEST(BruteForce, MatchesExhaustiveNaiveScan) {
+    hcq::util::rng rng(77);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n = 3 + rng.uniform_index(8);
+        const auto m = q::random_qubo(rng, n, 0.9, -1.0, 1.0);
+        const auto result = q::brute_force_minimize(m);
+        double best = 1e300;
+        for (std::size_t pattern = 0; pattern < (std::size_t{1} << n); ++pattern) {
+            q::bit_vector bits(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                bits[i] = static_cast<std::uint8_t>((pattern >> i) & 1U);
+            }
+            best = std::min(best, m.energy(bits));
+        }
+        EXPECT_NEAR(result.best_energy, best, 1e-10);
+        EXPECT_NEAR(m.energy(result.best_bits), best, 1e-10);
+    }
+}
+
+TEST(BruteForce, GuardsAgainstBlowUp) {
+    const q::qubo_model m(30);
+    EXPECT_THROW((void)q::brute_force_minimize(m, 26), std::invalid_argument);
+    const q::qubo_model empty;
+    EXPECT_THROW((void)q::brute_force_minimize(empty), std::invalid_argument);
+}
+
+TEST(Generator, RandomQuboRespectsRangeAndDensity) {
+    hcq::util::rng rng(123);
+    const auto dense = q::random_qubo(rng, 10, 1.0, -0.5, 0.5);
+    std::size_t nonzero = 0;
+    for (std::size_t i = 0; i < 10; ++i) {
+        for (std::size_t j = i; j < 10; ++j) {
+            const double c = dense.coefficient(i, j);
+            EXPECT_LE(std::fabs(c), 0.5);
+            if (c != 0.0) ++nonzero;
+        }
+    }
+    EXPECT_GT(nonzero, 40u);  // density 1.0 over 55 upper entries
+    const auto sparse = q::random_qubo(rng, 10, 0.0);
+    EXPECT_DOUBLE_EQ(sparse.max_abs_coefficient(), 0.0);
+    EXPECT_THROW((void)q::random_qubo(rng, 0), std::invalid_argument);
+    EXPECT_THROW((void)q::random_qubo(rng, 3, 2.0), std::invalid_argument);
+}
+
+TEST(Generator, FerromagneticChainGroundState) {
+    const auto ising = q::ferromagnetic_chain(6);
+    const auto m = q::to_qubo(ising);
+    const auto result = q::brute_force_minimize(m);
+    const q::bit_vector all_ones(6, 1);
+    EXPECT_EQ(result.best_bits, all_ones);
+}
+
+TEST(Generator, SkSpinGlassShape) {
+    hcq::util::rng rng(31);
+    const auto ising = q::sk_spin_glass(rng, 8);
+    EXPECT_EQ(ising.num_spins(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(ising.field(i), 0.0);
+    EXPECT_THROW((void)q::sk_spin_glass(rng, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for anneal schedules — the paper's waypoint algebra (Section 4.1)
+// must be reproduced exactly, including the total-duration formulas that
+// enter TTS.
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+
+namespace {
+
+using hcq::anneal::anneal_schedule;
+using hcq::anneal::protocol;
+using hcq::anneal::schedule_point;
+
+TEST(Schedule, ForwardPlainEndpoints) {
+    const auto s = anneal_schedule::forward_plain(2.0);
+    EXPECT_DOUBLE_EQ(s.duration_us(), 2.0);
+    EXPECT_DOUBLE_EQ(s.s_at(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.s_at(1.0), 0.5);
+    EXPECT_DOUBLE_EQ(s.s_at(2.0), 1.0);
+    EXPECT_FALSE(s.starts_classical());
+    EXPECT_THROW((void)anneal_schedule::forward_plain(0.0), std::invalid_argument);
+}
+
+TEST(Schedule, PaperForwardWaypoints) {
+    // FA: [0,0] -> [sp,sp] -> [sp+tp,sp] -> [ta+tp,1]; ta=1, sp=0.41, tp=1.
+    const auto s = anneal_schedule::forward(1.0, 0.41, 1.0);
+    ASSERT_EQ(s.points().size(), 4u);
+    EXPECT_DOUBLE_EQ(s.points()[1].time_us, 0.41);
+    EXPECT_DOUBLE_EQ(s.points()[1].s, 0.41);
+    EXPECT_DOUBLE_EQ(s.points()[2].time_us, 1.41);
+    EXPECT_DOUBLE_EQ(s.points()[2].s, 0.41);
+    EXPECT_DOUBLE_EQ(s.duration_us(), 2.0);  // t_a + t_p
+    EXPECT_FALSE(s.starts_classical());
+}
+
+TEST(Schedule, PaperReverseWaypointsAndDuration) {
+    // RA: [0,1] -> [1-sp,sp] -> [1-sp+tp,sp] -> [2(1-sp)+tp,1]; sp=0.41, tp=1.
+    const auto s = anneal_schedule::reverse(0.41, 1.0);
+    ASSERT_EQ(s.points().size(), 4u);
+    EXPECT_DOUBLE_EQ(s.points()[0].s, 1.0);
+    EXPECT_DOUBLE_EQ(s.points()[1].time_us, 0.59);
+    EXPECT_DOUBLE_EQ(s.points()[1].s, 0.41);
+    EXPECT_DOUBLE_EQ(s.points()[3].time_us, 2.0 * 0.59 + 1.0);
+    EXPECT_DOUBLE_EQ(s.duration_us(), 2.0 * (1.0 - 0.41) + 1.0);
+    EXPECT_TRUE(s.starts_classical());
+}
+
+TEST(Schedule, PaperForwardReverseWaypointsAndDuration) {
+    // FR: [0,0] -> [cp,cp] -> [2cp-sp,sp] -> [2cp-sp+tp,sp] ->
+    //     [2cp-2sp+tp+ta,1]; cp=0.7, sp=0.4, tp=1, ta=1.
+    const auto s = anneal_schedule::forward_reverse(0.7, 0.4, 1.0, 1.0);
+    ASSERT_EQ(s.points().size(), 5u);
+    EXPECT_DOUBLE_EQ(s.points()[1].time_us, 0.7);
+    EXPECT_DOUBLE_EQ(s.points()[1].s, 0.7);
+    EXPECT_DOUBLE_EQ(s.points()[2].time_us, 2 * 0.7 - 0.4);
+    EXPECT_DOUBLE_EQ(s.points()[2].s, 0.4);
+    EXPECT_NEAR(s.duration_us(), 2 * 0.7 - 2 * 0.4 + 1.0 + 1.0, 1e-12);
+    EXPECT_FALSE(s.starts_classical());
+}
+
+TEST(Schedule, DurationFormulasAcrossGrid) {
+    for (double sp = 0.25; sp <= 0.97; sp += 0.04) {
+        EXPECT_NEAR(anneal_schedule::reverse(sp, 1.0).duration_us(), 2.0 * (1.0 - sp) + 1.0,
+                    1e-12);
+        if (sp < 1.0) {
+            EXPECT_NEAR(anneal_schedule::forward(1.0, sp, 1.0).duration_us(), 2.0, 1e-12);
+        }
+    }
+}
+
+TEST(Schedule, ReverseIsVShaped) {
+    const auto s = anneal_schedule::reverse(0.4, 0.5);
+    EXPECT_DOUBLE_EQ(s.s_at(0.0), 1.0);
+    EXPECT_NEAR(s.s_at(0.3), 0.7, 1e-12);       // descending
+    EXPECT_NEAR(s.s_at(0.6), 0.4, 1e-12);       // at the bottom
+    EXPECT_NEAR(s.s_at(0.9), 0.4, 1e-12);       // pausing
+    EXPECT_NEAR(s.s_at(1.4), 0.7, 1e-12);       // ascending
+    EXPECT_DOUBLE_EQ(s.s_at(s.duration_us()), 1.0);
+}
+
+TEST(Schedule, SAtClampsOutsideDomain) {
+    const auto s = anneal_schedule::reverse(0.5, 1.0);
+    EXPECT_DOUBLE_EQ(s.s_at(-5.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.s_at(1e9), 1.0);
+}
+
+TEST(Schedule, ZeroPauseCollapsesDuplicatePoints) {
+    const auto s = anneal_schedule::forward(1.0, 0.5, 0.0);
+    EXPECT_EQ(s.points().size(), 3u);
+    EXPECT_DOUBLE_EQ(s.duration_us(), 1.0);
+}
+
+TEST(Schedule, BuilderValidation) {
+    EXPECT_THROW((void)anneal_schedule::forward(1.0, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)anneal_schedule::forward(1.0, 1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)anneal_schedule::forward(0.3, 0.5, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)anneal_schedule::forward(1.0, 0.5, -1.0), std::invalid_argument);
+    EXPECT_THROW((void)anneal_schedule::reverse(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)anneal_schedule::reverse(1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)anneal_schedule::forward_reverse(0.3, 0.5, 1.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)anneal_schedule::forward_reverse(0.5, 0.5, 1.0, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(Schedule, CustomPointValidation) {
+    EXPECT_THROW(anneal_schedule({{0.0, 0.0}}), std::invalid_argument);
+    EXPECT_THROW(anneal_schedule({{0.5, 0.0}, {1.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(anneal_schedule({{0.0, 0.0}, {1.0, 1.5}}), std::invalid_argument);
+    EXPECT_THROW(anneal_schedule({{0.0, 0.0}, {0.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(anneal_schedule({{0.0, 0.5}, {1.0, 0.6}, {0.5, 1.0}}), std::invalid_argument);
+    // A flat hold at s = 1 is a valid (degenerate) schedule.
+    const anneal_schedule hold({{0.0, 1.0}, {3.0, 1.0}}, "hold");
+    EXPECT_TRUE(hold.starts_classical());
+    EXPECT_DOUBLE_EQ(hold.s_at(1.7), 1.0);
+    EXPECT_EQ(hold.label(), "hold");
+}
+
+TEST(Schedule, ProtocolFactoryAndNames) {
+    const auto fa = anneal_schedule::make(protocol::forward, 0.41, 1.0);
+    EXPECT_EQ(fa.label(), "FA");
+    const auto ra = anneal_schedule::make(protocol::reverse, 0.41, 1.0);
+    EXPECT_EQ(ra.label(), "RA");
+    const auto fr = anneal_schedule::make(protocol::forward_reverse, 0.41, 1.0, 1.0, 0.73);
+    EXPECT_EQ(fr.label(), "FR");
+    EXPECT_STREQ(hcq::anneal::to_string(protocol::forward), "FA");
+    EXPECT_STREQ(hcq::anneal::to_string(protocol::reverse), "RA");
+    EXPECT_STREQ(hcq::anneal::to_string(protocol::forward_reverse), "FR");
+}
+
+TEST(Schedule, InterpolationIsPiecewiseLinear) {
+    const anneal_schedule s({{0.0, 0.0}, {2.0, 1.0}, {4.0, 0.5}}, "zigzag");
+    EXPECT_NEAR(s.s_at(1.0), 0.5, 1e-12);
+    EXPECT_NEAR(s.s_at(3.0), 0.75, 1e-12);
+    EXPECT_NEAR(s.s_at(4.0), 0.5, 1e-12);
+}
+
+}  // namespace
