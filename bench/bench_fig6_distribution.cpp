@@ -15,6 +15,7 @@
 #include "classical/greedy.h"
 #include "core/device.h"
 #include "core/experiment.h"
+#include "core/parallel_runner.h"
 #include "core/sweep.h"
 #include "metrics/delta_e.h"
 #include "metrics/histogram.h"
@@ -28,15 +29,6 @@ namespace an = hcq::anneal;
 namespace hy = hcq::hybrid;
 
 enum class algorithm { fa, ra_random, ra_greedy };
-
-const char* name_of(algorithm a) {
-    switch (a) {
-        case algorithm::fa: return "FA";
-        case algorithm::ra_random: return "RA(random)";
-        case algorithm::ra_greedy: return "RA(GS)";
-    }
-    return "?";
-}
 
 /// Collects Delta-E% for all reads of one algorithm on one instance at one s_p.
 std::vector<double> run_samples(const an::annealer_emulator& device,
@@ -111,9 +103,11 @@ int main(int argc, char** argv) {
     const std::vector<algorithm> algos{algorithm::fa, algorithm::ra_random,
                                        algorithm::ra_greedy};
 
+    const hy::parallel_runner runner;
+
     for (const auto mod : wl::all_modulations()) {
         const std::size_t users = wl::users_for_variables(mod, num_vars);
-        const auto corpus = hy::make_paper_corpus(ctx.seed, instances, users, mod);
+        const auto corpus = runner.make_corpus(ctx.seed, instances, users, mod);
         const an::annealer_emulator device;
 
         hcq::util::table t({"Delta-E% bin", "FA", "RA(random)", "RA(GS)"});

@@ -83,8 +83,12 @@ int main(int argc, char** argv) {
                                      an::anneal_schedule::forward(t_a, sp, t_p), reads,
                                      e.optimal_energy, prng);
         if (sp < grid.back()) {  // FR needs c_p > s_p
+            // Already inside a parallel region: keep the oracle's inner
+            // c_p fan-out serial to avoid thread oversubscription.
             const auto fr = hy::best_forward_reverse(device, e.reduced.model, sp, t_p, t_a,
-                                                     reads, e.optimal_energy, prng);
+                                                     reads, e.optimal_energy, prng,
+                                                     /*confidence_percent=*/99.0,
+                                                     /*num_threads=*/1);
             r.fr = fr.eval;
             r.fr_cp = fr.best_cp;
             r.fr_ok = true;

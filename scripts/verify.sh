@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + ctest in Debug and Release with
+# warnings-as-errors, mirroring .github/workflows/ci.yml.
+#
+# Usage:  scripts/verify.sh [--tsan] [--clean]
+#   --tsan   additionally build the threading-sensitive suites with
+#            -fsanitize=thread and run them (proves the parallel runner and
+#            thread pool are race-free)
+#   --clean  remove the build trees first
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=0
+clean=0
+for arg in "$@"; do
+    case "$arg" in
+        --tsan) run_tsan=1 ;;
+        --clean) clean=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+for config in Debug Release; do
+    dir="build-verify-$(echo "$config" | tr '[:upper:]' '[:lower:]')"
+    [[ $clean -eq 1 ]] && rm -rf "$dir"
+    echo "== $config: configure + build + ctest =="
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE="$config" -DHCQ_WARNINGS_AS_ERRORS=ON
+    cmake --build "$dir" -j "$jobs"
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+done
+
+if [[ $run_tsan -eq 1 ]]; then
+    dir="build-verify-tsan"
+    [[ $clean -eq 1 ]] && rm -rf "$dir"
+    echo "== TSan: parallel runner + thread pool =="
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHCQ_SANITIZE=thread \
+        -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF
+    cmake --build "$dir" -j "$jobs" --target parallel_runner_test util_test
+    "$dir/tests/parallel_runner_test"
+    "$dir/tests/util_test" --gtest_filter='ThreadPool.*:ParallelFor.*'
+fi
+
+echo "verify: all gates passed"

@@ -1,0 +1,105 @@
+#include "core/parallel_runner.h"
+
+#include <stdexcept>
+
+#include "metrics/delta_e.h"
+#include "metrics/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hcq::hybrid {
+
+hybrid_solver_adapter::hybrid_solver_adapter(hybrid_solver solver) : solver_(std::move(solver)) {}
+
+solvers::sample_set hybrid_solver_adapter::solve(const qubo::qubo_model& q,
+                                                 util::rng& rng) const {
+    const hybrid_result result = solver_.solve(q, rng);
+    solvers::sample_set out;
+    out.reserve(result.samples.size() + 1);
+    out.add(result.initial.bits, result.initial.energy);
+    out.merge(result.samples);
+    return out;
+}
+
+const solver_run& sweep_report::at(std::size_t instance, std::size_t solver) const {
+    if (instance >= num_instances || solver >= num_solvers) {
+        throw std::out_of_range("sweep_report::at: cell outside the sweep grid");
+    }
+    return runs[instance * num_solvers + solver];
+}
+
+double sweep_report::mean_p_star(std::size_t solver) const {
+    if (solver >= num_solvers) {
+        throw std::out_of_range("sweep_report::mean_p_star: no such solver");
+    }
+    metrics::running_stats stats;
+    for (std::size_t i = 0; i < num_instances; ++i) stats.add(at(i, solver).p_star);
+    return stats.mean();
+}
+
+parallel_runner::parallel_runner(runner_config config) : config_(config) {}
+
+std::vector<experiment_instance> parallel_runner::make_corpus(std::uint64_t seed,
+                                                              std::size_t count,
+                                                              std::size_t num_users,
+                                                              wireless::modulation mod) const {
+    if (count == 0) throw std::invalid_argument("parallel_runner::make_corpus: zero instances");
+    const util::rng base(seed);
+    std::vector<experiment_instance> corpus(count);
+    util::pool_for_each(
+        count,
+        [&](std::size_t i) {
+            util::rng stream = base.derive(i);
+            corpus[i] = make_paper_instance(stream, num_users, mod);
+        },
+        config_.num_threads);
+    return corpus;
+}
+
+sweep_report parallel_runner::sweep(const std::vector<experiment_instance>& corpus,
+                                    const std::vector<const solvers::solver*>& solvers,
+                                    std::uint64_t seed) const {
+    if (corpus.empty()) throw std::invalid_argument("parallel_runner::sweep: empty corpus");
+    if (solvers.empty()) throw std::invalid_argument("parallel_runner::sweep: no solvers");
+    for (const auto* s : solvers) {
+        if (s == nullptr) throw std::invalid_argument("parallel_runner::sweep: null solver");
+    }
+
+    sweep_report report;
+    report.num_instances = corpus.size();
+    report.num_solvers = solvers.size();
+    report.runs.resize(corpus.size() * solvers.size());
+
+    const util::rng base = util::rng(seed).derive(sweep_stream_domain);
+    util::pool_for_each(
+        report.runs.size(),
+        [&](std::size_t k) {
+            const std::size_t i = k / report.num_solvers;
+            const std::size_t s = k % report.num_solvers;
+            const experiment_instance& e = corpus[i];
+            util::rng stream = base.derive(k);
+
+            solver_run& run = report.runs[k];
+            run.instance_index = i;
+            run.solver_index = s;
+            run.solver_name = solvers[s]->name();
+            const util::timer clock;
+            run.samples = solvers[s]->solve(e.reduced.model, stream);
+            run.elapsed_us = clock.elapsed_us();
+            run.best_energy = run.samples.best().energy;
+            run.p_star = run.samples.success_probability(e.optimal_energy);
+            metrics::running_stats gap;
+            for (const auto& sample : run.samples.all()) {
+                gap.add(metrics::delta_e_percent(sample.energy, e.optimal_energy));
+            }
+            run.mean_delta_e = gap.mean();
+        },
+        config_.num_threads);
+
+    // Serial merge in cell order keeps the merged set independent of the
+    // scheduling order above.
+    for (const auto& run : report.runs) report.merged.merge(run.samples);
+    return report;
+}
+
+}  // namespace hcq::hybrid

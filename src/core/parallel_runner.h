@@ -1,0 +1,111 @@
+// Batched experiment runner — fans corpus synthesis and solver sweeps across
+// util::thread_pool while keeping every random draw on a per-cell stream
+// derived from (seed, cell index).  Statistics are therefore bit-identical at
+// any thread count: the thread pool only decides *when* a cell runs, never
+// *what* it computes, and aggregation happens serially in cell order.
+//
+// This is the entry point for the ROADMAP's batched serving direction: a
+// detection workload is (instances x solvers) independent cells, and the
+// runner is the single place where that grid meets the hardware.
+#ifndef HCQ_CORE_PARALLEL_RUNNER_H
+#define HCQ_CORE_PARALLEL_RUNNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classical/solver.h"
+#include "core/experiment.h"
+#include "core/hybrid_solver.h"
+
+namespace hcq::hybrid {
+
+/// Wraps the sequential hybrid structure (classical initialiser + reverse
+/// anneal) behind the classical solver interface so sweeps can compare it
+/// directly against SA / tabu / parallel tempering.  The returned sample set
+/// holds the initialiser's candidate first, then the annealer reads.
+///
+/// The adapter copies the hybrid_solver, which itself only references its
+/// initialiser and device — both must outlive the adapter (a temporary
+/// initialiser in the constructor expression dangles).
+class hybrid_solver_adapter final : public solvers::solver {
+public:
+    explicit hybrid_solver_adapter(hybrid_solver solver);
+
+    [[nodiscard]] solvers::sample_set solve(const qubo::qubo_model& q,
+                                            util::rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return solver_.name(); }
+
+private:
+    hybrid_solver solver_;
+};
+
+/// Runner knobs.
+struct runner_config {
+    /// Worker threads (0 = hardware concurrency, 1 = serial execution).
+    std::size_t num_threads = 0;
+};
+
+/// One (instance, solver) cell of a sweep.  Everything except `elapsed_us`
+/// (wall time) is deterministic in (corpus, solvers, seed).
+struct solver_run {
+    std::size_t instance_index = 0;
+    std::size_t solver_index = 0;
+    std::string solver_name;
+    solvers::sample_set samples;
+    double best_energy = 0.0;
+    double p_star = 0.0;        ///< success probability vs the instance optimum
+    double mean_delta_e = 0.0;  ///< mean Delta-E% over the cell's samples
+    double elapsed_us = 0.0;    ///< wall time of the cell (not deterministic)
+};
+
+/// Full sweep output: per-cell runs in instance-major order plus a merged
+/// sample set built serially in that same order.
+struct sweep_report {
+    std::size_t num_instances = 0;
+    std::size_t num_solvers = 0;
+    std::vector<solver_run> runs;  ///< runs[i * num_solvers + s]
+    solvers::sample_set merged;
+
+    [[nodiscard]] const solver_run& at(std::size_t instance, std::size_t solver) const;
+
+    /// Mean success probability of one solver across all instances.
+    [[nodiscard]] double mean_p_star(std::size_t solver) const;
+};
+
+/// Deterministic batched driver for (corpus x solver) grids.
+class parallel_runner {
+public:
+    /// Stream-id tag separating sweep solver streams from the plain
+    /// derive(index) family make_corpus / make_paper_corpus draw from.
+    static constexpr std::uint64_t sweep_stream_domain = 0x73776565705f3141ULL;  // "sweep_1A"
+
+    explicit parallel_runner(runner_config config = {});
+
+    [[nodiscard]] const runner_config& config() const noexcept { return config_; }
+
+    /// Parallel corpus synthesis; bit-identical to make_paper_corpus for the
+    /// same (seed, count, users, mod) at any thread count.
+    [[nodiscard]] std::vector<experiment_instance> make_corpus(std::uint64_t seed,
+                                                               std::size_t count,
+                                                               std::size_t num_users,
+                                                               wireless::modulation mod) const;
+
+    /// Runs every solver on every instance.  Cell (i, s) draws from
+    /// util::rng(seed).derive(sweep_stream_domain).derive(i * solvers.size()
+    /// + s) — the domain tag keeps solver streams disjoint from the
+    /// corpus-synthesis streams even when the same seed is passed to both
+    /// make_corpus and sweep — so results do not depend on the thread count
+    /// or on scheduling order.  Solver pointers must be non-null and outlive
+    /// the call.
+    [[nodiscard]] sweep_report sweep(const std::vector<experiment_instance>& corpus,
+                                     const std::vector<const solvers::solver*>& solvers,
+                                     std::uint64_t seed) const;
+
+private:
+    runner_config config_;
+};
+
+}  // namespace hcq::hybrid
+
+#endif  // HCQ_CORE_PARALLEL_RUNNER_H

@@ -4,6 +4,7 @@
 
 #include "metrics/delta_e.h"
 #include "metrics/stats.h"
+#include "util/thread_pool.h"
 
 namespace hcq::hybrid {
 
@@ -36,25 +37,44 @@ std::vector<double> paper_sp_grid() {
 fr_oracle_result best_forward_reverse(const anneal::annealer_emulator& device,
                                       const qubo::qubo_model& q, double s_p, double t_p,
                                       double t_a, std::size_t reads, double optimal_energy,
-                                      util::rng& rng, double confidence_percent) {
+                                      util::rng& rng, double confidence_percent,
+                                      std::size_t num_threads) {
+    std::vector<double> grid;
+    for (const double cp : paper_sp_grid()) {
+        if (cp > s_p && cp < 1.0) grid.push_back(cp);
+    }
+    if (grid.empty()) {
+        throw std::invalid_argument("best_forward_reverse: no feasible c_p above s_p");
+    }
+
+    // Each grid point draws from its own stream derived off a single draw of
+    // the caller's generator, so the fan-out below is deterministic in the
+    // incoming rng state and independent of the worker count.
+    const util::rng base(rng());
+    std::vector<schedule_eval> evals(grid.size());
+    util::pool_for_each(
+        grid.size(),
+        [&](std::size_t k) {
+            util::rng stream = base.derive(k);
+            const auto schedule =
+                anneal::anneal_schedule::forward_reverse(grid[k], s_p, t_p, t_a);
+            evals[k] = evaluate_schedule(device, q, schedule, reads, optimal_energy, stream,
+                                         std::nullopt, confidence_percent);
+        },
+        num_threads);
+
     fr_oracle_result best;
     bool found = false;
-    for (const double cp : paper_sp_grid()) {
-        if (cp <= s_p || cp >= 1.0) continue;
-        const auto schedule = anneal::anneal_schedule::forward_reverse(cp, s_p, t_p, t_a);
-        const auto eval = evaluate_schedule(device, q, schedule, reads, optimal_energy, rng,
-                                            std::nullopt, confidence_percent);
+    for (std::size_t k = 0; k < grid.size(); ++k) {
+        const auto& eval = evals[k];
         const bool better =
             !found || eval.tts_us < best.eval.tts_us ||
             (eval.tts_us == best.eval.tts_us && eval.p_star > best.eval.p_star);
         if (better) {
             best.eval = eval;
-            best.best_cp = cp;
+            best.best_cp = grid[k];
             found = true;
         }
-    }
-    if (!found) {
-        throw std::invalid_argument("best_forward_reverse: no feasible c_p above s_p");
     }
     return best;
 }

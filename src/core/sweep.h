@@ -35,7 +35,11 @@ struct schedule_eval {
 
 /// Exhaustive-best ("oracle") forward-reverse evaluation: sweeps c_p over
 /// the grid values above s_p and returns the best eval by TTS (ties by
-/// p_star) together with the chosen c_p.
+/// p_star) together with the chosen c_p.  Grid points are evaluated on a
+/// util::thread_pool (`num_threads` workers; 0 = hardware concurrency,
+/// 1 = serial — pass 1 from inside an outer parallel region) with per-point
+/// streams derived from one draw of `rng`, so the result is deterministic
+/// and independent of the worker count.
 struct fr_oracle_result {
     schedule_eval eval;
     double best_cp = 0.0;
@@ -43,7 +47,7 @@ struct fr_oracle_result {
 [[nodiscard]] fr_oracle_result best_forward_reverse(
     const anneal::annealer_emulator& device, const qubo::qubo_model& q, double s_p, double t_p,
     double t_a, std::size_t reads, double optimal_energy, util::rng& rng,
-    double confidence_percent = 99.0);
+    double confidence_percent = 99.0, std::size_t num_threads = 0);
 
 }  // namespace hcq::hybrid
 

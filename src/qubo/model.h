@@ -6,6 +6,16 @@
 #ifndef HCQ_QUBO_MODEL_H
 #define HCQ_QUBO_MODEL_H
 
+#include <version>
+
+// The library's public interfaces take std::span<const std::uint8_t> and the
+// implementation relies on other C++20 features (<numbers>, CTAD for
+// scoped_lock, defaulted comparisons).  Under -std=c++17 the failure mode is
+// pages of unrelated template errors, so fail here with the actual cause.
+#if !defined(__cpp_lib_span) || __cpp_lib_span < 202002L
+#error "hcq requires C++20 (std::span unavailable) — build with -std=c++20; the CMake build sets this via CMAKE_CXX_STANDARD 20"
+#endif
+
 #include <cstdint>
 #include <span>
 #include <vector>

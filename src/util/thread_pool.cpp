@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <stdexcept>
+#include <utility>
 
 namespace hcq::util {
 
@@ -8,19 +10,31 @@ thread_pool::thread_pool(std::size_t num_threads) {
     if (num_threads == 0) {
         num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
     }
+    num_workers_ = num_threads;
     workers_.reserve(num_threads);
-    for (std::size_t i = 0; i < num_threads; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
+    try {
+        for (std::size_t i = 0; i < num_threads; ++i) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    } catch (...) {
+        // Partial spawn (e.g. EAGAIN at the OS thread limit): shut down the
+        // workers that did start instead of terminating via ~thread.
+        stop();
+        throw;
     }
 }
 
-thread_pool::~thread_pool() {
+thread_pool::~thread_pool() { stop(); }
+
+void thread_pool::stop() {
+    std::vector<std::thread> workers;
     {
         const std::scoped_lock lock(mutex_);
         stopping_ = true;
+        workers.swap(workers_);  // claim the threads so overlapping stops can't double-join
     }
     task_available_.notify_all();
-    for (auto& w : workers_) {
+    for (auto& w : workers) {
         if (w.joinable()) w.join();
     }
 }
@@ -28,6 +42,9 @@ thread_pool::~thread_pool() {
 void thread_pool::submit(std::function<void()> task) {
     {
         const std::scoped_lock lock(mutex_);
+        if (stopping_) {
+            throw std::runtime_error("thread_pool::submit: pool is stopping; task rejected");
+        }
         tasks_.push(std::move(task));
     }
     task_available_.notify_one();
@@ -36,6 +53,11 @@ void thread_pool::submit(std::function<void()> task) {
 void thread_pool::wait_idle() {
     std::unique_lock lock(mutex_);
     idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+    if (first_error_) {
+        const std::exception_ptr err = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 void thread_pool::worker_loop() {
@@ -49,17 +71,23 @@ void thread_pool::worker_loop() {
             tasks_.pop();
             ++in_flight_;
         }
-        task();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
         {
             const std::scoped_lock lock(mutex_);
             --in_flight_;
+            if (error && !first_error_) first_error_ = error;
         }
         idle_.notify_all();
     }
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  std::size_t num_threads) {
+void pool_for_each(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   std::size_t num_threads) {
     if (n == 0) return;
     if (num_threads == 0) {
         num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -69,19 +97,32 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
         for (std::size_t i = 0; i < n; ++i) fn(i);
         return;
     }
+    // One chunk task per worker pulling indices off a shared counter: O(1)
+    // queue traffic regardless of n, unlike one queued task per index.
     std::atomic<std::size_t> next{0};
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
+    std::atomic<bool> failed{false};
+    thread_pool pool(num_threads);
     for (std::size_t t = 0; t < num_threads; ++t) {
-        threads.emplace_back([&] {
+        pool.submit([&fn, &next, &failed, n] {
             for (;;) {
+                if (failed.load(std::memory_order_relaxed)) return;
                 const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= n) return;
-                fn(i);
+                try {
+                    fn(i);
+                } catch (...) {
+                    failed.store(true, std::memory_order_relaxed);
+                    throw;  // first exception lands in the pool and resurfaces below
+                }
             }
         });
     }
-    for (auto& th : threads) th.join();
+    pool.wait_idle();
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t num_threads) {
+    pool_for_each(n, fn, num_threads);
 }
 
 }  // namespace hcq::util

@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,6 +17,12 @@ namespace hcq::util {
 
 /// Fixed-size pool of worker threads consuming a FIFO task queue.
 /// Destruction waits for all submitted tasks to finish.
+///
+/// Exception safety: a task that throws does not kill its worker — the first
+/// exception is captured and rethrown from the next `wait_idle()` (or
+/// swallowed by the destructor when the pool is torn down without waiting).
+/// Subsequent exceptions, and exceptions with no waiter, are dropped after
+/// the first; tasks continue to drain either way.
 class thread_pool {
 public:
     /// Creates `num_threads` workers (0 selects hardware concurrency).
@@ -26,30 +33,47 @@ public:
 
     ~thread_pool();
 
-    /// Enqueues a task for asynchronous execution.
+    /// Enqueues a task for asynchronous execution.  Throws std::runtime_error
+    /// once shutdown has begun — a task accepted after `stop()` (or during
+    /// destruction) would never run, so silently queuing it is a lost-update
+    /// bug on the caller's side.
     void submit(std::function<void()> task);
 
-    /// Blocks until every submitted task has completed.
+    /// Blocks until every submitted task has completed.  Rethrows the first
+    /// exception that escaped a task since the previous wait.
     void wait_idle();
 
-    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+    /// Begins shutdown: drains already-queued tasks, then joins all workers.
+    /// Idempotent; called by the destructor.  After stop() returns, submit()
+    /// throws and size() still reports the original worker count.
+    void stop();
+
+    [[nodiscard]] std::size_t size() const noexcept { return num_workers_; }
 
 private:
     void worker_loop();
 
     std::vector<std::thread> workers_;
+    std::size_t num_workers_ = 0;
     std::queue<std::function<void()>> tasks_;
     std::mutex mutex_;
     std::condition_variable task_available_;
     std::condition_variable idle_;
     std::size_t in_flight_ = 0;
     bool stopping_ = false;
+    std::exception_ptr first_error_;
 };
 
-/// Runs fn(i) for i in [0, n) across `num_threads` workers (0 = hardware
-/// concurrency; n below 2 or single-threaded environments degrade to a plain
-/// loop).  Blocks until all iterations complete.  `fn` must be safe to call
-/// concurrently for distinct i.
+/// Runs fn(i) for i in [0, n) on a transient thread_pool with `num_threads`
+/// workers (0 = hardware concurrency; n below 2 or num_threads == 1 degrade
+/// to a plain loop).  Blocks until all iterations complete.  `fn` must be
+/// safe to call concurrently for distinct i.  If any iteration throws,
+/// not-yet-started iterations are abandoned and the first exception is
+/// rethrown in the calling thread once the workers have drained.
+void pool_for_each(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   std::size_t num_threads = 0);
+
+/// Alias of pool_for_each, kept for the benches' established idiom.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t num_threads = 0);
 

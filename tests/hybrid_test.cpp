@@ -82,6 +82,42 @@ TEST(Experiment, CorpusIsDeterministicAndSized) {
                  std::invalid_argument);
 }
 
+TEST(Experiment, AdjacentSeedCorporaShareNoInstances) {
+    // Seed + index streams must be jointly independent: corpora built from
+    // adjacent master seeds (the common "seed, seed+1, ..." usage in benches)
+    // must not reproduce each other's instances at any index pairing.
+    const std::size_t count = 8;
+    const auto a = hy::make_paper_corpus(900, count, 4, wl::modulation::qam16);
+    const auto b = hy::make_paper_corpus(901, count, 4, wl::modulation::qam16);
+    for (std::size_t i = 0; i < count; ++i) {
+        for (std::size_t j = 0; j < count; ++j) {
+            bool same_channel = true;
+            const auto& ha = a[i].instance.h;
+            const auto& hb = b[j].instance.h;
+            for (std::size_t r = 0; r < ha.rows() && same_channel; ++r) {
+                for (std::size_t c = 0; c < ha.cols(); ++c) {
+                    if (ha(r, c) != hb(r, c)) {
+                        same_channel = false;
+                        break;
+                    }
+                }
+            }
+            EXPECT_FALSE(same_channel) << "corpora with seeds 900/901 share instance (" << i
+                                       << ", " << j << ")";
+        }
+    }
+    // The underlying derive() streams themselves must not collide either.
+    const hcq::util::rng base_a(900);
+    const hcq::util::rng base_b(901);
+    for (std::size_t i = 0; i < count; ++i) {
+        for (std::size_t j = 0; j < count; ++j) {
+            hcq::util::rng sa = base_a.derive(i);
+            hcq::util::rng sb = base_b.derive(j);
+            EXPECT_NE(sa(), sb()) << "derive collision at (" << i << ", " << j << ")";
+        }
+    }
+}
+
 TEST(Experiment, HarvestBinsRespectBounds) {
     hcq::util::rng rng(52);
     const auto e = hy::make_paper_instance(rng, 4, wl::modulation::qam16);

@@ -93,7 +93,9 @@ TEST(Preprocess, LiftRestoresFullAssignment) {
     const auto full = result.lift(reduced_bits);
     ASSERT_EQ(full.size(), 3u);
     for (std::size_t i = 0; i < 3; ++i) {
-        if (result.fixed[i].has_value()) EXPECT_EQ(full[i], *result.fixed[i]);
+        if (result.fixed[i].has_value()) {
+            EXPECT_EQ(full[i], *result.fixed[i]);
+        }
     }
     const q::bit_vector wrong(free_count + 1, 0);
     EXPECT_THROW((void)result.lift(wrong), std::invalid_argument);

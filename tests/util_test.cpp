@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/cli.h"
 #include "util/rng.h"
@@ -166,6 +167,50 @@ TEST(ThreadPool, SizeMatchesRequest) {
     EXPECT_EQ(pool.size(), 3u);
 }
 
+TEST(ThreadPool, StopDrainsQueuedTasksAndIsIdempotent) {
+    hcq::util::thread_pool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 50; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.stop();
+    EXPECT_EQ(counter.load(), 50);
+    EXPECT_EQ(pool.size(), 2u);  // size still reports the configured width
+    pool.stop();                 // second stop is a no-op
+}
+
+TEST(ThreadPool, SubmitAfterStopThrowsInsteadOfLosingTheTask) {
+    hcq::util::thread_pool pool(2);
+    pool.stop();
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, TaskExceptionIsRethrownAtWaitIdleAndPoolSurvives) {
+    hcq::util::thread_pool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // The pool keeps working after a task threw: workers were not killed and
+    // the error state was consumed by the previous wait.
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 40);
+}
+
+TEST(ThreadPool, OnlyFirstOfManyTaskExceptionsSurfaces) {
+    hcq::util::thread_pool pool(4);
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([] { throw std::runtime_error("boom"); });
+    }
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    pool.wait_idle();  // error consumed; no tasks left
+}
+
 TEST(ParallelFor, VisitsEveryIndexOnce) {
     std::vector<std::atomic<int>> hits(257);
     hcq::util::parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
@@ -178,6 +223,20 @@ TEST(ParallelFor, HandlesZeroAndSingle) {
     EXPECT_EQ(calls, 0);
     hcq::util::parallel_for(1, [&](std::size_t) { ++calls; }, 8);
     EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesFirstExceptionToCaller) {
+    EXPECT_THROW(hcq::util::parallel_for(
+                     128,
+                     [](std::size_t i) {
+                         if (i == 37) throw std::runtime_error("iteration failed");
+                     },
+                     4),
+                 std::runtime_error);
+    // Serial degenerate path throws too.
+    EXPECT_THROW(hcq::util::parallel_for(
+                     2, [](std::size_t) { throw std::runtime_error("x"); }, 1),
+                 std::runtime_error);
 }
 
 flag_set parse(std::initializer_list<const char*> args) {
