@@ -75,5 +75,15 @@ int main(int argc, char** argv) {
         }
     }
     t.print(std::cout);
+
+    // Full result detail for the middle read budget at near-saturation,
+    // through the shared simulation_result formatter.
+    std::cout << "\ndetail (50 reads/use, load 0.95):\n";
+    util::rng detail_rng(51);
+    const auto stages = pipeline::make_hybrid_stages(classical_us, read_us, 50, 10.0);
+    const double bottleneck = std::max(classical_us, 10.0 + read_us * 50.0);
+    const auto detail = pipeline::simulate(
+        stages, uses, {.interarrival_us = bottleneck / 0.95}, detail_rng);
+    pipeline::summary_table(detail, {"classical", "quantum"}).print(std::cout);
     return 0;
 }

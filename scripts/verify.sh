@@ -2,13 +2,26 @@
 # Tier-1 verification: configure + build + ctest in Debug and Release with
 # warnings-as-errors, mirroring .github/workflows/ci.yml.
 #
-# Usage:  scripts/verify.sh [--tsan] [--clean]
+# Usage:  scripts/verify.sh [--tsan] [--clean] [--help]
 #   --tsan   additionally build the threading-sensitive suites with
-#            -fsanitize=thread and run them (proves the parallel runner and
-#            thread pool are race-free)
+#            -fsanitize=thread and run them (proves the parallel runner,
+#            thread pool, and link simulator race-free)
 #   --clean  remove the build trees first
+#   --help   print this help
+#
+# The gate covers the whole tree, including the end-to-end link simulator
+# (src/link, examples/link_sim, bench/bench_link_e2e — the measured-stage-
+# latency path; see docs/ARCHITECTURE.md).  CI additionally builds the
+# Doxygen docs target (-DHCQ_BUILD_DOCS=ON) so documentation breakage
+# surfaces in review instead of rotting silently.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+usage() {
+    # Prints the header comment block (everything up to the first non-'#'
+    # line), so the help text cannot drift out of sync with it.
+    sed -n '/^#/!q; 2,$s/^# \{0,1\}//p' "$0"
+}
 
 run_tsan=0
 clean=0
@@ -16,7 +29,8 @@ for arg in "$@"; do
     case "$arg" in
         --tsan) run_tsan=1 ;;
         --clean) clean=1 ;;
-        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+        --help|-h) usage; exit 0 ;;
+        *) echo "unknown argument: $arg" >&2; usage >&2; exit 2 ;;
     esac
 done
 
@@ -34,12 +48,13 @@ done
 if [[ $run_tsan -eq 1 ]]; then
     dir="build-verify-tsan"
     [[ $clean -eq 1 ]] && rm -rf "$dir"
-    echo "== TSan: parallel runner + thread pool =="
+    echo "== TSan: parallel runner + thread pool + link simulator =="
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHCQ_SANITIZE=thread \
         -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF
-    cmake --build "$dir" -j "$jobs" --target parallel_runner_test util_test
+    cmake --build "$dir" -j "$jobs" --target parallel_runner_test util_test link_test
     "$dir/tests/parallel_runner_test"
     "$dir/tests/util_test" --gtest_filter='ThreadPool.*:ParallelFor.*'
+    "$dir/tests/link_test"
 fi
 
 echo "verify: all gates passed"

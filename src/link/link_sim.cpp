@@ -1,0 +1,287 @@
+#include "link/link_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "classical/greedy.h"
+#include "core/device.h"
+#include "core/hybrid_solver.h"
+#include "core/schedule.h"
+#include "detect/kbest.h"
+#include "detect/linear.h"
+#include "detect/sphere.h"
+#include "detect/transform.h"
+#include "metrics/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "wireless/mimo.h"
+
+namespace hcq::link {
+namespace {
+
+// Stream-id tags keeping channel-use synthesis draws disjoint from solver
+// draws (same scheme as parallel_runner::sweep_stream_domain).
+constexpr std::uint64_t synth_stream_domain = 0x6c696e6b5f434855ULL;  // "link_CHU"
+constexpr std::uint64_t solve_stream_domain = 0x6c696e6b5f534c56ULL;  // "link_SLV"
+
+/// Everything one (use, path) cell produces.  `bits` / `ml_cost` are
+/// deterministic in (config, seed); the *_us fields are measured wall times
+/// (except the hybrid's quantum occupancy, which is the programmed schedule
+/// time x reads — the quantity hardware extrapolations need, since the
+/// emulator's own wall time says nothing about a physical annealer).
+struct cell_result {
+    qubo::bit_vector bits;
+    double ml_cost = 0.0;
+    double solve_us = 0.0;      // conventional / SA paths: the whole solve
+    double classical_us = 0.0;  // hybrid path: measured initialiser time
+    double quantum_us = 0.0;    // hybrid path: programmed annealer occupancy
+};
+
+void validate(const link_config& config) {
+    if (config.num_uses == 0) throw std::invalid_argument("link: zero channel uses");
+    if (config.num_users == 0) throw std::invalid_argument("link: zero users");
+    if (config.paths.empty()) throw std::invalid_argument("link: no detection paths");
+    for (std::size_t a = 0; a < config.paths.size(); ++a) {
+        for (std::size_t b = a + 1; b < config.paths.size(); ++b) {
+            if (config.paths[a] == config.paths[b]) {
+                throw std::invalid_argument("link: duplicate detection path");
+            }
+        }
+    }
+    if (config.kbest_width == 0) throw std::invalid_argument("link: zero K-best width");
+    if (config.hybrid_reads == 0) throw std::invalid_argument("link: zero hybrid reads");
+    if (!(config.offered_load > 0.0) || !std::isfinite(config.offered_load)) {
+        throw std::invalid_argument("link: offered load must be positive and finite");
+    }
+}
+
+pipeline::simulation_result replay_traces(const path_report& path, const link_config& config) {
+    std::vector<pipeline::stage> stages;
+    double bottleneck_us = 0.0;
+    for (const auto& trace : path.stages) {
+        stages.push_back(pipeline::stage::from_trace(trace.name, trace.service_us));
+        bottleneck_us = std::max(bottleneck_us, trace.mean_us());
+    }
+    // Arrivals pace the bottleneck at the configured load; the floor guards
+    // against a degenerate all-zero trace from timer quantisation.
+    const double interarrival_us = std::max(bottleneck_us / config.offered_load, 1e-3);
+    util::rng arrivals_rng(config.seed);  // unused by deterministic arrivals
+    return pipeline::simulate(stages, config.num_uses, {.interarrival_us = interarrival_us},
+                              arrivals_rng);
+}
+
+}  // namespace
+
+const char* to_string(path_kind kind) noexcept {
+    switch (kind) {
+        case path_kind::zf: return "ZF";
+        case path_kind::mmse: return "MMSE";
+        case path_kind::kbest: return "K-best";
+        case path_kind::sphere: return "SD";
+        case path_kind::sa: return "SA";
+        case path_kind::hybrid_gs_ra: return "GS+RA";
+    }
+    return "?";
+}
+
+path_kind parse_path_kind(const std::string& name) {
+    if (name == "ZF" || name == "zf") return path_kind::zf;
+    if (name == "MMSE" || name == "mmse") return path_kind::mmse;
+    if (name == "K-best" || name == "kbest") return path_kind::kbest;
+    if (name == "SD" || name == "sphere") return path_kind::sphere;
+    if (name == "SA" || name == "sa") return path_kind::sa;
+    if (name == "GS+RA" || name == "gsra") return path_kind::hybrid_gs_ra;
+    throw std::invalid_argument("unknown detection path: '" + name + "'");
+}
+
+double stage_trace::mean_us() const {
+    metrics::running_stats stats;
+    for (const double v : service_us) stats.add(v);
+    return stats.mean();
+}
+
+double stage_trace::p50_us() const { return metrics::percentile(service_us, 50.0); }
+
+double stage_trace::p99_us() const { return metrics::percentile(service_us, 99.0); }
+
+std::vector<std::string> path_report::stage_names() const {
+    std::vector<std::string> names;
+    names.reserve(stages.size());
+    for (const auto& trace : stages) names.push_back(trace.name);
+    return names;
+}
+
+const path_report& link_report::path(path_kind kind) const {
+    for (const auto& p : paths) {
+        if (p.kind == kind) return p;
+    }
+    throw std::out_of_range(std::string("link_report: no such path: ") + to_string(kind));
+}
+
+link_report run_link_simulation(const link_config& config) {
+    validate(config);
+
+    // Path machinery, constructed once and shared read-only across workers.
+    const detect::zf_detector zf;
+    const detect::mmse_detector mmse;
+    const detect::kbest_detector kbest(config.kbest_width);
+    const detect::sphere_detector sphere;
+    const solvers::simulated_annealing sa(config.sa);
+    const solvers::greedy_search greedy;
+    const anneal::annealer_emulator device;
+    const hybrid::hybrid_solver hybrid(
+        greedy, device,
+        anneal::anneal_schedule::reverse(config.switch_pause_location, config.pause_time_us),
+        config.hybrid_reads);
+    // Indexed by path_kind value; the static_asserts pin the enum layout the
+    // indexing relies on.
+    static_assert(static_cast<std::size_t>(path_kind::zf) == 0);
+    static_assert(static_cast<std::size_t>(path_kind::mmse) == 1);
+    static_assert(static_cast<std::size_t>(path_kind::kbest) == 2);
+    static_assert(static_cast<std::size_t>(path_kind::sphere) == 3);
+    const detect::detector* conventional[] = {&zf, &mmse, &kbest, &sphere};
+
+    const std::size_t num_paths = config.paths.size();
+    const bool needs_qubo =
+        std::any_of(config.paths.begin(), config.paths.end(), [](path_kind k) {
+            return k == path_kind::sa || k == path_kind::hybrid_gs_ra;
+        });
+    std::vector<qubo::bit_vector> tx_bits(config.num_uses);
+    std::vector<double> synth_us(config.num_uses, 0.0);
+    std::vector<double> reduce_us(config.num_uses, 0.0);
+    std::vector<cell_result> cells(config.num_uses * num_paths);
+
+    const util::rng synth_base = util::rng(config.seed).derive(synth_stream_domain);
+    const util::rng solve_base = util::rng(config.seed).derive(solve_stream_domain);
+
+    util::pool_for_each(
+        config.num_uses,
+        [&](std::size_t u) {
+            // Stage 1: synthesise the channel use (channel draw + modulation).
+            util::rng synth_rng = synth_base.derive(u);
+            wireless::mimo_config mimo;
+            mimo.mod = config.mod;
+            mimo.num_users = config.num_users;
+            mimo.num_antennas = config.num_users;
+            mimo.channel = config.channel;
+            mimo.noise_variance =
+                config.noiseless ? 0.0
+                                 : wireless::noise_variance_for_snr(config.mod, config.num_users,
+                                                                    config.snr_db);
+            util::timer synth_clock;
+            const auto instance = wireless::synthesize(synth_rng, mimo);
+            synth_us[u] = synth_clock.elapsed_us();
+            tx_bits[u] = instance.tx_bits;
+
+            // Stage 2: QUBO reduction (QuAMax transform), shared by the
+            // QUBO-based paths (skipped — trace stays zero — when only
+            // conventional detectors are configured).
+            detect::ml_qubo mq;
+            if (needs_qubo) {
+                util::timer reduce_clock;
+                mq = detect::ml_to_qubo(instance);
+                reduce_us[u] = reduce_clock.elapsed_us();
+            }
+
+            // Stage 3: every configured path detects the same use, each on
+            // its own derived RNG stream.
+            for (std::size_t p = 0; p < num_paths; ++p) {
+                util::rng solve_rng = solve_base.derive(u * num_paths + p);
+                cell_result& cell = cells[u * num_paths + p];
+                switch (const path_kind kind = config.paths[p]) {
+                    case path_kind::zf:
+                    case path_kind::mmse:
+                    case path_kind::kbest:
+                    case path_kind::sphere: {
+                        const util::timer clock;
+                        const auto result =
+                            conventional[static_cast<std::size_t>(kind)]->detect(instance);
+                        cell.solve_us = clock.elapsed_us();
+                        cell.bits = result.bits;
+                        cell.ml_cost = result.ml_cost;
+                        break;
+                    }
+                    case path_kind::sa: {
+                        const util::timer clock;
+                        const auto samples = sa.solve(mq.model, solve_rng);
+                        cell.solve_us = clock.elapsed_us();
+                        cell.bits = samples.best().bits;
+                        cell.ml_cost = instance.ml_cost_bits(cell.bits);
+                        break;
+                    }
+                    case path_kind::hybrid_gs_ra: {
+                        const auto result = hybrid.solve(mq.model, solve_rng);
+                        cell.classical_us = result.classical_us;
+                        cell.quantum_us = result.quantum_us;
+                        cell.bits = result.best_bits;
+                        cell.ml_cost = instance.ml_cost_bits(cell.bits);
+                        break;
+                    }
+                }
+            }
+        },
+        config.num_threads);
+
+    // Serial aggregation in use order: the merged statistics never depend on
+    // the scheduling order above.
+    link_report report;
+    report.config = config;
+    report.synthesis = {"synth", synth_us};
+    report.reduction = {"qubo", reduce_us};
+    report.paths.resize(num_paths);
+    for (std::size_t p = 0; p < num_paths; ++p) {
+        path_report& path = report.paths[p];
+        path.kind = config.paths[p];
+        path.name = to_string(path.kind);
+
+        const bool hybrid_path = path.kind == path_kind::hybrid_gs_ra;
+        const bool qubo_path = hybrid_path || path.kind == path_kind::sa;
+        path.stages.push_back({"synth", synth_us});
+        if (qubo_path) path.stages.push_back({"qubo", reduce_us});
+        if (hybrid_path) {
+            path.stages.push_back({"classical", std::vector<double>(config.num_uses, 0.0)});
+            path.stages.push_back({"quantum", std::vector<double>(config.num_uses, 0.0)});
+        } else {
+            path.stages.push_back({qubo_path ? "solve" : "detect",
+                                   std::vector<double>(config.num_uses, 0.0)});
+        }
+
+        for (std::size_t u = 0; u < config.num_uses; ++u) {
+            const cell_result& cell = cells[u * num_paths + p];
+            path.ber.add_frame(tx_bits[u], cell.bits);
+            if (cell.bits == tx_bits[u]) ++path.exact_frames;
+            path.sum_ml_cost += cell.ml_cost;
+            if (hybrid_path) {
+                path.stages[path.stages.size() - 2].service_us[u] = cell.classical_us;
+                path.stages.back().service_us[u] = cell.quantum_us;
+            } else {
+                path.stages.back().service_us[u] = cell.solve_us;
+            }
+        }
+        path.replay = replay_traces(path, config);
+    }
+    return report;
+}
+
+util::table summary_table(const link_report& report) {
+    util::table t({"path", "BER", "bit errs", "exact uses", "svc mean us", "svc p50 us",
+                   "svc p99 us", "thrpt use/ms", "p50 lat us", "p99 lat us"});
+    for (const auto& path : report.paths) {
+        // Per-path service: everything downstream of the shared synthesis
+        // stage (for the hybrid that is qubo + classical + quantum).
+        stage_trace service{"service", std::vector<double>(report.config.num_uses, 0.0)};
+        for (std::size_t s = 1; s < path.stages.size(); ++s) {
+            for (std::size_t u = 0; u < report.config.num_uses; ++u) {
+                service.service_us[u] += path.stages[s].service_us[u];
+            }
+        }
+        t.add(path.name, util::format_double(path.ber.rate(), 5), path.ber.errors(),
+              path.exact_frames, service.mean_us(), service.p50_us(), service.p99_us(),
+              path.replay.throughput_per_us * 1000.0, path.replay.p50_latency_us,
+              path.replay.p99_latency_us);
+    }
+    return t;
+}
+
+}  // namespace hcq::link

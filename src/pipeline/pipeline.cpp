@@ -27,6 +27,19 @@ stage stage::lognormal(std::string name, double median_us, double sigma) {
     });
 }
 
+stage stage::from_trace(std::string name, std::vector<double> trace_us) {
+    if (trace_us.empty()) throw std::invalid_argument("stage::from_trace: empty trace");
+    for (const double t : trace_us) {
+        if (t < 0.0 || !std::isfinite(t)) {
+            throw std::invalid_argument("stage::from_trace: bad trace entry");
+        }
+    }
+    return stage(std::move(name),
+                 [trace = std::move(trace_us)](std::size_t job_index, util::rng&) {
+                     return trace[job_index % trace.size()];
+                 });
+}
+
 double stage::service_us(std::size_t job_index, util::rng& rng) const {
     const double s = service_(job_index, rng);
     if (s < 0.0 || !std::isfinite(s)) throw std::runtime_error("stage: bad service time");
@@ -86,6 +99,33 @@ simulation_result simulate(const std::vector<stage>& stages, std::size_t num_job
         result.mean_queue_wait_us[s] = wait_acc[s] / static_cast<double>(num_jobs);
     }
     return result;
+}
+
+util::table summary_table(const simulation_result& result,
+                          const std::vector<std::string>& stage_names) {
+    const std::size_t k = result.stage_utilization.size();
+    if (!stage_names.empty() && stage_names.size() != k) {
+        throw std::invalid_argument("summary_table: stage_names arity mismatch");
+    }
+    const auto stage_label = [&](std::size_t s) {
+        return stage_names.empty() ? "stage " + std::to_string(s) : stage_names[s];
+    };
+
+    util::table t({"metric", "value"});
+    t.add("channel uses", result.num_jobs);
+    t.add("makespan us", result.makespan_us);
+    t.add("throughput use/ms", result.throughput_per_us * 1000.0);
+    t.add("mean latency us", result.mean_latency_us);
+    t.add("p50 latency us", result.p50_latency_us);
+    t.add("p99 latency us", result.p99_latency_us);
+    t.add("max latency us", result.max_latency_us);
+    for (std::size_t s = 0; s < k; ++s) {
+        t.add("utilization " + stage_label(s),
+              util::format_double(result.stage_utilization[s], 3));
+        t.add("queue wait us " + stage_label(s),
+              util::format_double(result.mean_queue_wait_us[s], 3));
+    }
+    return t;
 }
 
 std::vector<stage> make_hybrid_stages(double classical_us, double schedule_duration_us,

@@ -5,12 +5,29 @@
 // greedy-search unit, then a quantum reverse-annealing unit).  While the
 // quantum unit processes channel use N, the classical unit may already work
 // on N+1 — exactly the overlap the figure depicts.  The simulator is a
-// tandem queue with unbounded buffers and single-server stages:
+// tandem queue with single-server stages:
 //     start[k][j] = max(done[k-1][j], done[k][j-1]),
 //     done[k][j]  = start[k][j] + service_k(j).
-// It reports the link-layer quantities of interest: sustained throughput,
-// per-channel-use latency percentiles (the ARQ turnaround budget), stage
-// utilisation, and queueing delay.
+//
+// Modelling assumptions, explicitly:
+//   * Buffers between stages are UNBOUNDED: a job finishing stage k-1 always
+//     parks in front of stage k, no matter how far behind that stage is.
+//     There is no backpressure and no drop policy, so offered load above the
+//     bottleneck service rate grows queues (and latency) without bound —
+//     saturate deliberately when probing capacity, and read p99 latency
+//     against an ARQ budget rather than expecting it to plateau.
+//   * Each stage serves one job at a time, in arrival order (FIFO).
+//   * `stage_utilization[k]` is busy time / makespan — the fraction of the
+//     whole run the stage spent serving, measured against the LAST departure
+//     time, not against the stage's own active window.  Early stages that
+//     finish their work and then idle while the tail drains therefore report
+//     lower utilisation than an in-isolation measurement would.
+//
+// The simulator reports the link-layer quantities of interest: sustained
+// throughput, per-channel-use latency percentiles (the ARQ turnaround
+// budget), stage utilisation, and queueing delay.  Service models may be
+// synthetic (constant / lognormal) or measured traces recorded from the real
+// solver code paths by the end-to-end link simulator (link/link_sim.h).
 #ifndef HCQ_PIPELINE_PIPELINE_H
 #define HCQ_PIPELINE_PIPELINE_H
 
@@ -19,6 +36,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/table.h"
 
 namespace hcq::pipeline {
 
@@ -34,6 +52,13 @@ public:
 
     /// Lognormal-jittered service time: exp(N(log median, sigma)).
     [[nodiscard]] static stage lognormal(std::string name, double median_us, double sigma);
+
+    /// Replays a measured per-job service-time trace (e.g. the wall times the
+    /// end-to-end link simulator records for each stage).  Job j is served in
+    /// trace[j % trace.size()] us, so a short trace cycles over a longer run.
+    /// Throws std::invalid_argument on an empty trace or any negative /
+    /// non-finite entry.
+    [[nodiscard]] static stage from_trace(std::string name, std::vector<double> trace_us);
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] double service_us(std::size_t job_index, util::rng& rng) const;
@@ -68,6 +93,15 @@ struct simulation_result {
 [[nodiscard]] simulation_result simulate(const std::vector<stage>& stages,
                                          std::size_t num_jobs, const arrival_process& arrivals,
                                          util::rng& rng);
+
+/// Renders a simulation_result as a two-column metric/value util::table
+/// (throughput, latency percentiles, then per-stage utilisation and queue
+/// wait).  `stage_names` labels the per-stage rows and must either match the
+/// per-stage vector sizes or be empty (stages are then numbered).  This is
+/// the one place result formatting lives — examples and benches print
+/// through it instead of ad-hoc streaming.
+[[nodiscard]] util::table summary_table(const simulation_result& result,
+                                        const std::vector<std::string>& stage_names = {});
 
 /// Convenience builder for the paper's two-stage hybrid: a classical
 /// initialiser stage followed by a quantum annealer stage whose service time

@@ -22,6 +22,14 @@ std::string to_string(modulation mod) {
     return "?";
 }
 
+modulation parse_modulation(const std::string& name) {
+    if (name == "BPSK" || name == "bpsk") return modulation::bpsk;
+    if (name == "QPSK" || name == "qpsk") return modulation::qpsk;
+    if (name == "16-QAM" || name == "qam16" || name == "16qam") return modulation::qam16;
+    if (name == "64-QAM" || name == "qam64" || name == "64qam") return modulation::qam64;
+    throw std::invalid_argument("unknown modulation: '" + name + "'");
+}
+
 std::size_t bits_per_symbol(modulation mod) noexcept {
     switch (mod) {
         case modulation::bpsk: return 1;

@@ -33,6 +33,10 @@ enum class modulation { bpsk, qpsk, qam16, qam64 };
 /// "BPSK", "QPSK", "16-QAM", "64-QAM".
 [[nodiscard]] std::string to_string(modulation mod);
 
+/// Parses the names above plus the CLI-friendly aliases "bpsk", "qpsk",
+/// "qam16"/"16qam", "qam64"/"64qam"; throws std::invalid_argument otherwise.
+[[nodiscard]] modulation parse_modulation(const std::string& name);
+
 /// Bits carried per complex symbol: 1, 2, 4, 6.
 [[nodiscard]] std::size_t bits_per_symbol(modulation mod) noexcept;
 

@@ -1,0 +1,158 @@
+// Tests for the end-to-end link simulator: deterministic statistics at any
+// thread count, correct report shapes, exactness of the sphere path on the
+// paper's noiseless corpus, and configuration validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/schedule.h"
+#include "link/link_sim.h"
+
+namespace {
+
+namespace lk = hcq::link;
+namespace wl = hcq::wireless;
+
+lk::link_config small_config() {
+    lk::link_config config;
+    config.num_uses = 24;
+    config.num_users = 2;
+    config.mod = wl::modulation::qpsk;
+    config.snr_db = 12.0;
+    config.hybrid_reads = 10;
+    config.sa.num_reads = 4;
+    config.sa.num_sweeps = 40;
+    config.seed = 77;
+    return config;
+}
+
+TEST(LinkSim, StatisticsBitIdenticalAcrossThreadCounts) {
+    auto config = small_config();
+    config.paths = {lk::path_kind::zf, lk::path_kind::mmse, lk::path_kind::kbest,
+                    lk::path_kind::sphere, lk::path_kind::sa, lk::path_kind::hybrid_gs_ra};
+
+    config.num_threads = 1;
+    const auto serial = lk::run_link_simulation(config);
+    for (const std::size_t threads : {2UL, 8UL}) {
+        config.num_threads = threads;
+        const auto parallel = lk::run_link_simulation(config);
+        ASSERT_EQ(parallel.paths.size(), serial.paths.size());
+        for (std::size_t p = 0; p < serial.paths.size(); ++p) {
+            SCOPED_TRACE(serial.paths[p].name + " @ " + std::to_string(threads) + " threads");
+            EXPECT_EQ(parallel.paths[p].ber.errors(), serial.paths[p].ber.errors());
+            EXPECT_EQ(parallel.paths[p].ber.total_bits(), serial.paths[p].ber.total_bits());
+            EXPECT_EQ(parallel.paths[p].exact_frames, serial.paths[p].exact_frames);
+            // Bit-identical, not just close: the serial use-order aggregation
+            // must make the sum independent of scheduling.
+            EXPECT_EQ(parallel.paths[p].sum_ml_cost, serial.paths[p].sum_ml_cost);
+        }
+    }
+}
+
+TEST(LinkSim, SpherePathIsExactOnNoiselessPaperCorpus) {
+    auto config = small_config();
+    config.noiseless = true;
+    config.channel = wl::channel_model::unit_gain_random_phase;
+    config.paths = {lk::path_kind::sphere};
+    const auto report = lk::run_link_simulation(config);
+    const auto& sd = report.path(lk::path_kind::sphere);
+    EXPECT_EQ(sd.ber.errors(), 0u);
+    EXPECT_EQ(sd.exact_frames, config.num_uses);
+    EXPECT_NEAR(sd.sum_ml_cost, 0.0, 1e-6);
+}
+
+TEST(LinkSim, ReportShapesAndStageComposition) {
+    auto config = small_config();
+    config.paths = {lk::path_kind::zf, lk::path_kind::sa, lk::path_kind::hybrid_gs_ra};
+    const auto report = lk::run_link_simulation(config);
+
+    EXPECT_EQ(report.synthesis.service_us.size(), config.num_uses);
+    EXPECT_EQ(report.reduction.service_us.size(), config.num_uses);
+    ASSERT_EQ(report.paths.size(), 3u);
+
+    const auto& zf = report.path(lk::path_kind::zf);
+    EXPECT_EQ(zf.stage_names(), (std::vector<std::string>{"synth", "detect"}));
+    const auto& sa = report.path(lk::path_kind::sa);
+    EXPECT_EQ(sa.stage_names(), (std::vector<std::string>{"synth", "qubo", "solve"}));
+    const auto& hybrid = report.path(lk::path_kind::hybrid_gs_ra);
+    EXPECT_EQ(hybrid.stage_names(),
+              (std::vector<std::string>{"synth", "qubo", "classical", "quantum"}));
+
+    for (const auto& path : report.paths) {
+        EXPECT_EQ(path.ber.total_bits(),
+                  config.num_uses * config.num_users * wl::bits_per_symbol(config.mod));
+        for (const auto& trace : path.stages) {
+            EXPECT_EQ(trace.service_us.size(), config.num_uses);
+            EXPECT_GE(trace.p99_us(), trace.p50_us());
+        }
+        EXPECT_EQ(path.replay.num_jobs, config.num_uses);
+        EXPECT_EQ(path.replay.stage_utilization.size(), path.stages.size());
+        EXPECT_GT(path.replay.throughput_per_us, 0.0);
+    }
+
+    // The hybrid's quantum stage is its programmed occupancy: duration x reads.
+    const double programmed_us =
+        hcq::anneal::anneal_schedule::reverse(config.switch_pause_location,
+                                              config.pause_time_us)
+            .duration_us() *
+        static_cast<double>(config.hybrid_reads);
+    for (const double q_us : hybrid.stages.back().service_us) {
+        EXPECT_DOUBLE_EQ(q_us, programmed_us);
+    }
+
+    EXPECT_THROW((void)report.path(lk::path_kind::kbest), std::out_of_range);
+}
+
+TEST(LinkSim, SummaryTableHasOneRowPerPath) {
+    auto config = small_config();
+    config.paths = {lk::path_kind::zf, lk::path_kind::hybrid_gs_ra};
+    const auto report = lk::run_link_simulation(config);
+    const auto t = lk::summary_table(report);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.columns(), 10u);
+}
+
+TEST(LinkSim, PathKindNamesRoundTrip) {
+    using pk = lk::path_kind;
+    for (const pk kind : {pk::zf, pk::mmse, pk::kbest, pk::sphere, pk::sa, pk::hybrid_gs_ra}) {
+        EXPECT_EQ(lk::parse_path_kind(lk::to_string(kind)), kind);
+    }
+    EXPECT_EQ(lk::parse_path_kind("gsra"), pk::hybrid_gs_ra);
+    EXPECT_EQ(lk::parse_path_kind("sphere"), pk::sphere);
+    EXPECT_THROW((void)lk::parse_path_kind("quantum-leap"), std::invalid_argument);
+}
+
+TEST(LinkSim, ConfigValidation) {
+    {
+        auto config = small_config();
+        config.num_uses = 0;
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+    {
+        auto config = small_config();
+        config.num_users = 0;
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+    {
+        auto config = small_config();
+        config.paths = {};
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+    {
+        auto config = small_config();
+        config.paths = {lk::path_kind::zf, lk::path_kind::zf};
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+    {
+        auto config = small_config();
+        config.offered_load = 0.0;
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+    {
+        auto config = small_config();
+        config.hybrid_reads = 0;
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+}
+
+}  // namespace

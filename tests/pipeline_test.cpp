@@ -140,6 +140,48 @@ TEST(HybridStages, BuilderComposesTimes) {
     EXPECT_THROW((void)pl::make_hybrid_stages(1.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(Stage, FromTraceReplaysAndCycles) {
+    hcq::util::rng rng(20);
+    const auto s = pl::stage::from_trace("measured", {1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(s.service_us(0, rng), 1.0);
+    EXPECT_DOUBLE_EQ(s.service_us(1, rng), 2.0);
+    EXPECT_DOUBLE_EQ(s.service_us(2, rng), 3.0);
+    EXPECT_DOUBLE_EQ(s.service_us(3, rng), 1.0);  // cycles past the trace end
+    EXPECT_DOUBLE_EQ(s.service_us(7, rng), 2.0);
+}
+
+TEST(Stage, FromTraceValidation) {
+    EXPECT_THROW((void)pl::stage::from_trace("empty", {}), std::invalid_argument);
+    EXPECT_THROW((void)pl::stage::from_trace("neg", {1.0, -0.5}), std::invalid_argument);
+    EXPECT_THROW((void)pl::stage::from_trace("inf", {1.0, 1.0 / 0.0}), std::invalid_argument);
+}
+
+TEST(Simulate, MeasuredTraceMatchesHandComputedLatency) {
+    // Two measured stages with slow arrivals: latency of job j is exactly
+    // trace_a[j] + trace_b[j].
+    hcq::util::rng rng(21);
+    const std::vector<pl::stage> stages{pl::stage::from_trace("a", {1.0, 2.0}),
+                                        pl::stage::from_trace("b", {4.0, 3.0})};
+    const auto result = pl::simulate(stages, 2, {.interarrival_us = 100.0}, rng);
+    ASSERT_EQ(result.latencies_us.size(), 2u);
+    EXPECT_DOUBLE_EQ(result.latencies_us[0], 5.0);
+    EXPECT_DOUBLE_EQ(result.latencies_us[1], 5.0);
+}
+
+TEST(SummaryTable, ShapeAndStageLabels) {
+    hcq::util::rng rng(22);
+    const std::vector<pl::stage> stages{pl::stage::constant("cl", 1.0),
+                                        pl::stage::constant("qu", 2.0)};
+    const auto result = pl::simulate(stages, 50, {.interarrival_us = 4.0}, rng);
+    // 7 headline metrics + 2 rows (utilisation, queue wait) per stage.
+    const auto named = pl::summary_table(result, {"cl", "qu"});
+    EXPECT_EQ(named.columns(), 2u);
+    EXPECT_EQ(named.rows(), 7u + 2u * stages.size());
+    const auto numbered = pl::summary_table(result);
+    EXPECT_EQ(numbered.rows(), named.rows());
+    EXPECT_THROW((void)pl::summary_table(result, {"only-one"}), std::invalid_argument);
+}
+
 TEST(HybridStages, EndToEndHybridPipelineRuns) {
     hcq::util::rng rng(13);
     // Classical 1 us, quantum = 5 reads x 2.18 us (RA at s_p = 0.41).

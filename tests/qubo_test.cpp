@@ -8,6 +8,7 @@
 #include "qubo/generator.h"
 #include "qubo/ising.h"
 #include "qubo/model.h"
+#include "qubo/serialize.h"
 #include "util/rng.h"
 
 namespace {
@@ -316,6 +317,73 @@ TEST(Generator, SkSpinGlassShape) {
     EXPECT_EQ(ising.num_spins(), 8u);
     for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(ising.field(i), 0.0);
     EXPECT_THROW((void)q::sk_spin_glass(rng, 1), std::invalid_argument);
+}
+
+TEST(Serialize, RandomModelRoundTrips) {
+    hcq::util::rng rng(41);
+    const auto m = q::random_qubo(rng, 12, 0.6);
+    const auto back = q::from_string(q::to_string(m));
+    ASSERT_EQ(back.num_variables(), m.num_variables());
+    EXPECT_DOUBLE_EQ(back.offset(), m.offset());
+    for (std::size_t i = 0; i < 12; ++i) {
+        for (std::size_t j = i; j < 12; ++j) {
+            EXPECT_DOUBLE_EQ(back.coefficient(i, j), m.coefficient(i, j));
+        }
+    }
+}
+
+TEST(Serialize, EmptyModelRoundTrips) {
+    const q::qubo_model empty;
+    const auto back = q::from_string(q::to_string(empty));
+    EXPECT_EQ(back.num_variables(), 0u);
+    EXPECT_DOUBLE_EQ(back.offset(), 0.0);
+}
+
+TEST(Serialize, OffsetOnlyModelRoundTrips) {
+    // No nonzero terms at all: the term section is legitimately absent.
+    q::qubo_model m(3);
+    m.set_offset(-2.75);
+    const auto text = q::to_string(m);
+    const auto back = q::from_string(text);
+    EXPECT_EQ(back.num_variables(), 3u);
+    EXPECT_DOUBLE_EQ(back.offset(), -2.75);
+    const q::bit_vector all_ones(3, 1);
+    EXPECT_DOUBLE_EQ(back.energy(all_ones), 0.0);
+}
+
+TEST(Serialize, CommentHeavyInputParses) {
+    const std::string text =
+        "# leading comment\n"
+        "\n"
+        "   # indented comment before the header\n"
+        "hcq-qubo v1\n"
+        "# after the header\n"
+        "n 2 offset 1.5\n"
+        "\t# between size line and terms\n"
+        "0 0 -1\n"
+        "# between terms\n"
+        "0 1 2.25\n"
+        "   \n"
+        "# trailing comment\n";
+    const auto m = q::from_string(text);
+    EXPECT_EQ(m.num_variables(), 2u);
+    EXPECT_DOUBLE_EQ(m.offset(), 1.5);
+    EXPECT_DOUBLE_EQ(m.linear(0), -1.0);
+    EXPECT_DOUBLE_EQ(m.coefficient(0, 1), 2.25);
+}
+
+TEST(Serialize, RejectsDuplicateAndMalformedTerms) {
+    EXPECT_THROW((void)q::from_string("hcq-qubo v1\nn 2 offset 0\n0 1 1\n0 1 2\n"),
+                 std::invalid_argument);  // duplicate term
+    EXPECT_THROW((void)q::from_string("hcq-qubo v1\nn 2 offset 0\n1 0 1\n"),
+                 std::invalid_argument);  // i > j
+    EXPECT_THROW((void)q::from_string("hcq-qubo v1\nn 2 offset 0\n0 2 1\n"),
+                 std::invalid_argument);  // index out of range
+    EXPECT_THROW((void)q::from_string("hcq-qubo v1\nn 2 offset 0\n0 one 1\n"),
+                 std::invalid_argument);  // non-numeric
+    EXPECT_THROW((void)q::from_string("not-a-qubo\n"), std::invalid_argument);
+    EXPECT_THROW((void)q::from_string("hcq-qubo v1\n"), std::invalid_argument);  // no size line
+    EXPECT_THROW((void)q::from_string("hcq-qubo v1\nm 2 offset 0\n"), std::invalid_argument);
 }
 
 }  // namespace
