@@ -8,11 +8,13 @@
 // layer, with stage times measured from the real code paths?"
 //
 // Extra flags: --uses=<base count> (scaled by --scale), --load=<offered
-// load>, --threads=<n>.
+// load>, --threads=<n>, --paths=<spec list> (paths::registry spec strings,
+// e.g. zf,kbest:width=16,gsra).
 #include <vector>
 
 #include "bench_common.h"
 #include "link/link_sim.h"
+#include "paths/registry.h"
 
 int main(int argc, char** argv) {
     using namespace hcq;
@@ -24,6 +26,8 @@ int main(int argc, char** argv) {
     const std::size_t uses = ctx.scaled(static_cast<std::size_t>(ctx.flags.get_int("uses", 100)));
     const double load = ctx.flags.get_double("load", 0.9);
     const std::size_t threads = static_cast<std::size_t>(ctx.flags.get_int("threads", 0));
+    const auto path_specs =
+        paths::parse_spec_list(ctx.flags.get_string("paths", "zf,kbest,sphere,sa,gsra"));
 
     struct scenario {
         std::size_t users;
@@ -43,6 +47,7 @@ int main(int argc, char** argv) {
         config.num_uses = uses;
         config.num_users = s.users;
         config.mod = s.mod;
+        config.paths = path_specs;
         config.offered_load = load;
         config.num_threads = threads;
         config.seed = ctx.seed;

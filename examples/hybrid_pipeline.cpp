@@ -2,37 +2,53 @@
 // classical-quantum structure, with stage timings measured from the real
 // solver components (not synthetic constants).
 //
+// The hybrid structure is built from a detection-path spec string
+// ("gsra:reads=N,sp=0.45") through paths::registry — the same API
+// examples/link_sim and the link layer use — and its measured "classical" /
+// "quantum" stage split drives the pipeline exploration below.
+//
 // Prints a short timeline of the first few channel uses (showing the
 // classical unit working on use N+1 while the quantum unit processes use N)
 // followed by steady-state throughput/latency for several read budgets.
 //
 // Usage: ./examples/hybrid_pipeline [--uses=N] [--reads=N]
+#include <algorithm>
 #include <iostream>
+#include <string>
 
-#include "classical/greedy.h"
-#include "core/device.h"
-#include "core/experiment.h"
-#include "core/schedule.h"
+#include "detect/transform.h"
+#include "paths/registry.h"
 #include "pipeline/pipeline.h"
 #include "util/cli.h"
 #include "util/table.h"
+#include "wireless/mimo.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
     using namespace hcq;
     const util::flag_set flags(argc, argv);
     const std::size_t uses = static_cast<std::size_t>(flags.get_int("uses", 1000));
     const std::size_t reads = static_cast<std::size_t>(flags.get_int("reads", 50));
 
-    // Measure real stage costs on a representative instance.
+    // Build the paper's hybrid structure from its spec string and measure
+    // real stage costs on a representative channel use.
+    const auto hybrid =
+        paths::registry::make("gsra:reads=" + std::to_string(reads) + ",sp=0.45,pause_us=1");
     util::rng rng(4242);
-    const auto e = hybrid::make_paper_instance(rng, 8, wireless::modulation::qam16);
-    const auto gs = solvers::greedy_search().initialize(e.reduced.model, rng);
-    const double classical_us = std::max(gs.elapsed_us, 1.0);
-    const auto schedule = anneal::anneal_schedule::reverse(0.45, 1.0);
-    const double read_us = schedule.duration_us();
-    const double quantum_us = read_us * static_cast<double>(reads);
+    const auto instance = wireless::noiseless_paper_instance(rng, 8, wireless::modulation::qam16);
+    const auto mq = detect::ml_to_qubo(instance);
+    const paths::path_context ctx{instance, &mq, rng};
+    const auto measured = hybrid->run(ctx);
 
-    std::cout << "stage costs measured on an 8-user 16-QAM use:\n"
+    double classical_us = 1.0;
+    double quantum_us = 0.0;
+    for (const auto& stage : measured.stages) {
+        if (stage.name == "classical") classical_us = std::max(stage.service_us, 1.0);
+        if (stage.name == "quantum") quantum_us = stage.service_us;
+    }
+    const double read_us = quantum_us / static_cast<double>(reads);
+
+    std::cout << "stage costs measured through the '" << hybrid->spec().to_string()
+              << "' path on an 8-user 16-QAM use:\n"
               << "  classical greedy search: " << util::format_double(classical_us, 2)
               << " us\n  quantum RA (" << reads << " reads x "
               << util::format_double(read_us, 2)
@@ -86,4 +102,7 @@ int main(int argc, char** argv) {
         stages, uses, {.interarrival_us = bottleneck / 0.95}, detail_rng);
     pipeline::summary_table(detail, {"classical", "quantum"}).print(std::cout);
     return 0;
+} catch (const std::exception& e) {
+    std::cerr << "hybrid_pipeline: error: " << e.what() << "\n";
+    return 2;
 }

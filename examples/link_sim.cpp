@@ -1,40 +1,53 @@
 // End-to-end link simulation: a stream of channel uses flowing through
-// wireless synthesis -> QUBO reduction -> {linear, K-best, sphere, SA,
-// hybrid GS+RA} side by side, with measured per-stage wall times replayed
-// through the Figure-2 tandem-queue pipeline.
+// wireless synthesis -> QUBO reduction -> any set of registered detection
+// paths side by side, with measured per-stage wall times replayed through
+// the Figure-2 tandem-queue pipeline.
 //
 // This is the system view the figure benches do not give: BER per detector
 // on the same uses, measured (not synthetic) stage service times, and the
 // sustained throughput / ARQ-budget latency each detection path would
 // deliver at the configured offered load.
 //
+// Paths are spec strings resolved through paths::registry — run with --help
+// for the full listing of kinds and their keys.  Per-path knobs ride inside
+// the spec: `--paths zf,kbest:width=16,gsra:reads=40,sp=0.35` is three
+// paths (a key=value segment always continues the preceding spec).
+//
 // Usage: ./examples/link_sim
 //   [--uses=120] [--users=4] [--mod=qam16] [--snr=16] [--noiseless]
-//   [--paths=zf,kbest,sphere,sa,gsra] [--reads=80] [--sp=0.29]
-//   [--load=0.9] [--threads=0] [--seed=1] [--csv]
+//   [--paths=zf,kbest,sphere,sa,gsra] [--load=0.9] [--threads=0] [--seed=1]
+//   [--csv] [--help]
+#include <algorithm>
 #include <iostream>
-#include <sstream>
 
 #include "link/link_sim.h"
+#include "paths/registry.h"
 #include "util/cli.h"
-
-namespace {
-
-std::vector<hcq::link::path_kind> parse_paths(const std::string& csv) {
-    std::vector<hcq::link::path_kind> paths;
-    std::istringstream is(csv);
-    std::string token;
-    while (std::getline(is, token, ',')) {
-        if (!token.empty()) paths.push_back(hcq::link::parse_path_kind(token));
-    }
-    return paths;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) try {
     using namespace hcq;
     const util::flag_set flags(argc, argv);
+
+    if (flags.get_bool("help", false)) {
+        std::cout << "link_sim — end-to-end link simulation "
+                     "(channel use -> QUBO -> solve -> BER)\n\n"
+                     "flags: --uses=120 --users=4 --mod=qam16 --snr=16 --noiseless\n"
+                     "       --paths=zf,kbest,sphere,sa,gsra --load=0.9 --threads=0\n"
+                     "       --seed=1 --csv\n\n"
+                  << paths::registry::help();
+        return 0;
+    }
+
+    // These pre-registry flags moved into the gsra spec; reject them loudly
+    // rather than silently running with different knobs than requested.
+    for (const char* moved : {"reads", "sp"}) {
+        if (flags.has(moved)) {
+            std::cerr << "link_sim: --" << moved
+                      << " moved into the path spec: use --paths "
+                         "gsra:reads=40,sp=0.35 (see --help)\n";
+            return 2;
+        }
+    }
 
     link::link_config config;
     config.num_uses = static_cast<std::size_t>(flags.get_int("uses", 120));
@@ -43,9 +56,7 @@ int main(int argc, char** argv) try {
     config.snr_db = flags.get_double("snr", 16.0);
     config.noiseless = flags.get_bool("noiseless", false);
     if (config.noiseless) config.channel = wireless::channel_model::unit_gain_random_phase;
-    if (flags.has("paths")) config.paths = parse_paths(flags.get_string("paths", ""));
-    config.hybrid_reads = static_cast<std::size_t>(flags.get_int("reads", 80));
-    config.switch_pause_location = flags.get_double("sp", 0.29);
+    if (flags.has("paths")) config.paths = paths::parse_spec_list(flags.get_string("paths", ""));
     config.offered_load = flags.get_double("load", 0.9);
     config.num_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
     config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
@@ -74,11 +85,14 @@ int main(int argc, char** argv) try {
                  "thrpt / latency come from replaying the measured stage traces\n"
                  "through the Figure-2 tandem queue at the offered load.\n";
 
-    // Detailed measured-trace replay for the hybrid structure, when present.
+    // Detailed measured-trace replay for hybrid structures (paths reporting
+    // a split "quantum" stage), when present.
     for (const auto& path : report.paths) {
-        if (path.kind != link::path_kind::hybrid_gs_ra) continue;
-        std::cout << "\nhybrid GS+RA measured-trace pipeline replay (per stage):\n";
-        const auto detail = pipeline::summary_table(path.replay, path.stage_names());
+        const auto names = path.stage_names();
+        if (std::find(names.begin(), names.end(), "quantum") == names.end()) continue;
+        std::cout << "\n" << path.name << " (" << path.spec
+                  << ") measured-trace pipeline replay (per stage):\n";
+        const auto detail = pipeline::summary_table(path.replay, names);
         if (csv) {
             detail.print_csv(std::cout);
         } else {
@@ -88,6 +102,6 @@ int main(int argc, char** argv) try {
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "link_sim: error: " << e.what() << "\n"
-              << "see the usage comment at the top of examples/link_sim.cpp\n";
+              << "run ./link_sim --help for the flag and detection-path listing\n";
     return 2;
 }

@@ -51,10 +51,11 @@ if [[ $run_tsan -eq 1 ]]; then
     echo "== TSan: parallel runner + thread pool + link simulator =="
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHCQ_SANITIZE=thread \
         -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF
-    cmake --build "$dir" -j "$jobs" --target parallel_runner_test util_test link_test
+    cmake --build "$dir" -j "$jobs" --target parallel_runner_test util_test link_test paths_test
     "$dir/tests/parallel_runner_test"
     "$dir/tests/util_test" --gtest_filter='ThreadPool.*:ParallelFor.*'
     "$dir/tests/link_test"
+    "$dir/tests/paths_test"
 fi
 
 echo "verify: all gates passed"

@@ -9,11 +9,22 @@
 
 namespace hcq::hybrid {
 
-hybrid_solver_adapter::hybrid_solver_adapter(hybrid_solver solver) : solver_(std::move(solver)) {}
+hybrid_solver_adapter::hybrid_solver_adapter(
+    std::shared_ptr<const solvers::initializer> init,
+    std::shared_ptr<const anneal::annealer_emulator> device, anneal::anneal_schedule schedule,
+    std::size_t num_reads)
+    : init_(std::move(init)), device_(std::move(device)) {
+    if (init_ == nullptr) {
+        throw std::invalid_argument("hybrid_solver_adapter: null initialiser");
+    }
+    if (device_ == nullptr) throw std::invalid_argument("hybrid_solver_adapter: null device");
+    solver_ = std::make_unique<const hybrid_solver>(*init_, *device_, std::move(schedule),
+                                                    num_reads);
+}
 
 solvers::sample_set hybrid_solver_adapter::solve(const qubo::qubo_model& q,
                                                  util::rng& rng) const {
-    const hybrid_result result = solver_.solve(q, rng);
+    const hybrid_result result = solver_->solve(q, rng);
     solvers::sample_set out;
     out.reserve(result.samples.size() + 1);
     out.add(result.initial.bits, result.initial.energy);
@@ -100,6 +111,16 @@ sweep_report parallel_runner::sweep(const std::vector<experiment_instance>& corp
     // scheduling order above.
     for (const auto& run : report.runs) report.merged.merge(run.samples);
     return report;
+}
+
+sweep_report parallel_runner::sweep(
+    const std::vector<experiment_instance>& corpus,
+    const std::vector<std::shared_ptr<const solvers::solver>>& solvers,
+    std::uint64_t seed) const {
+    std::vector<const solvers::solver*> raw;
+    raw.reserve(solvers.size());
+    for (const auto& s : solvers) raw.push_back(s.get());
+    return sweep(corpus, raw, seed);
 }
 
 }  // namespace hcq::hybrid

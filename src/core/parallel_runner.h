@@ -11,6 +11,7 @@
 #define HCQ_CORE_PARALLEL_RUNNER_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,19 +26,31 @@ namespace hcq::hybrid {
 /// directly against SA / tabu / parallel tempering.  The returned sample set
 /// holds the initialiser's candidate first, then the annealer reads.
 ///
-/// The adapter copies the hybrid_solver, which itself only references its
-/// initialiser and device — both must outlive the adapter (a temporary
-/// initialiser in the constructor expression dangles).
+/// The adapter *owns* its initialiser and device through shared_ptr —
+/// constructing it from temporaries is safe (the earlier reference-holding
+/// design dangled when the initialiser or device in the constructor
+/// expression was a temporary).
 class hybrid_solver_adapter final : public solvers::solver {
 public:
-    explicit hybrid_solver_adapter(hybrid_solver solver);
+    /// Throws std::invalid_argument on a null initialiser or device, or a
+    /// schedule that does not start classical (via hybrid_solver).
+    hybrid_solver_adapter(std::shared_ptr<const solvers::initializer> init,
+                          std::shared_ptr<const anneal::annealer_emulator> device,
+                          anneal::anneal_schedule schedule, std::size_t num_reads);
 
     [[nodiscard]] solvers::sample_set solve(const qubo::qubo_model& q,
                                             util::rng& rng) const override;
-    [[nodiscard]] std::string name() const override { return solver_.name(); }
+    [[nodiscard]] std::string name() const override { return solver_->name(); }
+
+    /// The underlying hybrid solver (for per-stage time accounting).
+    [[nodiscard]] const hybrid_solver& hybrid() const noexcept { return *solver_; }
 
 private:
-    hybrid_solver solver_;
+    std::shared_ptr<const solvers::initializer> init_;
+    std::shared_ptr<const anneal::annealer_emulator> device_;
+    /// unique_ptr (not a value) because hybrid_solver stores pointers to
+    /// init/device fixed at construction; init_/device_ above keep them alive.
+    std::unique_ptr<const hybrid_solver> solver_;
 };
 
 /// Runner knobs.
@@ -101,6 +114,14 @@ public:
     [[nodiscard]] sweep_report sweep(const std::vector<experiment_instance>& corpus,
                                      const std::vector<const solvers::solver*>& solvers,
                                      std::uint64_t seed) const;
+
+    /// Overload over owned solver lists — the form paths::registry::
+    /// make_solvers produces, so sweeps can be configured entirely from spec
+    /// strings ("sa:sweeps=2000", "gsra:reads=80", ...).
+    [[nodiscard]] sweep_report sweep(
+        const std::vector<experiment_instance>& corpus,
+        const std::vector<std::shared_ptr<const solvers::solver>>& solvers,
+        std::uint64_t seed) const;
 
 private:
     runner_config config_;

@@ -2,17 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
-#include "classical/greedy.h"
-#include "core/device.h"
-#include "core/hybrid_solver.h"
-#include "core/schedule.h"
-#include "detect/kbest.h"
-#include "detect/linear.h"
-#include "detect/sphere.h"
-#include "detect/transform.h"
 #include "metrics/stats.h"
+#include "paths/registry.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "wireless/mimo.h"
@@ -21,36 +15,16 @@ namespace hcq::link {
 namespace {
 
 // Stream-id tags keeping channel-use synthesis draws disjoint from solver
-// draws (same scheme as parallel_runner::sweep_stream_domain).
+// draws (same scheme as parallel_runner::sweep_stream_domain).  These values
+// predate the registry redesign and must never change: the golden-value test
+// pins link statistics to the enum-dispatch implementation that used them.
 constexpr std::uint64_t synth_stream_domain = 0x6c696e6b5f434855ULL;  // "link_CHU"
 constexpr std::uint64_t solve_stream_domain = 0x6c696e6b5f534c56ULL;  // "link_SLV"
-
-/// Everything one (use, path) cell produces.  `bits` / `ml_cost` are
-/// deterministic in (config, seed); the *_us fields are measured wall times
-/// (except the hybrid's quantum occupancy, which is the programmed schedule
-/// time x reads — the quantity hardware extrapolations need, since the
-/// emulator's own wall time says nothing about a physical annealer).
-struct cell_result {
-    qubo::bit_vector bits;
-    double ml_cost = 0.0;
-    double solve_us = 0.0;      // conventional / SA paths: the whole solve
-    double classical_us = 0.0;  // hybrid path: measured initialiser time
-    double quantum_us = 0.0;    // hybrid path: programmed annealer occupancy
-};
 
 void validate(const link_config& config) {
     if (config.num_uses == 0) throw std::invalid_argument("link: zero channel uses");
     if (config.num_users == 0) throw std::invalid_argument("link: zero users");
     if (config.paths.empty()) throw std::invalid_argument("link: no detection paths");
-    for (std::size_t a = 0; a < config.paths.size(); ++a) {
-        for (std::size_t b = a + 1; b < config.paths.size(); ++b) {
-            if (config.paths[a] == config.paths[b]) {
-                throw std::invalid_argument("link: duplicate detection path");
-            }
-        }
-    }
-    if (config.kbest_width == 0) throw std::invalid_argument("link: zero K-best width");
-    if (config.hybrid_reads == 0) throw std::invalid_argument("link: zero hybrid reads");
     if (!(config.offered_load > 0.0) || !std::isfinite(config.offered_load)) {
         throw std::invalid_argument("link: offered load must be positive and finite");
     }
@@ -73,37 +47,19 @@ pipeline::simulation_result replay_traces(const path_report& path, const link_co
 
 }  // namespace
 
-const char* to_string(path_kind kind) noexcept {
-    switch (kind) {
-        case path_kind::zf: return "ZF";
-        case path_kind::mmse: return "MMSE";
-        case path_kind::kbest: return "K-best";
-        case path_kind::sphere: return "SD";
-        case path_kind::sa: return "SA";
-        case path_kind::hybrid_gs_ra: return "GS+RA";
-    }
-    return "?";
-}
-
-path_kind parse_path_kind(const std::string& name) {
-    if (name == "ZF" || name == "zf") return path_kind::zf;
-    if (name == "MMSE" || name == "mmse") return path_kind::mmse;
-    if (name == "K-best" || name == "kbest") return path_kind::kbest;
-    if (name == "SD" || name == "sphere") return path_kind::sphere;
-    if (name == "SA" || name == "sa") return path_kind::sa;
-    if (name == "GS+RA" || name == "gsra") return path_kind::hybrid_gs_ra;
-    throw std::invalid_argument("unknown detection path: '" + name + "'");
-}
-
 double stage_trace::mean_us() const {
     metrics::running_stats stats;
     for (const double v : service_us) stats.add(v);
-    return stats.mean();
+    return stats.mean();  // running_stats yields 0.0 on no data
 }
 
-double stage_trace::p50_us() const { return metrics::percentile(service_us, 50.0); }
+double stage_trace::p50_us() const {
+    return service_us.empty() ? 0.0 : metrics::percentile(service_us, 50.0);
+}
 
-double stage_trace::p99_us() const { return metrics::percentile(service_us, 99.0); }
+double stage_trace::p99_us() const {
+    return service_us.empty() ? 0.0 : metrics::percentile(service_us, 99.0);
+}
 
 std::vector<std::string> path_report::stage_names() const {
     std::vector<std::string> names;
@@ -112,45 +68,40 @@ std::vector<std::string> path_report::stage_names() const {
     return names;
 }
 
-const path_report& link_report::path(path_kind kind) const {
+const path_report& link_report::path(std::string_view query) const {
     for (const auto& p : paths) {
-        if (p.kind == kind) return p;
+        if (p.kind == query || p.name == query || p.spec == query) return p;
     }
-    throw std::out_of_range(std::string("link_report: no such path: ") + to_string(kind));
+    throw std::out_of_range("link_report: no such path: " + std::string(query));
 }
 
 link_report run_link_simulation(const link_config& config) {
     validate(config);
 
-    // Path machinery, constructed once and shared read-only across workers.
-    const detect::zf_detector zf;
-    const detect::mmse_detector mmse;
-    const detect::kbest_detector kbest(config.kbest_width);
-    const detect::sphere_detector sphere;
-    const solvers::simulated_annealing sa(config.sa);
-    const solvers::greedy_search greedy;
-    const anneal::annealer_emulator device;
-    const hybrid::hybrid_solver hybrid(
-        greedy, device,
-        anneal::anneal_schedule::reverse(config.switch_pause_location, config.pause_time_us),
-        config.hybrid_reads);
-    // Indexed by path_kind value; the static_asserts pin the enum layout the
-    // indexing relies on.
-    static_assert(static_cast<std::size_t>(path_kind::zf) == 0);
-    static_assert(static_cast<std::size_t>(path_kind::mmse) == 1);
-    static_assert(static_cast<std::size_t>(path_kind::kbest) == 2);
-    static_assert(static_cast<std::size_t>(path_kind::sphere) == 3);
-    const detect::detector* conventional[] = {&zf, &mmse, &kbest, &sphere};
+    // Resolve every spec through the registry once; the paths are shared
+    // read-only across workers.  Exact duplicates (same canonical spec)
+    // would report two indistinguishable columns, so they are rejected —
+    // but two *different* specs of the same kind (e.g. two K-best widths)
+    // are a legitimate side-by-side comparison.
+    const auto paths = paths::registry::make_all(config.paths);
+    std::vector<std::string> canonical(paths.size());
+    for (std::size_t p = 0; p < paths.size(); ++p) canonical[p] = paths[p]->spec().to_string();
+    for (std::size_t a = 0; a < canonical.size(); ++a) {
+        for (std::size_t b = a + 1; b < canonical.size(); ++b) {
+            if (canonical[a] == canonical[b]) {
+                throw std::invalid_argument("link: duplicate detection path '" + canonical[a] +
+                                            "'");
+            }
+        }
+    }
 
-    const std::size_t num_paths = config.paths.size();
-    const bool needs_qubo =
-        std::any_of(config.paths.begin(), config.paths.end(), [](path_kind k) {
-            return k == path_kind::sa || k == path_kind::hybrid_gs_ra;
-        });
+    const std::size_t num_paths = paths.size();
+    const bool needs_qubo = std::any_of(paths.begin(), paths.end(),
+                                        [](const auto& path) { return path->needs_qubo(); });
     std::vector<qubo::bit_vector> tx_bits(config.num_uses);
     std::vector<double> synth_us(config.num_uses, 0.0);
     std::vector<double> reduce_us(config.num_uses, 0.0);
-    std::vector<cell_result> cells(config.num_uses * num_paths);
+    std::vector<paths::path_result> cells(config.num_uses * num_paths);
 
     const util::rng synth_base = util::rng(config.seed).derive(synth_stream_domain);
     const util::rng solve_base = util::rng(config.seed).derive(solve_stream_domain);
@@ -188,37 +139,8 @@ link_report run_link_simulation(const link_config& config) {
             // its own derived RNG stream.
             for (std::size_t p = 0; p < num_paths; ++p) {
                 util::rng solve_rng = solve_base.derive(u * num_paths + p);
-                cell_result& cell = cells[u * num_paths + p];
-                switch (const path_kind kind = config.paths[p]) {
-                    case path_kind::zf:
-                    case path_kind::mmse:
-                    case path_kind::kbest:
-                    case path_kind::sphere: {
-                        const util::timer clock;
-                        const auto result =
-                            conventional[static_cast<std::size_t>(kind)]->detect(instance);
-                        cell.solve_us = clock.elapsed_us();
-                        cell.bits = result.bits;
-                        cell.ml_cost = result.ml_cost;
-                        break;
-                    }
-                    case path_kind::sa: {
-                        const util::timer clock;
-                        const auto samples = sa.solve(mq.model, solve_rng);
-                        cell.solve_us = clock.elapsed_us();
-                        cell.bits = samples.best().bits;
-                        cell.ml_cost = instance.ml_cost_bits(cell.bits);
-                        break;
-                    }
-                    case path_kind::hybrid_gs_ra: {
-                        const auto result = hybrid.solve(mq.model, solve_rng);
-                        cell.classical_us = result.classical_us;
-                        cell.quantum_us = result.quantum_us;
-                        cell.bits = result.best_bits;
-                        cell.ml_cost = instance.ml_cost_bits(cell.bits);
-                        break;
-                    }
-                }
+                const paths::path_context ctx{instance, needs_qubo ? &mq : nullptr, solve_rng};
+                cells[u * num_paths + p] = paths[p]->run(ctx);
             }
         },
         config.num_threads);
@@ -232,31 +154,31 @@ link_report run_link_simulation(const link_config& config) {
     report.paths.resize(num_paths);
     for (std::size_t p = 0; p < num_paths; ++p) {
         path_report& path = report.paths[p];
-        path.kind = config.paths[p];
-        path.name = to_string(path.kind);
+        path.kind = paths[p]->spec().kind;
+        path.name = paths[p]->name();
+        path.spec = canonical[p];
 
-        const bool hybrid_path = path.kind == path_kind::hybrid_gs_ra;
-        const bool qubo_path = hybrid_path || path.kind == path_kind::sa;
+        const auto solve_stages = paths[p]->stage_names();
         path.stages.push_back({"synth", synth_us});
-        if (qubo_path) path.stages.push_back({"qubo", reduce_us});
-        if (hybrid_path) {
-            path.stages.push_back({"classical", std::vector<double>(config.num_uses, 0.0)});
-            path.stages.push_back({"quantum", std::vector<double>(config.num_uses, 0.0)});
-        } else {
-            path.stages.push_back({qubo_path ? "solve" : "detect",
-                                   std::vector<double>(config.num_uses, 0.0)});
+        if (paths[p]->needs_qubo()) path.stages.push_back({"qubo", reduce_us});
+        const std::size_t first_solve_stage = path.stages.size();
+        for (const auto& stage : solve_stages) {
+            path.stages.push_back({stage, std::vector<double>(config.num_uses, 0.0)});
         }
 
         for (std::size_t u = 0; u < config.num_uses; ++u) {
-            const cell_result& cell = cells[u * num_paths + p];
+            const paths::path_result& cell = cells[u * num_paths + p];
+            if (cell.stages.size() != solve_stages.size()) {
+                throw std::logic_error("link: path '" + path.spec + "' returned " +
+                                       std::to_string(cell.stages.size()) +
+                                       " stage timings but declared " +
+                                       std::to_string(solve_stages.size()));
+            }
             path.ber.add_frame(tx_bits[u], cell.bits);
             if (cell.bits == tx_bits[u]) ++path.exact_frames;
             path.sum_ml_cost += cell.ml_cost;
-            if (hybrid_path) {
-                path.stages[path.stages.size() - 2].service_us[u] = cell.classical_us;
-                path.stages.back().service_us[u] = cell.quantum_us;
-            } else {
-                path.stages.back().service_us[u] = cell.solve_us;
+            for (std::size_t s = 0; s < cell.stages.size(); ++s) {
+                path.stages[first_solve_stage + s].service_us[u] = cell.stages[s].service_us;
             }
         }
         path.replay = replay_traces(path, config);

@@ -5,13 +5,17 @@
 // pipeline/pipeline.h studies queueing on synthetic service models, this
 // layer closes the loop: it generates successive wireless channel uses
 // (wireless/channel.h + wireless/mimo.h + modulation), reduces each to QUBO
-// form through the QuAMax transform (detect/transform.h), dispatches the
-// solves across util::thread_pool side by side — conventional detectors
-// (linear, K-best, exact sphere), a classical SA baseline on the QUBO, and
-// the paper's hybrid GS+RA structure (core/hybrid_solver.h) — and records
-// *measured* per-stage wall times.  Those traces feed pipeline::simulate via
-// stage::from_trace, so Figure-2 throughput/latency numbers come from the
-// actual code paths instead of lognormal stand-ins.
+// form through the QuAMax transform (detect/transform.h) when any path needs
+// it, and dispatches the solves across util::thread_pool side by side.
+//
+// Detection paths are *not* hard-coded: each entry of link_config::paths is
+// a paths::path_spec ("zf", "kbest:width=16", "gsra:reads=80,sp=0.29", ...)
+// resolved through paths::registry, so any registered path — conventional
+// detector, classical QUBO heuristic, or hybrid classical-quantum structure
+// — can ride the stream without touching this layer.  Measured per-stage
+// wall times feed pipeline::simulate via stage::from_trace, so Figure-2
+// throughput/latency numbers come from the actual code paths instead of
+// lognormal stand-ins.
 //
 // Determinism: every channel use draws from an RNG stream derived from
 // (seed, domain, use index) and every (use, path) solve from
@@ -19,16 +23,19 @@
 // scheme — the thread pool decides only *when* a cell runs, never *what* it
 // computes, and aggregation is serial in use order.  All link-layer
 // statistics (BER, ML costs, exact-frame counts) are therefore bit-identical
-// at any thread count; only the measured wall times vary run to run.
+// at any thread count; only the measured wall times vary run to run.  The
+// golden-value test in tests/link_test.cpp pins these statistics to the
+// values the pre-registry (enum-dispatch) implementation produced.
 #ifndef HCQ_LINK_LINK_SIM_H
 #define HCQ_LINK_LINK_SIM_H
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "classical/simulated_annealing.h"
 #include "metrics/ber.h"
+#include "paths/detection_path.h"
 #include "pipeline/pipeline.h"
 #include "util/table.h"
 #include "wireless/channel.h"
@@ -36,26 +43,10 @@
 
 namespace hcq::link {
 
-/// Detection paths a channel use can be sent down, side by side.
-enum class path_kind {
-    zf,            ///< linear zero-forcing (detect::zf_detector)
-    mmse,          ///< linear MMSE (detect::mmse_detector)
-    kbest,         ///< breadth-first K-best tree search (detect::kbest_detector)
-    sphere,        ///< exact ML sphere decoder (detect::sphere_detector)
-    sa,            ///< classical simulated annealing on the reduced QUBO
-    hybrid_gs_ra,  ///< greedy-search initialiser + reverse anneal (the paper's design)
-};
-
-/// "ZF" / "MMSE" / "K-best" / "SD" / "SA" / "GS+RA".
-[[nodiscard]] const char* to_string(path_kind kind) noexcept;
-
-/// Parses the names above (case-sensitive) plus the CLI aliases
-/// "zf"/"mmse"/"kbest"/"sphere"/"sa"/"gsra"; throws std::invalid_argument on
-/// anything else.
-[[nodiscard]] path_kind parse_path_kind(const std::string& name);
-
 /// Link-simulation knobs.  Defaults exercise the acceptance scenario: >= 100
-/// channel uses through wireless -> QUBO -> {linear, sphere, SA, hybrid}.
+/// channel uses through wireless -> QUBO -> {linear, tree search, exact
+/// sphere, SA, hybrid}.  Per-path knobs (K-best width, SA budget, hybrid
+/// reads/schedule, ...) live inside the specs, not here.
 struct link_config {
     std::size_t num_uses = 120;   ///< channel uses in the stream
     std::size_t num_users = 4;    ///< transmit streams, N_r = N_t
@@ -64,14 +55,11 @@ struct link_config {
     bool noiseless = false;       ///< paper Section-4.2 corpus setting (no AWGN)
     double snr_db = 16.0;         ///< per-antenna SNR when AWGN is enabled
 
-    /// Paths every use is detected by, in report order.
-    std::vector<path_kind> paths{path_kind::zf, path_kind::kbest, path_kind::sphere,
-                                 path_kind::sa, path_kind::hybrid_gs_ra};
-    std::size_t kbest_width = 8;
-    solvers::sa_config sa{};                  ///< SA baseline budget
-    std::size_t hybrid_reads = 80;            ///< RA reads per use
-    double switch_pause_location = 0.29;      ///< RA s_p (0.29 suits 16-var QUBOs)
-    double pause_time_us = 1.0;               ///< RA pause t_p
+    /// Paths every use is detected by, in report order; resolved through
+    /// paths::registry.  Two specs may share a kind (e.g. two K-best widths
+    /// side by side) but exact duplicates — same canonical spec — throw.
+    std::vector<paths::path_spec> paths =
+        paths::parse_spec_list("zf,kbest,sphere,sa,gsra");
 
     std::size_t num_threads = 0;   ///< worker threads (0 = hardware concurrency)
     std::uint64_t seed = 1;        ///< master seed for all derived streams
@@ -79,6 +67,12 @@ struct link_config {
 };
 
 /// Measured wall-time trace of one named processing stage across the stream.
+///
+/// Percentile semantics: an empty trace has mean_us() == p50_us() ==
+/// p99_us() == 0.0 (there is nothing to summarise, and 0 keeps replay
+/// arithmetic finite); a single-entry trace returns that entry for every
+/// percentile.  With two or more entries the percentiles come from
+/// metrics::percentile (linear interpolation of the sorted data).
 struct stage_trace {
     std::string name;
     std::vector<double> service_us;  ///< one entry per channel use
@@ -90,15 +84,16 @@ struct stage_trace {
 
 /// Everything one detection path accumulated over the stream.
 struct path_report {
-    path_kind kind = path_kind::zf;
-    std::string name;
+    std::string kind;  ///< registry kind, e.g. "kbest"
+    std::string name;  ///< display name, e.g. "K-best"
+    std::string spec;  ///< canonical spec, e.g. "kbest:width=8"
     metrics::ber_counter ber;        ///< detected bits vs transmitted bits
     std::size_t exact_frames = 0;    ///< uses whose detected bits match tx exactly
     double sum_ml_cost = 0.0;        ///< sum of ||y - H x_hat||^2 (deterministic)
 
     /// Per-stage measured service traces, front-end first (synthesis and
     /// QUBO reduction are shared across paths; solve stages are per path —
-    /// the hybrid splits into its classical and quantum halves).
+    /// e.g. the hybrid splits into its classical and quantum halves).
     std::vector<stage_trace> stages;
 
     /// Tandem-queue replay of the measured traces at the configured offered
@@ -116,12 +111,15 @@ struct link_report {
                             ///< paths (all-zero when none is configured)
     std::vector<path_report> paths;
 
-    [[nodiscard]] const path_report& path(path_kind kind) const;  ///< throws if absent
+    /// First path whose registry kind, display name, or canonical spec
+    /// equals `query` (e.g. "sphere", "SD", or "kbest:width=16"); throws
+    /// std::out_of_range when absent.
+    [[nodiscard]] const path_report& path(std::string_view query) const;
 };
 
 /// Runs the stream end to end.  Throws std::invalid_argument on zero uses or
-/// users, an empty or duplicated path list, a non-positive offered load, or
-/// zero hybrid reads.
+/// users, an empty path list, an unknown/malformed path spec, a duplicated
+/// canonical spec, or a non-positive offered load.
 [[nodiscard]] link_report run_link_simulation(const link_config& config);
 
 /// One row per path: BER, measured mean/p50/p99 solve service, and the

@@ -1,0 +1,307 @@
+// The built-in detection paths: adapters putting the conventional detectors
+// (detect/), the classical QUBO heuristics (classical/), and the paper's
+// hybrid GS+RA structure (core/hybrid_solver.h) behind the one
+// detection_path interface.  Registered lazily by registry.cpp through
+// detail::register_builtin_paths() — see the registry header for why.
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "classical/greedy.h"
+#include "classical/parallel_tempering.h"
+#include "classical/simulated_annealing.h"
+#include "classical/tabu.h"
+#include "core/parallel_runner.h"
+#include "core/schedule.h"
+#include "detect/fcsd.h"
+#include "detect/kbest.h"
+#include "detect/linear.h"
+#include "detect/sic.h"
+#include "detect/sphere.h"
+#include "paths/registry.h"
+#include "util/timer.h"
+
+namespace hcq::paths {
+namespace {
+
+/// Guard for QUBO-consuming paths: the caller promised a shared reduction
+/// whenever any configured path reports needs_qubo().
+void require_qubo(const path_context& ctx) {
+    if (ctx.reduced == nullptr) {
+        throw std::invalid_argument(
+            "paths: path_context.reduced is null but the path needs the QUBO reduction");
+    }
+}
+
+/// A conventional detector as a path: one "detect" stage straight on y and
+/// H, no QUBO, no randomness, no solver form.
+class detector_path final : public detection_path {
+public:
+    detector_path(std::shared_ptr<const detect::detector> det, std::string display_name,
+                  path_spec spec)
+        : det_(std::move(det)), name_(std::move(display_name)), spec_(std::move(spec)) {}
+
+    [[nodiscard]] path_result run(const path_context& ctx) const override {
+        const util::timer clock;
+        auto detected = det_->detect(ctx.instance);
+        path_result out;
+        out.bits = std::move(detected.bits);
+        out.ml_cost = detected.ml_cost;
+        out.stages = {{"detect", clock.elapsed_us()}};
+        return out;
+    }
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] path_spec spec() const override { return spec_; }
+    [[nodiscard]] std::vector<std::string> stage_names() const override { return {"detect"}; }
+
+private:
+    std::shared_ptr<const detect::detector> det_;
+    std::string name_;
+    path_spec spec_;
+};
+
+/// A classical QUBO heuristic as a path: one "solve" stage on the shared
+/// reduction; the detected word is the best sample, costed against the
+/// instance.  Doubles as a sweep solver through as_solver().
+class qubo_solver_path final : public detection_path {
+public:
+    qubo_solver_path(std::shared_ptr<const solvers::solver> solver, path_spec spec)
+        : solver_(std::move(solver)), spec_(std::move(spec)) {}
+
+    [[nodiscard]] path_result run(const path_context& ctx) const override {
+        require_qubo(ctx);
+        const util::timer clock;
+        const auto samples = solver_->solve(ctx.reduced->model, ctx.rng);
+        path_result out;
+        out.stages = {{"solve", clock.elapsed_us()}};
+        out.bits = samples.best().bits;
+        out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
+        return out;
+    }
+    [[nodiscard]] std::string name() const override { return solver_->name(); }
+    [[nodiscard]] path_spec spec() const override { return spec_; }
+    [[nodiscard]] bool needs_qubo() const noexcept override { return true; }
+    [[nodiscard]] std::vector<std::string> stage_names() const override { return {"solve"}; }
+    [[nodiscard]] std::shared_ptr<const solvers::solver> as_solver() const override {
+        return solver_;
+    }
+
+private:
+    std::shared_ptr<const solvers::solver> solver_;
+    path_spec spec_;
+};
+
+/// The paper's hybrid structure as a path: "classical" (measured initialiser
+/// wall time) and "quantum" (programmed annealer occupancy: schedule
+/// duration x reads) stages.  Owns its initialiser and device through the
+/// owning hybrid_solver_adapter, so the path — and any solver handed out by
+/// as_solver() — is safe to construct from temporaries and to outlive this
+/// translation unit's statics.
+class gs_ra_path final : public detection_path {
+public:
+    gs_ra_path(std::size_t reads, double sp, double pause_us)
+        : adapter_(std::make_shared<const hybrid::hybrid_solver_adapter>(
+              std::make_shared<const solvers::greedy_search>(),
+              std::make_shared<const anneal::annealer_emulator>(),
+              anneal::anneal_schedule::reverse(sp, pause_us), reads)),
+          spec_{"gsra",
+                {{"reads", std::to_string(reads)},
+                 {"sp", format_spec_value(sp)},
+                 {"pause_us", format_spec_value(pause_us)}}} {}
+
+    [[nodiscard]] path_result run(const path_context& ctx) const override {
+        require_qubo(ctx);
+        const auto result = adapter_->hybrid().solve(ctx.reduced->model, ctx.rng);
+        path_result out;
+        out.bits = result.best_bits;
+        out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
+        out.stages = {{"classical", result.classical_us}, {"quantum", result.quantum_us}};
+        return out;
+    }
+    [[nodiscard]] std::string name() const override { return adapter_->name(); }
+    [[nodiscard]] path_spec spec() const override { return spec_; }
+    [[nodiscard]] bool needs_qubo() const noexcept override { return true; }
+    [[nodiscard]] std::vector<std::string> stage_names() const override {
+        return {"classical", "quantum"};
+    }
+    [[nodiscard]] std::shared_ptr<const solvers::solver> as_solver() const override {
+        return adapter_;
+    }
+
+private:
+    std::shared_ptr<const hybrid::hybrid_solver_adapter> adapter_;
+    path_spec spec_;
+};
+
+path_info zf_info() {
+    return {.kind = "zf",
+            .summary = "linear zero-forcing detector",
+            .keys = {},
+            .factory = [](const path_spec&) -> std::shared_ptr<const detection_path> {
+                return std::make_shared<const detector_path>(
+                    std::make_shared<const detect::zf_detector>(), "ZF", path_spec{"zf", {}});
+            }};
+}
+
+path_info mmse_info() {
+    return {.kind = "mmse",
+            .summary = "linear MMSE detector",
+            .keys = {},
+            .factory = [](const path_spec&) -> std::shared_ptr<const detection_path> {
+                return std::make_shared<const detector_path>(
+                    std::make_shared<const detect::mmse_detector>(), "MMSE",
+                    path_spec{"mmse", {}});
+            }};
+}
+
+path_info kbest_info() {
+    return {.kind = "kbest",
+            .summary = "breadth-first K-best tree search",
+            .keys = {{"width", "beam width K (positive integer, default 8)"}},
+            .factory = [](const path_spec& spec) -> std::shared_ptr<const detection_path> {
+                const std::size_t width = spec_positive_size(spec, "width", 8);
+                return std::make_shared<const detector_path>(
+                    std::make_shared<const detect::kbest_detector>(width), "K-best",
+                    path_spec{"kbest", {{"width", std::to_string(width)}}});
+            }};
+}
+
+path_info sphere_info() {
+    return {.kind = "sphere",
+            .summary = "exact ML sphere decoder",
+            .keys = {{"radius", "initial squared search radius (0 = unbounded, default 0)"}},
+            .factory = [](const path_spec& spec) -> std::shared_ptr<const detection_path> {
+                const double radius = spec_double(spec, "radius", 0.0);
+                return std::make_shared<const detector_path>(
+                    std::make_shared<const detect::sphere_detector>(radius), "SD",
+                    path_spec{"sphere", {{"radius", format_spec_value(radius)}}});
+            }};
+}
+
+path_info sic_info() {
+    return {.kind = "sic",
+            .summary = "successive interference cancellation detector",
+            .keys = {},
+            .factory = [](const path_spec&) -> std::shared_ptr<const detection_path> {
+                return std::make_shared<const detector_path>(
+                    std::make_shared<const detect::sic_detector>(), "SIC", path_spec{"sic", {}});
+            }};
+}
+
+path_info fcsd_info() {
+    return {.kind = "fcsd",
+            .summary = "fixed-complexity sphere decoder",
+            .keys = {{"levels", "fully-enumerated tree levels (positive integer, default 1)"}},
+            .factory = [](const path_spec& spec) -> std::shared_ptr<const detection_path> {
+                const std::size_t levels = spec_positive_size(spec, "levels", 1);
+                auto det = std::make_shared<const detect::fcsd_detector>(levels);
+                std::string display = det->name();
+                return std::make_shared<const detector_path>(
+                    std::move(det), std::move(display),
+                    path_spec{"fcsd", {{"levels", std::to_string(levels)}}});
+            }};
+}
+
+path_info sa_info() {
+    return {.kind = "sa",
+            .summary = "simulated annealing on the reduced QUBO (classical baseline)",
+            .keys = {{"reads", "independent restarts (positive integer, default 10)"},
+                     {"sweeps", "sweeps per read (positive integer, default 100)"},
+                     {"hot", "T_hot as a fraction of max|Q| (default 1)"},
+                     {"cold", "T_cold as a fraction of max|Q| (default 0.001)"}},
+            .factory = [](const path_spec& spec) -> std::shared_ptr<const detection_path> {
+                solvers::sa_config config;
+                config.num_reads = spec_positive_size(spec, "reads", config.num_reads);
+                config.num_sweeps = spec_positive_size(spec, "sweeps", config.num_sweeps);
+                config.hot_fraction = spec_double(spec, "hot", config.hot_fraction);
+                config.cold_fraction = spec_double(spec, "cold", config.cold_fraction);
+                return std::make_shared<const qubo_solver_path>(
+                    std::make_shared<const solvers::simulated_annealing>(config),
+                    path_spec{"sa",
+                              {{"reads", std::to_string(config.num_reads)},
+                               {"sweeps", std::to_string(config.num_sweeps)},
+                               {"hot", format_spec_value(config.hot_fraction)},
+                               {"cold", format_spec_value(config.cold_fraction)}}});
+            }};
+}
+
+path_info tabu_info() {
+    return {.kind = "tabu",
+            .summary = "tabu search on the reduced QUBO",
+            .keys = {{"tenure", "iterations a flipped bit stays tabu (default 10)"},
+                     {"iters", "maximum iterations (default 500)"},
+                     {"stall", "stop after this many non-improving moves (default 100)"}},
+            .factory = [](const path_spec& spec) -> std::shared_ptr<const detection_path> {
+                solvers::tabu_config config;
+                config.tenure = spec_positive_size(spec, "tenure", config.tenure);
+                config.max_iterations = spec_positive_size(spec, "iters", config.max_iterations);
+                config.stall_limit = spec_positive_size(spec, "stall", config.stall_limit);
+                return std::make_shared<const qubo_solver_path>(
+                    std::make_shared<const solvers::tabu_search>(config),
+                    path_spec{"tabu",
+                              {{"tenure", std::to_string(config.tenure)},
+                               {"iters", std::to_string(config.max_iterations)},
+                               {"stall", std::to_string(config.stall_limit)}}});
+            }};
+}
+
+path_info pt_info() {
+    return {.kind = "pt",
+            .summary = "parallel tempering on the reduced QUBO",
+            .keys = {{"replicas", "temperature ladder size (default 8)"},
+                     {"rounds", "sweep+swap rounds (default 50)"},
+                     {"sweeps", "Metropolis sweeps per replica per round (default 2)"},
+                     {"hot", "T_hot as a fraction of max|Q| (default 2)"},
+                     {"cold", "T_cold as a fraction of max|Q| (default 0.01)"}},
+            .factory = [](const path_spec& spec) -> std::shared_ptr<const detection_path> {
+                solvers::pt_config config;
+                config.num_replicas = spec_positive_size(spec, "replicas", config.num_replicas);
+                config.num_rounds = spec_positive_size(spec, "rounds", config.num_rounds);
+                config.sweeps_per_round =
+                    spec_positive_size(spec, "sweeps", config.sweeps_per_round);
+                config.hot_fraction = spec_double(spec, "hot", config.hot_fraction);
+                config.cold_fraction = spec_double(spec, "cold", config.cold_fraction);
+                return std::make_shared<const qubo_solver_path>(
+                    std::make_shared<const solvers::parallel_tempering>(config),
+                    path_spec{"pt",
+                              {{"replicas", std::to_string(config.num_replicas)},
+                               {"rounds", std::to_string(config.num_rounds)},
+                               {"sweeps", std::to_string(config.sweeps_per_round)},
+                               {"hot", format_spec_value(config.hot_fraction)},
+                               {"cold", format_spec_value(config.cold_fraction)}}});
+            }};
+}
+
+path_info gsra_info() {
+    return {.kind = "gsra",
+            .summary = "hybrid greedy-search initialiser + reverse anneal (the paper's design)",
+            .keys = {{"reads", "annealer reads per use (positive integer, default 80)"},
+                     {"sp", "reverse-anneal switch/pause location s_p in (0,1) (default 0.29)"},
+                     {"pause_us", "pause time t_p in us (default 1)"}},
+            .factory = [](const path_spec& spec) -> std::shared_ptr<const detection_path> {
+                const std::size_t reads = spec_positive_size(spec, "reads", 80);
+                const double sp = spec_double(spec, "sp", 0.29);
+                const double pause_us = spec_double(spec, "pause_us", 1.0);
+                return std::make_shared<const gs_ra_path>(reads, sp, pause_us);
+            }};
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_paths() {
+    registry::register_path(zf_info());
+    registry::register_path(mmse_info());
+    registry::register_path(kbest_info());
+    registry::register_path(sphere_info());
+    registry::register_path(sic_info());
+    registry::register_path(fcsd_info());
+    registry::register_path(sa_info());
+    registry::register_path(tabu_info());
+    registry::register_path(pt_info());
+    registry::register_path(gsra_info());
+}
+
+}  // namespace detail
+}  // namespace hcq::paths

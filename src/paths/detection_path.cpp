@@ -1,0 +1,124 @@
+#include "paths/detection_path.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace hcq::paths {
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& text, const std::string& why) {
+    throw std::invalid_argument("paths: bad spec '" + text + "': " + why);
+}
+
+}  // namespace
+
+path_spec path_spec::parse(const std::string& text) {
+    path_spec spec;
+    const std::size_t colon = text.find(':');
+    spec.kind = text.substr(0, colon);
+    if (spec.kind.empty()) bad_spec(text, "empty path kind");
+    if (spec.kind.find('=') != std::string::npos) {
+        bad_spec(text, "path kind '" + spec.kind + "' contains '='");
+    }
+    if (colon == std::string::npos) return spec;
+
+    std::istringstream rest(text.substr(colon + 1));
+    std::string item;
+    while (std::getline(rest, item, ',')) {
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) bad_spec(text, "argument '" + item + "' is not key=value");
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        if (key.empty()) bad_spec(text, "empty key in '" + item + "'");
+        if (value.empty()) bad_spec(text, "empty value for key '" + key + "'");
+        if (spec.find(key) != nullptr) bad_spec(text, "duplicate key '" + key + "'");
+        spec.args.emplace_back(std::move(key), std::move(value));
+    }
+    if (spec.args.empty()) bad_spec(text, "trailing ':' without arguments");
+    return spec;
+}
+
+std::string path_spec::to_string() const {
+    std::string out = kind;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        out += (i == 0 ? ':' : ',');
+        out += args[i].first;
+        out += '=';
+        out += args[i].second;
+    }
+    return out;
+}
+
+const std::string* path_spec::find(const std::string& key) const {
+    for (const auto& [k, v] : args) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+std::vector<path_spec> parse_spec_list(const std::string& text) {
+    // Split on commas, re-attaching key=value segments to the spec that
+    // precedes them (see the grammar note in the header).
+    std::vector<std::string> spec_texts;
+    std::istringstream is(text);
+    std::string segment;
+    while (std::getline(is, segment, ',')) {
+        if (segment.empty()) continue;
+        const std::size_t eq = segment.find('=');
+        const std::size_t colon = segment.find(':');
+        const bool continues_previous =
+            eq != std::string::npos && (colon == std::string::npos || colon > eq) &&
+            !spec_texts.empty();
+        if (continues_previous) {
+            // First argument of a bare kind opens its ':' form; later ones
+            // join with ','.
+            std::string& base = spec_texts.back();
+            base += (base.find(':') == std::string::npos ? ':' : ',');
+            base += segment;
+        } else {
+            spec_texts.push_back(segment);
+        }
+    }
+    std::vector<path_spec> specs;
+    specs.reserve(spec_texts.size());
+    for (const auto& t : spec_texts) specs.push_back(path_spec::parse(t));
+    return specs;
+}
+
+std::size_t spec_positive_size(const path_spec& spec, const std::string& key,
+                               std::size_t fallback) {
+    const std::string* raw = spec.find(key);
+    if (raw == nullptr) return fallback;
+    std::size_t value = 0;
+    const char* end = raw->data() + raw->size();
+    const auto [ptr, ec] = std::from_chars(raw->data(), end, value);
+    if (ec != std::errc{} || ptr != end || value == 0) {
+        throw std::invalid_argument("paths: " + spec.kind + ": bad value '" + *raw +
+                                    "' for key '" + key + "' (expected a positive integer)");
+    }
+    return value;
+}
+
+double spec_double(const path_spec& spec, const std::string& key, double fallback) {
+    const std::string* raw = spec.find(key);
+    if (raw == nullptr) return fallback;
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(*raw, &consumed);
+        if (consumed == raw->size()) return value;
+    } catch (const std::exception&) {
+        // fall through to the uniform error below
+    }
+    throw std::invalid_argument("paths: " + spec.kind + ": bad value '" + *raw + "' for key '" +
+                                key + "' (expected a number)");
+}
+
+std::string format_spec_value(double value) {
+    std::ostringstream os;
+    os.precision(15);
+    os << value;
+    return os.str();
+}
+
+}  // namespace hcq::paths

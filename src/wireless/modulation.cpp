@@ -27,7 +27,10 @@ modulation parse_modulation(const std::string& name) {
     if (name == "QPSK" || name == "qpsk") return modulation::qpsk;
     if (name == "16-QAM" || name == "qam16" || name == "16qam") return modulation::qam16;
     if (name == "64-QAM" || name == "qam64" || name == "64qam") return modulation::qam64;
-    throw std::invalid_argument("unknown modulation: '" + name + "'");
+    throw std::invalid_argument(
+        "unknown modulation: '" + name +
+        "' (expected one of: bpsk, qpsk, qam16/16qam, qam64/64qam, or the display names "
+        "BPSK, QPSK, 16-QAM, 64-QAM)");
 }
 
 std::size_t bits_per_symbol(modulation mod) noexcept {

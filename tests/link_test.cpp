@@ -1,16 +1,20 @@
 // Tests for the end-to-end link simulator: deterministic statistics at any
-// thread count, correct report shapes, exactness of the sphere path on the
-// paper's noiseless corpus, and configuration validation.
+// thread count, golden values pinning the registry-driven implementation to
+// the pre-redesign enum dispatch, correct report shapes, exactness of the
+// sphere path on the paper's noiseless corpus, stage_trace percentile
+// semantics, and configuration validation.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 
 #include "core/schedule.h"
 #include "link/link_sim.h"
+#include "paths/registry.h"
 
 namespace {
 
 namespace lk = hcq::link;
+namespace pt = hcq::paths;
 namespace wl = hcq::wireless;
 
 lk::link_config small_config() {
@@ -19,17 +23,13 @@ lk::link_config small_config() {
     config.num_users = 2;
     config.mod = wl::modulation::qpsk;
     config.snr_db = 12.0;
-    config.hybrid_reads = 10;
-    config.sa.num_reads = 4;
-    config.sa.num_sweeps = 40;
+    config.paths = pt::parse_spec_list("zf,mmse,kbest,sphere,sa:reads=4,sweeps=40,gsra:reads=10");
     config.seed = 77;
     return config;
 }
 
 TEST(LinkSim, StatisticsBitIdenticalAcrossThreadCounts) {
     auto config = small_config();
-    config.paths = {lk::path_kind::zf, lk::path_kind::mmse, lk::path_kind::kbest,
-                    lk::path_kind::sphere, lk::path_kind::sa, lk::path_kind::hybrid_gs_ra};
 
     config.num_threads = 1;
     const auto serial = lk::run_link_simulation(config);
@@ -49,13 +49,82 @@ TEST(LinkSim, StatisticsBitIdenticalAcrossThreadCounts) {
     }
 }
 
+// Golden values recorded from the pre-registry (enum-dispatch) link
+// simulator at commit b461477, via a standalone dump of this exact config —
+// the redesign must not change a single statistic.  Integer statistics are
+// exact; summed double costs are compared to a relative 1e-9 (identical
+// operation order on identical inputs, with headroom for FMA contraction
+// differences across compilers).
+struct golden_row {
+    const char* query;
+    std::size_t errors;
+    std::size_t total_bits;
+    std::size_t exact_frames;
+    double sum_ml_cost;
+};
+
+void expect_golden(const lk::link_report& report, const golden_row& want) {
+    SCOPED_TRACE(want.query);
+    const auto& path = report.path(want.query);
+    EXPECT_EQ(path.ber.errors(), want.errors);
+    EXPECT_EQ(path.ber.total_bits(), want.total_bits);
+    EXPECT_EQ(path.exact_frames, want.exact_frames);
+    EXPECT_NEAR(path.sum_ml_cost, want.sum_ml_cost, 1e-9 * want.sum_ml_cost);
+}
+
+TEST(LinkSim, GoldenStatisticsMatchEnumImplementation) {
+    const golden_row golden[] = {
+        {"ZF", 4, 96, 21, 28.866302186627369},
+        {"MMSE", 3, 96, 22, 19.799982204356507},
+        {"K-best", 0, 96, 24, 11.190680449434273},
+        {"SD", 0, 96, 24, 11.190680449434273},
+        {"SA", 0, 96, 24, 11.190680449434273},
+        {"GS+RA", 0, 96, 24, 11.190680449434273},
+    };
+    auto config = small_config();
+    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+        SCOPED_TRACE(std::to_string(threads) + " threads");
+        config.num_threads = threads;
+        const auto report = lk::run_link_simulation(config);
+        for (const auto& row : golden) expect_golden(report, row);
+    }
+}
+
+TEST(LinkSim, GoldenStatisticsMatchEnumImplementationHardScenario) {
+    // A noisier 4-user 16-QAM stream where every path produces a distinct
+    // statistic (no path is all-exact), so a dispatch or RNG-stream
+    // regression in any single path is caught.
+    const golden_row golden[] = {
+        {"ZF", 48, 256, 2, 380.54334068809885},
+        {"MMSE", 37, 256, 5, 140.27658721395753},
+        {"K-best", 35, 256, 8, 111.36663255406008},
+        {"SD", 30, 256, 9, 78.790187337827376},
+        {"SA", 25, 256, 8, 100.86800242586055},
+        {"GS+RA", 27, 256, 10, 82.485979987233051},
+    };
+    lk::link_config config;
+    config.num_uses = 16;
+    config.num_users = 4;
+    config.mod = wl::modulation::qam16;
+    config.snr_db = 14.0;
+    config.paths = pt::parse_spec_list(
+        "zf,mmse,kbest:width=4,sphere,sa:reads=3,sweeps=30,gsra:reads=8");
+    config.seed = 2026;
+    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+        SCOPED_TRACE(std::to_string(threads) + " threads");
+        config.num_threads = threads;
+        const auto report = lk::run_link_simulation(config);
+        for (const auto& row : golden) expect_golden(report, row);
+    }
+}
+
 TEST(LinkSim, SpherePathIsExactOnNoiselessPaperCorpus) {
     auto config = small_config();
     config.noiseless = true;
     config.channel = wl::channel_model::unit_gain_random_phase;
-    config.paths = {lk::path_kind::sphere};
+    config.paths = pt::parse_spec_list("sphere");
     const auto report = lk::run_link_simulation(config);
-    const auto& sd = report.path(lk::path_kind::sphere);
+    const auto& sd = report.path("sphere");
     EXPECT_EQ(sd.ber.errors(), 0u);
     EXPECT_EQ(sd.exact_frames, config.num_uses);
     EXPECT_NEAR(sd.sum_ml_cost, 0.0, 1e-6);
@@ -63,18 +132,18 @@ TEST(LinkSim, SpherePathIsExactOnNoiselessPaperCorpus) {
 
 TEST(LinkSim, ReportShapesAndStageComposition) {
     auto config = small_config();
-    config.paths = {lk::path_kind::zf, lk::path_kind::sa, lk::path_kind::hybrid_gs_ra};
+    config.paths = pt::parse_spec_list("zf,sa:reads=4,sweeps=40,gsra:reads=10");
     const auto report = lk::run_link_simulation(config);
 
     EXPECT_EQ(report.synthesis.service_us.size(), config.num_uses);
     EXPECT_EQ(report.reduction.service_us.size(), config.num_uses);
     ASSERT_EQ(report.paths.size(), 3u);
 
-    const auto& zf = report.path(lk::path_kind::zf);
+    const auto& zf = report.path("zf");
     EXPECT_EQ(zf.stage_names(), (std::vector<std::string>{"synth", "detect"}));
-    const auto& sa = report.path(lk::path_kind::sa);
+    const auto& sa = report.path("sa");
     EXPECT_EQ(sa.stage_names(), (std::vector<std::string>{"synth", "qubo", "solve"}));
-    const auto& hybrid = report.path(lk::path_kind::hybrid_gs_ra);
+    const auto& hybrid = report.path("gsra");
     EXPECT_EQ(hybrid.stage_names(),
               (std::vector<std::string>{"synth", "qubo", "classical", "quantum"}));
 
@@ -90,36 +159,68 @@ TEST(LinkSim, ReportShapesAndStageComposition) {
         EXPECT_GT(path.replay.throughput_per_us, 0.0);
     }
 
-    // The hybrid's quantum stage is its programmed occupancy: duration x reads.
+    // The hybrid's quantum stage is its programmed occupancy: duration x
+    // reads (the spec defaults: s_p = 0.29, t_p = 1 us, 10 reads here).
     const double programmed_us =
-        hcq::anneal::anneal_schedule::reverse(config.switch_pause_location,
-                                              config.pause_time_us)
-            .duration_us() *
-        static_cast<double>(config.hybrid_reads);
+        hcq::anneal::anneal_schedule::reverse(0.29, 1.0).duration_us() * 10.0;
     for (const double q_us : hybrid.stages.back().service_us) {
         EXPECT_DOUBLE_EQ(q_us, programmed_us);
     }
 
-    EXPECT_THROW((void)report.path(lk::path_kind::kbest), std::out_of_range);
+    EXPECT_THROW((void)report.path("kbest"), std::out_of_range);
+}
+
+TEST(LinkSim, PathLookupMatchesKindNameAndSpec) {
+    auto config = small_config();
+    config.paths = pt::parse_spec_list("kbest:width=16,gsra:reads=10");
+    const auto report = lk::run_link_simulation(config);
+    EXPECT_EQ(&report.path("kbest"), &report.paths[0]);
+    EXPECT_EQ(&report.path("K-best"), &report.paths[0]);
+    EXPECT_EQ(&report.path("kbest:width=16"), &report.paths[0]);
+    EXPECT_EQ(&report.path("GS+RA"), &report.paths[1]);
+    EXPECT_EQ(report.paths[1].spec, "gsra:reads=10,sp=0.29,pause_us=1");
+}
+
+TEST(LinkSim, SameKindTwiceWithDifferentKnobsRunsSideBySide) {
+    auto config = small_config();
+    config.paths = pt::parse_spec_list("kbest:width=1,kbest:width=8");
+    const auto report = lk::run_link_simulation(config);
+    ASSERT_EQ(report.paths.size(), 2u);
+    EXPECT_EQ(report.paths[0].name, report.paths[1].name);
+    // The wider beam's surviving set is a superset at every tree level, so
+    // its summed ML cost can only be lower on the same uses.
+    EXPECT_GE(report.path("kbest:width=1").sum_ml_cost,
+              report.path("kbest:width=8").sum_ml_cost);
 }
 
 TEST(LinkSim, SummaryTableHasOneRowPerPath) {
     auto config = small_config();
-    config.paths = {lk::path_kind::zf, lk::path_kind::hybrid_gs_ra};
+    config.paths = pt::parse_spec_list("zf,gsra:reads=10");
     const auto report = lk::run_link_simulation(config);
     const auto t = lk::summary_table(report);
     EXPECT_EQ(t.rows(), 2u);
     EXPECT_EQ(t.columns(), 10u);
 }
 
-TEST(LinkSim, PathKindNamesRoundTrip) {
-    using pk = lk::path_kind;
-    for (const pk kind : {pk::zf, pk::mmse, pk::kbest, pk::sphere, pk::sa, pk::hybrid_gs_ra}) {
-        EXPECT_EQ(lk::parse_path_kind(lk::to_string(kind)), kind);
-    }
-    EXPECT_EQ(lk::parse_path_kind("gsra"), pk::hybrid_gs_ra);
-    EXPECT_EQ(lk::parse_path_kind("sphere"), pk::sphere);
-    EXPECT_THROW((void)lk::parse_path_kind("quantum-leap"), std::invalid_argument);
+TEST(LinkSim, StageTracePercentileSemantics) {
+    // Empty trace: nothing to summarise — mean/p50/p99 are all 0.
+    const lk::stage_trace empty{"empty", {}};
+    EXPECT_EQ(empty.mean_us(), 0.0);
+    EXPECT_EQ(empty.p50_us(), 0.0);
+    EXPECT_EQ(empty.p99_us(), 0.0);
+
+    // Single entry: every percentile is that entry.
+    const lk::stage_trace single{"single", {42.5}};
+    EXPECT_DOUBLE_EQ(single.mean_us(), 42.5);
+    EXPECT_DOUBLE_EQ(single.p50_us(), 42.5);
+    EXPECT_DOUBLE_EQ(single.p99_us(), 42.5);
+
+    // Two entries: p50 interpolates the midpoint, p99 sits near the max.
+    const lk::stage_trace pair{"pair", {10.0, 20.0}};
+    EXPECT_DOUBLE_EQ(pair.mean_us(), 15.0);
+    EXPECT_DOUBLE_EQ(pair.p50_us(), 15.0);
+    EXPECT_GT(pair.p99_us(), pair.p50_us());
+    EXPECT_LE(pair.p99_us(), 20.0);
 }
 
 TEST(LinkSim, ConfigValidation) {
@@ -140,17 +241,34 @@ TEST(LinkSim, ConfigValidation) {
     }
     {
         auto config = small_config();
-        config.paths = {lk::path_kind::zf, lk::path_kind::zf};
-        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
-    }
-    {
-        auto config = small_config();
         config.offered_load = 0.0;
         EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
     }
     {
+        // Exact duplicates are rejected...
         auto config = small_config();
-        config.hybrid_reads = 0;
+        config.paths = pt::parse_spec_list("zf,zf");
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+    {
+        // ...including via canonicalisation: "kbest" IS "kbest:width=8".
+        auto config = small_config();
+        config.paths = pt::parse_spec_list("kbest,kbest:width=8");
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+    {
+        auto config = small_config();
+        config.paths = pt::parse_spec_list("warp-drive");
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+    {
+        auto config = small_config();
+        config.paths = pt::parse_spec_list("kbest:width=0");
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+    {
+        auto config = small_config();
+        config.paths = pt::parse_spec_list("gsra:reads=0");
         EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
     }
 }

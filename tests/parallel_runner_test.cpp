@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "core/parallel_runner.h"
 #include "core/schedule.h"
 #include "core/sweep.h"
+#include "paths/registry.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -141,10 +143,12 @@ TEST(ParallelRunner, SweepMatchesHandWrittenSerialLoop) {
 
 TEST(ParallelRunner, HybridAdapterSweepsNextToClassicalSolvers) {
     const auto corpus = hy::make_paper_corpus(55, 2, 3, wl::modulation::qpsk);
-    const so::greedy_search greedy;
-    const an::annealer_emulator device;
-    const hy::hybrid_solver_adapter hybrid(
-        hy::hybrid_solver(greedy, device, an::anneal_schedule::reverse(0.45, 1.0), 8));
+    // Regression for the old reference-holding adapter: both the initialiser
+    // and the device are temporaries in the constructor expression — the
+    // adapter owns them via shared_ptr, so nothing dangles.
+    const hy::hybrid_solver_adapter hybrid(std::make_shared<const so::greedy_search>(),
+                                           std::make_shared<const an::annealer_emulator>(),
+                                           an::anneal_schedule::reverse(0.45, 1.0), 8);
     EXPECT_EQ(hybrid.name(), "GS+RA");
     const so::simulated_annealing sa({.num_reads = 3, .num_sweeps = 25});
     const std::vector<const so::solver*> solvers{&hybrid, &sa};
@@ -164,13 +168,69 @@ TEST(ParallelRunner, HybridAdapterSweepsNextToClassicalSolvers) {
     EXPECT_GE(report.mean_p_star(0), 0.0);
 }
 
+TEST(ParallelRunner, AdapterConstructedFromTemporariesOutlivesItsScope) {
+    // Build the adapter in an inner scope from temporaries only, then use it
+    // afterwards — under ASan this would flag the pre-fix dangling design.
+    std::unique_ptr<const hy::hybrid_solver_adapter> adapter;
+    {
+        adapter = std::make_unique<const hy::hybrid_solver_adapter>(
+            std::make_shared<const so::greedy_search>(),
+            std::make_shared<const an::annealer_emulator>(),
+            an::anneal_schedule::reverse(0.45, 1.0), 4);
+    }
+    hcq::util::rng make(12);
+    const auto e = hy::make_paper_instance(make, 2, wl::modulation::qpsk);
+    hcq::util::rng rng(13);
+    const auto samples = adapter->solve(e.reduced.model, rng);
+    EXPECT_EQ(samples.size(), 5u);  // initial candidate + 4 reads
+
+    EXPECT_THROW(hy::hybrid_solver_adapter(nullptr,
+                                           std::make_shared<const an::annealer_emulator>(),
+                                           an::anneal_schedule::reverse(0.45, 1.0), 4),
+                 std::invalid_argument);
+    EXPECT_THROW(hy::hybrid_solver_adapter(std::make_shared<const so::greedy_search>(), nullptr,
+                                           an::anneal_schedule::reverse(0.45, 1.0), 4),
+                 std::invalid_argument);
+}
+
+TEST(ParallelRunner, SpecBuiltSolverListSweepIsThreadCountInvariant) {
+    // The ISSUE's "spec-built solver lists": the whole sweep roster comes
+    // from registry spec strings, hybrid structure included.
+    const auto corpus = hy::make_paper_corpus(77, 3, 3, wl::modulation::qpsk);
+    const auto solvers = hcq::paths::registry::make_solvers(
+        {"sa:reads=3,sweeps=25", "tabu:tenure=4,iters=40,stall=15", "gsra:reads=6,sp=0.45"});
+    ASSERT_EQ(solvers.size(), 3u);
+    EXPECT_EQ(solvers[0]->name(), "SA");
+    EXPECT_EQ(solvers[1]->name(), "Tabu");
+    EXPECT_EQ(solvers[2]->name(), "GS+RA");
+
+    const hy::parallel_runner serial({.num_threads = 1});
+    const auto reference = serial.sweep(corpus, solvers, 42);
+    for (const std::size_t threads : thread_counts_under_test()) {
+        const hy::parallel_runner runner({.num_threads = threads});
+        const auto report = runner.sweep(corpus, solvers, 42);
+        ASSERT_EQ(report.runs.size(), reference.runs.size());
+        for (std::size_t k = 0; k < report.runs.size(); ++k) {
+            EXPECT_EQ(report.runs[k].solver_name, reference.runs[k].solver_name);
+            EXPECT_DOUBLE_EQ(report.runs[k].best_energy, reference.runs[k].best_energy);
+            expect_same_samples(report.runs[k].samples, reference.runs[k].samples);
+        }
+    }
+}
+
 TEST(ParallelRunner, SweepValidatesArguments) {
     const auto corpus = hy::make_paper_corpus(5, 1, 3, wl::modulation::bpsk);
     const so::simulated_annealing sa({.num_reads = 1, .num_sweeps = 5});
     const hy::parallel_runner runner;
     EXPECT_THROW((void)runner.sweep({}, {&sa}, 1), std::invalid_argument);
-    EXPECT_THROW((void)runner.sweep(corpus, {}, 1), std::invalid_argument);
-    EXPECT_THROW((void)runner.sweep(corpus, {nullptr}, 1), std::invalid_argument);
+    EXPECT_THROW((void)runner.sweep(corpus, std::vector<const so::solver*>{}, 1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)runner.sweep(corpus, std::vector<const so::solver*>{nullptr}, 1),
+                 std::invalid_argument);
+    // The owned-solver overload forwards null checks too.
+    EXPECT_THROW((void)runner.sweep(
+                     corpus, std::vector<std::shared_ptr<const so::solver>>{nullptr}, 1),
+                 std::invalid_argument);
     const auto report = runner.sweep(corpus, {&sa}, 1);
     EXPECT_THROW((void)report.at(1, 0), std::out_of_range);
     EXPECT_THROW((void)report.at(0, 1), std::out_of_range);

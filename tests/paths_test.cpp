@@ -1,0 +1,294 @@
+// Tests for the detection-path spec grammar and factory registry: parse /
+// to_string round-trips, the CLI list grammar, registry construction with
+// self-documenting errors, spec round-trips through make, duplicate-
+// registration rejection, solver-form bridging, and user extension paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "detect/transform.h"
+#include "link/link_sim.h"
+#include "paths/registry.h"
+#include "qubo/generator.h"
+#include "wireless/mimo.h"
+
+namespace {
+
+namespace pt = hcq::paths;
+
+std::string thrown_message(const std::function<void()>& fn) {
+    try {
+        fn();
+    } catch (const std::invalid_argument& e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected std::invalid_argument";
+    return {};
+}
+
+TEST(PathSpec, ParsesKindAndOrderedArgs) {
+    const auto bare = pt::path_spec::parse("zf");
+    EXPECT_EQ(bare.kind, "zf");
+    EXPECT_TRUE(bare.args.empty());
+    EXPECT_EQ(bare.to_string(), "zf");
+
+    const auto spec = pt::path_spec::parse("gsra:reads=80,sp=0.29,pause_us=1");
+    EXPECT_EQ(spec.kind, "gsra");
+    ASSERT_EQ(spec.args.size(), 3u);
+    EXPECT_EQ(spec.args[0], (std::pair<std::string, std::string>{"reads", "80"}));
+    EXPECT_EQ(spec.args[1], (std::pair<std::string, std::string>{"sp", "0.29"}));
+    EXPECT_EQ(spec.args[2], (std::pair<std::string, std::string>{"pause_us", "1"}));
+    EXPECT_EQ(spec.to_string(), "gsra:reads=80,sp=0.29,pause_us=1");
+    ASSERT_NE(spec.find("sp"), nullptr);
+    EXPECT_EQ(*spec.find("sp"), "0.29");
+    EXPECT_EQ(spec.find("absent"), nullptr);
+}
+
+TEST(PathSpec, RejectsMalformedText) {
+    EXPECT_THROW((void)pt::path_spec::parse(""), std::invalid_argument);
+    EXPECT_THROW((void)pt::path_spec::parse(":width=4"), std::invalid_argument);
+    EXPECT_THROW((void)pt::path_spec::parse("kbest:"), std::invalid_argument);
+    EXPECT_THROW((void)pt::path_spec::parse("kbest:width"), std::invalid_argument);
+    EXPECT_THROW((void)pt::path_spec::parse("kbest:=4"), std::invalid_argument);
+    EXPECT_THROW((void)pt::path_spec::parse("kbest:width="), std::invalid_argument);
+    EXPECT_THROW((void)pt::path_spec::parse("width=4"), std::invalid_argument);
+    // Duplicate keys are a silent-misconfiguration hazard, so they are loud.
+    EXPECT_THROW((void)pt::path_spec::parse("sa:reads=4,reads=400"), std::invalid_argument);
+}
+
+TEST(PathSpec, ListGrammarSplitsPathsAndAttachesArgs) {
+    const auto simple = pt::parse_spec_list("zf,kbest:width=16,gsra");
+    ASSERT_EQ(simple.size(), 3u);
+    EXPECT_EQ(simple[0].to_string(), "zf");
+    EXPECT_EQ(simple[1].to_string(), "kbest:width=16");
+    EXPECT_EQ(simple[2].to_string(), "gsra");
+
+    // A bare key=value continues the previous spec; a new kind:key=value
+    // (':' before '=') starts a new one.
+    const auto mixed = pt::parse_spec_list("sa:reads=4,sweeps=40,gsra:reads=10,zf");
+    ASSERT_EQ(mixed.size(), 3u);
+    EXPECT_EQ(mixed[0].to_string(), "sa:reads=4,sweeps=40");
+    EXPECT_EQ(mixed[1].to_string(), "gsra:reads=10");
+    EXPECT_EQ(mixed[2].to_string(), "zf");
+
+    // A key=value after a bare kind opens that kind's argument list.
+    const auto opened = pt::parse_spec_list("kbest,width=16,zf");
+    ASSERT_EQ(opened.size(), 2u);
+    EXPECT_EQ(opened[0].to_string(), "kbest:width=16");
+    EXPECT_EQ(opened[1].to_string(), "zf");
+
+    EXPECT_TRUE(pt::parse_spec_list("").empty());
+    EXPECT_TRUE(pt::parse_spec_list(",,").empty());
+}
+
+TEST(Registry, ListsBuiltinsSorted) {
+    const auto kinds = pt::registry::available();
+    EXPECT_TRUE(std::is_sorted(kinds.begin(), kinds.end()));
+    for (const char* kind :
+         {"zf", "mmse", "kbest", "sphere", "sic", "fcsd", "sa", "tabu", "pt", "gsra"}) {
+        EXPECT_TRUE(pt::registry::is_registered(kind)) << kind;
+    }
+    EXPECT_FALSE(pt::registry::is_registered("warp-drive"));
+}
+
+TEST(Registry, HelpListsKindsAndKeys) {
+    const auto help = pt::registry::help();
+    EXPECT_NE(help.find("kbest"), std::string::npos);
+    EXPECT_NE(help.find("width"), std::string::npos);
+    EXPECT_NE(help.find("gsra"), std::string::npos);
+    EXPECT_NE(help.find("pause_us"), std::string::npos);
+}
+
+TEST(Registry, UnknownKindErrorListsAvailablePaths) {
+    const auto message =
+        thrown_message([] { (void)pt::registry::make("warp-drive"); });
+    EXPECT_NE(message.find("warp-drive"), std::string::npos);
+    EXPECT_NE(message.find("available"), std::string::npos);
+    EXPECT_NE(message.find("zf"), std::string::npos);
+    EXPECT_NE(message.find("gsra"), std::string::npos);
+}
+
+TEST(Registry, UnknownKeyErrorListsAcceptedKeys) {
+    const auto message =
+        thrown_message([] { (void)pt::registry::make("kbest:breadth=16"); });
+    EXPECT_NE(message.find("breadth"), std::string::npos);
+    EXPECT_NE(message.find("accepted"), std::string::npos);
+    EXPECT_NE(message.find("width"), std::string::npos);
+
+    // A path with no keys says so rather than listing nothing.
+    const auto none = thrown_message([] { (void)pt::registry::make("zf:width=4"); });
+    EXPECT_NE(none.find("none"), std::string::npos);
+}
+
+TEST(Registry, BadValueErrorNamesKeyAndExpectation) {
+    const auto not_a_number =
+        thrown_message([] { (void)pt::registry::make("kbest:width=wide"); });
+    EXPECT_NE(not_a_number.find("width"), std::string::npos);
+    EXPECT_NE(not_a_number.find("wide"), std::string::npos);
+    EXPECT_NE(not_a_number.find("positive integer"), std::string::npos);
+
+    EXPECT_THROW((void)pt::registry::make("kbest:width=0"), std::invalid_argument);
+    EXPECT_THROW((void)pt::registry::make("gsra:reads=-3"), std::invalid_argument);
+    const auto bad_double = thrown_message([] { (void)pt::registry::make("gsra:sp=high"); });
+    EXPECT_NE(bad_double.find("sp"), std::string::npos);
+    EXPECT_NE(bad_double.find("number"), std::string::npos);
+}
+
+TEST(Registry, SpecRoundTripsThroughMakeForEveryBuiltin) {
+    // The fixed builtin list, not available(): other tests in this binary
+    // legitimately add process-global test-only kinds.
+    for (const std::string kind :
+         {"zf", "mmse", "kbest", "sphere", "sic", "fcsd", "sa", "tabu", "pt", "gsra"}) {
+        SCOPED_TRACE(kind);
+        const auto path = pt::registry::make(kind);
+        const auto canonical = path->spec();
+        EXPECT_EQ(canonical.kind, kind);
+        // Canonical spec -> make -> identical name and canonical spec.
+        const auto rebuilt = pt::registry::make(canonical.to_string());
+        EXPECT_EQ(rebuilt->name(), path->name());
+        EXPECT_EQ(rebuilt->spec().to_string(), canonical.to_string());
+        EXPECT_EQ(rebuilt->needs_qubo(), path->needs_qubo());
+        EXPECT_EQ(rebuilt->stage_names(), path->stage_names());
+    }
+}
+
+TEST(Registry, NonDefaultSpecRoundTrips) {
+    const auto path = pt::registry::make("gsra:reads=40,sp=0.35,pause_us=2");
+    EXPECT_EQ(path->spec().to_string(), "gsra:reads=40,sp=0.35,pause_us=2");
+    const auto kbest = pt::registry::make("kbest:width=16");
+    EXPECT_EQ(kbest->spec().to_string(), "kbest:width=16");
+    // Defaults canonicalise to explicit keys, so "kbest" == "kbest:width=8".
+    EXPECT_EQ(pt::registry::make("kbest")->spec().to_string(), "kbest:width=8");
+}
+
+TEST(Registry, DuplicateRegistrationIsRejected) {
+    const auto factory = [](const pt::path_spec&) -> std::shared_ptr<const pt::detection_path> {
+        return pt::registry::make("zf");
+    };
+    // The registry is process-global, so guard the first registration to
+    // keep the test idempotent under --gtest_repeat / --gtest_shuffle.
+    if (!pt::registry::is_registered("dup-probe")) {
+        pt::registry::register_path(
+            {.kind = "dup-probe", .summary = "test-only", .keys = {}, .factory = factory});
+    }
+    EXPECT_THROW(pt::registry::register_path({.kind = "dup-probe",
+                                              .summary = "again",
+                                              .keys = {},
+                                              .factory = factory}),
+                 std::invalid_argument);
+    // Built-ins are protected the same way.
+    EXPECT_THROW(
+        pt::registry::register_path({.kind = "zf", .summary = "", .keys = {}, .factory = factory}),
+        std::invalid_argument);
+    // And the registration surface validates its inputs.
+    EXPECT_THROW(
+        pt::registry::register_path({.kind = "", .summary = "", .keys = {}, .factory = factory}),
+        std::invalid_argument);
+    EXPECT_THROW(pt::registry::register_path(
+                     {.kind = "no-factory", .summary = "", .keys = {}, .factory = {}}),
+                 std::invalid_argument);
+}
+
+/// A user-defined path: always emits the all-zero word.  Exercises the
+/// extension recipe from docs/ARCHITECTURE.md end to end.
+class all_zero_path final : public pt::detection_path {
+public:
+    [[nodiscard]] pt::path_result run(const pt::path_context& ctx) const override {
+        pt::path_result out;
+        out.bits.assign(ctx.instance.num_bits(), 0);
+        out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
+        out.stages = {{"detect", 0.0}};
+        return out;
+    }
+    [[nodiscard]] std::string name() const override { return "Zero"; }
+    [[nodiscard]] pt::path_spec spec() const override { return {"zero", {}}; }
+    [[nodiscard]] std::vector<std::string> stage_names() const override { return {"detect"}; }
+};
+
+TEST(Registry, UserRegisteredPathRunsThroughTheLinkSimulator) {
+    if (!pt::registry::is_registered("zero")) {
+        pt::registry::register_path(
+            {.kind = "zero",
+             .summary = "all-zero reference word (test-only)",
+             .keys = {},
+             .factory = [](const pt::path_spec&) -> std::shared_ptr<const pt::detection_path> {
+                 return std::make_shared<const all_zero_path>();
+             }});
+    }
+    hcq::link::link_config config;
+    config.num_uses = 6;
+    config.num_users = 2;
+    config.mod = hcq::wireless::modulation::qpsk;
+    config.paths = pt::parse_spec_list("zero,zf");
+    config.seed = 5;
+    const auto report = hcq::link::run_link_simulation(config);
+    const auto& zero = report.path("zero");
+    EXPECT_EQ(zero.name, "Zero");
+    EXPECT_EQ(zero.stage_names(), (std::vector<std::string>{"synth", "detect"}));
+    EXPECT_GT(zero.ber.errors(), 0u);  // all-zero is a terrible detector
+}
+
+TEST(Registry, SolverFormsBridgeIntoSweeps) {
+    for (const char* spec : {"sa:reads=2,sweeps=10", "tabu:iters=20", "pt:rounds=4", "gsra:reads=4"}) {
+        SCOPED_TRACE(spec);
+        const auto solver = pt::registry::make_solver(spec);
+        ASSERT_NE(solver, nullptr);
+        hcq::util::rng rng(11);
+        const auto q = hcq::qubo::random_qubo(rng, 8, 1.0);
+        hcq::util::rng solve_rng(12);
+        const auto samples = solver->solve(q, solve_rng);
+        EXPECT_GT(samples.size(), 0u);
+    }
+
+    const auto message = thrown_message([] { (void)pt::registry::make_solver("zf"); });
+    EXPECT_NE(message.find("no QUBO-solver form"), std::string::npos);
+    EXPECT_NE(message.find("sa"), std::string::npos);
+    EXPECT_NE(message.find("gsra"), std::string::npos);
+}
+
+TEST(Registry, SolverOutlivesThePathThatMadeIt) {
+    // The gsra path owns its initialiser and device through shared_ptr; the
+    // solver it hands out must keep them alive after the path is gone.
+    std::shared_ptr<const hcq::solvers::solver> solver;
+    {
+        const auto path = pt::registry::make("gsra:reads=4,sp=0.45");
+        solver = path->as_solver();
+    }
+    hcq::util::rng rng(21);
+    const auto q = hcq::qubo::random_qubo(rng, 6, 1.0);
+    hcq::util::rng solve_rng(22);
+    const auto samples = solver->solve(q, solve_rng);
+    EXPECT_EQ(samples.size(), 5u);  // initial candidate + 4 reads
+    EXPECT_EQ(solver->name(), "GS+RA");
+}
+
+TEST(Registry, ConventionalPathsHaveNoSolverFormAndNeedNoQubo) {
+    for (const char* kind : {"zf", "mmse", "kbest", "sphere", "sic", "fcsd"}) {
+        SCOPED_TRACE(kind);
+        const auto path = pt::registry::make(kind);
+        EXPECT_FALSE(path->needs_qubo());
+        EXPECT_EQ(path->as_solver(), nullptr);
+    }
+    for (const char* kind : {"sa", "tabu", "pt", "gsra"}) {
+        SCOPED_TRACE(kind);
+        const auto path = pt::registry::make(kind);
+        EXPECT_TRUE(path->needs_qubo());
+        EXPECT_NE(path->as_solver(), nullptr);
+    }
+}
+
+TEST(Registry, QuboPathRejectsMissingReduction) {
+    hcq::util::rng rng(31);
+    const auto instance =
+        hcq::wireless::noiseless_paper_instance(rng, 2, hcq::wireless::modulation::qpsk);
+    const auto path = pt::registry::make("sa:reads=1,sweeps=5");
+    hcq::util::rng solve_rng(32);
+    const pt::path_context ctx{instance, nullptr, solve_rng};
+    EXPECT_THROW((void)path->run(ctx), std::invalid_argument);
+}
+
+}  // namespace
