@@ -5,6 +5,9 @@
 //                              approaches the paper's counts)
 //   --seed=<n>                 master seed (default 7)
 //   --csv                      emit CSV instead of aligned tables
+//   --json                     emit a JSON array of row objects (the
+//                              BENCH_*.json CI artifact format; takes
+//                              precedence over --csv)
 // plus bench-specific flags documented in each binary's banner.
 #ifndef HCQ_BENCH_BENCH_COMMON_H
 #define HCQ_BENCH_BENCH_COMMON_H
@@ -26,11 +29,13 @@ struct context {
     util::bench_scale scale = util::bench_scale::quick;
     std::uint64_t seed = 7;
     bool csv = false;
+    bool json = false;
 
     context(int argc, const char* const argv[]) : flags(argc, argv) {
         scale = util::parse_scale(flags);
         seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
         csv = flags.get_bool("csv", false);
+        json = flags.get_bool("json", false);
     }
 
     /// Scales a base count by the preset factor (>= 1).
@@ -40,8 +45,10 @@ struct context {
         return static_cast<std::size_t>(std::max(1.0, v));
     }
 
-    /// Prints the bench banner.
+    /// Prints the bench banner (suppressed in JSON mode, where stdout must
+    /// stay machine-parseable for the CI artifact).
     void banner(const std::string& title, const std::string& paper_ref) const {
+        if (json) return;
         std::cout << "== " << title << " ==\n"
                   << "reproduces: " << paper_ref << "\n"
                   << "scale: " << util::to_string(scale) << "  seed: " << seed << "\n\n";
@@ -49,6 +56,10 @@ struct context {
 
     /// Emits a table in the selected format.
     void emit(const util::table& t) const {
+        if (json) {
+            t.print_json(std::cout);
+            return;
+        }
         if (csv) {
             t.print_csv(std::cout);
         } else {

@@ -1,5 +1,5 @@
-// End-to-end link-layer bench: sustained throughput, ARQ-budget latency and
-// BER for each detection path, measured through the whole
+// End-to-end link-layer bench: sustained throughput, ARQ-budget latency,
+// drop rate and BER for each detection path, measured through the whole
 // channel-use -> QUBO -> solve -> BER system (link/link_sim.h) rather than
 // on frozen solver corpora.
 //
@@ -9,7 +9,10 @@
 //
 // Extra flags: --uses=<base count> (scaled by --scale), --load=<offered
 // load>, --threads=<n>, --paths=<spec list> (paths::registry spec strings,
-// e.g. zf,kbest:width=16,gsra).
+// e.g. zf,kbest:width=16,gsra,kxra:k=4), --buffer=<slots per replay stage;
+// 0 = unbounded>, --policy=block|drop-oldest|drop-newest.  With --json the
+// table is emitted as a JSON array of row objects — the format the CI
+// bench-smoke job uploads as a BENCH_*.json artifact.
 #include <vector>
 
 #include "bench_common.h"
@@ -28,6 +31,8 @@ int main(int argc, char** argv) {
     const std::size_t threads = static_cast<std::size_t>(ctx.flags.get_int("threads", 0));
     const auto path_specs =
         paths::parse_spec_list(ctx.flags.get_string("paths", "zf,kbest,sphere,sa,gsra"));
+    const auto buffer = static_cast<std::size_t>(ctx.flags.get_int("buffer", 256));
+    const auto policy = pipeline::parse_backpressure(ctx.flags.get_string("policy", "block"));
 
     struct scenario {
         std::size_t users;
@@ -41,7 +46,7 @@ int main(int argc, char** argv) {
     }
 
     util::table t({"users", "mod", "path", "BER", "exact uses", "svc mean us",
-                   "thrpt use/ms", "p50 lat us", "p99 lat us", "wall s"});
+                   "thrpt use/ms", "p50 lat us", "p99 lat us", "drop rate", "wall s"});
     for (const auto& s : scenarios) {
         link::link_config config;
         config.num_uses = uses;
@@ -51,6 +56,8 @@ int main(int argc, char** argv) {
         config.offered_load = load;
         config.num_threads = threads;
         config.seed = ctx.seed;
+        config.buffer_capacity = buffer == 0 ? pipeline::unbounded_capacity : buffer;
+        config.policy = policy;
 
         const util::timer clock;
         const auto report = link::run_link_simulation(config);
@@ -58,14 +65,11 @@ int main(int argc, char** argv) {
 
         for (const auto& path : report.paths) {
             // Per-path service downstream of the shared synthesis stage.
-            double service_sum = 0.0;
-            for (std::size_t st = 1; st < path.stages.size(); ++st) {
-                service_sum += path.stages[st].mean_us();
-            }
             t.add(s.users, wireless::to_string(s.mod), path.name,
                   util::format_double(path.ber.rate(), 5), path.exact_frames,
-                  service_sum, path.replay.throughput_per_us * 1000.0,
+                  path.service.mean_us(), path.replay.throughput_per_us * 1000.0,
                   path.replay.p50_latency_us, path.replay.p99_latency_us,
+                  util::format_double(path.replay.drop_rate, 5),
                   util::format_double(wall_s, 2));
         }
     }

@@ -1,21 +1,28 @@
 // End-to-end link simulation: a stream of channel uses flowing through
 // wireless synthesis -> QUBO reduction -> any set of registered detection
 // paths side by side, with measured per-stage wall times replayed through
-// the Figure-2 tandem-queue pipeline.
+// the Figure-2 tandem-queue pipeline under bounded stage buffers and a
+// selectable backpressure policy.
 //
 // This is the system view the figure benches do not give: BER per detector
 // on the same uses, measured (not synthetic) stage service times, and the
-// sustained throughput / ARQ-budget latency each detection path would
-// deliver at the configured offered load.
+// sustained throughput / ARQ-budget latency / drop rate each detection path
+// would deliver at the configured offered load.
+//
+// The stream aggregates in constant memory (fixed-size digests + bounded
+// replay samples; see link/link_sim.h), so million-use runs are routine:
+//     ./examples/link_sim --uses 1000000 --paths zf,sa
 //
 // Paths are spec strings resolved through paths::registry — run with --help
 // for the full listing of kinds and their keys.  Per-path knobs ride inside
 // the spec: `--paths zf,kbest:width=16,gsra:reads=40,sp=0.35` is three
-// paths (a key=value segment always continues the preceding spec).
+// paths (a key=value segment always continues the preceding spec), and
+// `--paths kxra:k=4` serves the hybrid stream with 4 round-robin annealers.
 //
 // Usage: ./examples/link_sim
 //   [--uses=120] [--users=4] [--mod=qam16] [--snr=16] [--noiseless]
 //   [--paths=zf,kbest,sphere,sa,gsra] [--load=0.9] [--threads=0] [--seed=1]
+//   [--buffer=256] [--policy=block|drop-oldest|drop-newest]
 //   [--csv] [--help]
 #include <algorithm>
 #include <iostream>
@@ -33,7 +40,8 @@ int main(int argc, char** argv) try {
                      "(channel use -> QUBO -> solve -> BER)\n\n"
                      "flags: --uses=120 --users=4 --mod=qam16 --snr=16 --noiseless\n"
                      "       --paths=zf,kbest,sphere,sa,gsra --load=0.9 --threads=0\n"
-                     "       --seed=1 --csv\n\n"
+                     "       --seed=1 --buffer=256 (replay slots per stage, 0 = unbounded)\n"
+                     "       --policy=block|drop-oldest|drop-newest --csv\n\n"
                   << paths::registry::help();
         return 0;
     }
@@ -60,6 +68,9 @@ int main(int argc, char** argv) try {
     config.offered_load = flags.get_double("load", 0.9);
     config.num_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
     config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    const auto buffer = static_cast<std::size_t>(flags.get_int("buffer", 256));
+    config.buffer_capacity = buffer == 0 ? pipeline::unbounded_capacity : buffer;
+    config.policy = pipeline::parse_backpressure(flags.get_string("policy", "block"));
     const bool csv = flags.get_bool("csv", false);
 
     std::cout << "== end-to-end link simulation ==\n"
@@ -69,9 +80,14 @@ int main(int argc, char** argv) try {
                       ? std::string("noiseless random-phase channel (paper corpus)")
                       : "Rayleigh + AWGN at " + util::format_double(config.snr_db, 1) + " dB")
               << ", offered load " << util::format_double(config.offered_load, 2) << "\n"
-              << "seed " << config.seed << ", threads "
+              << "replay buffers: "
+              << (config.buffer_capacity == pipeline::unbounded_capacity
+                      ? std::string("unbounded")
+                      : std::to_string(config.buffer_capacity) + " slots/stage, " +
+                            pipeline::to_string(config.policy))
+              << "; seed " << config.seed << ", threads "
               << (config.num_threads == 0 ? std::string("hw") : std::to_string(config.num_threads))
-              << "; BER/exact-use statistics are bit-identical at any thread count\n\n";
+              << "\nBER/exact-use statistics are bit-identical at any thread count\n\n";
 
     const auto report = link::run_link_simulation(config);
 
@@ -82,11 +98,13 @@ int main(int argc, char** argv) try {
         summary.print(std::cout);
     }
     std::cout << "\nsvc = measured per-use service downstream of channel synthesis;\n"
-                 "thrpt / latency come from replaying the measured stage traces\n"
-                 "through the Figure-2 tandem queue at the offered load.\n";
+                 "thrpt / latency / drop rate / peak queue come from replaying the\n"
+                 "measured stage traces through the Figure-2 tandem queue at the\n"
+                 "offered load, under the configured buffers and backpressure policy.\n";
 
     // Detailed measured-trace replay for hybrid structures (paths reporting
-    // a split "quantum" stage), when present.
+    // a split "quantum" stage), when present — includes per-stage
+    // utilisation, queue occupancy, and drops.
     for (const auto& path : report.paths) {
         const auto names = path.stage_names();
         if (std::find(names.begin(), names.end(), "quantum") == names.end()) continue;

@@ -2,18 +2,23 @@
 # Tier-1 verification: configure + build + ctest in Debug and Release with
 # warnings-as-errors, mirroring .github/workflows/ci.yml.
 #
-# Usage:  scripts/verify.sh [--tsan] [--clean] [--help]
+# Usage:  scripts/verify.sh [--tsan] [--asan] [--clean] [--help]
 #   --tsan   additionally build the threading-sensitive suites with
 #            -fsanitize=thread and run them (proves the parallel runner,
-#            thread pool, and link simulator race-free)
+#            thread pool, bounded-buffer pipeline, and link simulator
+#            race-free)
+#   --asan   additionally build the detection/link/hybrid suites with
+#            -fsanitize=address,undefined and run them (mirrors the CI
+#            asan job)
 #   --clean  remove the build trees first
 #   --help   print this help
 #
 # The gate covers the whole tree, including the end-to-end link simulator
 # (src/link, examples/link_sim, bench/bench_link_e2e — the measured-stage-
 # latency path; see docs/ARCHITECTURE.md).  CI additionally builds the
-# Doxygen docs target (-DHCQ_BUILD_DOCS=ON) so documentation breakage
-# surfaces in review instead of rotting silently.
+# Doxygen docs target (-DHCQ_BUILD_DOCS=ON) and uploads a BENCH_*.json
+# artifact from bench_link_e2e (the bench-smoke job), so documentation and
+# perf-trajectory breakage surface in review instead of rotting silently.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,10 +29,12 @@ usage() {
 }
 
 run_tsan=0
+run_asan=0
 clean=0
 for arg in "$@"; do
     case "$arg" in
         --tsan) run_tsan=1 ;;
+        --asan) run_asan=1 ;;
         --clean) clean=1 ;;
         --help|-h) usage; exit 0 ;;
         *) echo "unknown argument: $arg" >&2; usage >&2; exit 2 ;;
@@ -48,14 +55,28 @@ done
 if [[ $run_tsan -eq 1 ]]; then
     dir="build-verify-tsan"
     [[ $clean -eq 1 ]] && rm -rf "$dir"
-    echo "== TSan: parallel runner + thread pool + link simulator =="
+    echo "== TSan: parallel runner + thread pool + link simulator + pipeline =="
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHCQ_SANITIZE=thread \
         -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF
-    cmake --build "$dir" -j "$jobs" --target parallel_runner_test util_test link_test paths_test
+    cmake --build "$dir" -j "$jobs" --target parallel_runner_test util_test link_test \
+        paths_test pipeline_test
     "$dir/tests/parallel_runner_test"
     "$dir/tests/util_test" --gtest_filter='ThreadPool.*:ParallelFor.*'
     "$dir/tests/link_test"
     "$dir/tests/paths_test"
+    "$dir/tests/pipeline_test"
+fi
+
+if [[ $run_asan -eq 1 ]]; then
+    dir="build-asan"
+    [[ $clean -eq 1 ]] && rm -rf "$dir"
+    echo "== ASan+UBSan: detection paths + link simulator + hybrid solver =="
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHCQ_SANITIZE=address \
+        -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF
+    cmake --build "$dir" -j "$jobs" --target paths_test link_test hybrid_test
+    "$dir/tests/paths_test"
+    "$dir/tests/link_test"
+    "$dir/tests/hybrid_test"
 fi
 
 echo "verify: all gates passed"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "metrics/stats.h"
@@ -28,43 +29,66 @@ void validate(const link_config& config) {
     if (!(config.offered_load > 0.0) || !std::isfinite(config.offered_load)) {
         throw std::invalid_argument("link: offered load must be positive and finite");
     }
+    if (config.buffer_capacity == 0) {
+        throw std::invalid_argument(
+            "link: buffer capacity 0 can never admit work; use >= 1 or "
+            "pipeline::unbounded_capacity");
+    }
+    if (config.stream_block == 0) throw std::invalid_argument("link: zero stream block");
 }
 
 pipeline::simulation_result replay_traces(const path_report& path, const link_config& config) {
     std::vector<pipeline::stage> stages;
     double bottleneck_us = 0.0;
-    for (const auto& trace : path.stages) {
-        stages.push_back(pipeline::stage::from_trace(trace.name, trace.service_us));
-        bottleneck_us = std::max(bottleneck_us, trace.mean_us());
+    for (std::size_t s = 0; s < path.stages.size(); ++s) {
+        const auto& trace = path.stages[s];
+        const std::size_t servers = path.stage_servers[s];
+        stages.push_back(pipeline::stage::from_trace(trace.name(), trace.replay_sample())
+                             .with_servers(servers));
+        // Pace arrivals by the mean of the sample actually being replayed,
+        // so the requested load is honoured against the cycled trace even
+        // where the strided sample and the full-stream digest mean differ
+        // slightly.  A stage bank of S devices drains S times faster than
+        // one.
+        metrics::running_stats sample_stats;
+        for (const double v : trace.replay_sample()) sample_stats.add(v);
+        bottleneck_us = std::max(bottleneck_us, sample_stats.mean() / static_cast<double>(servers));
     }
     // Arrivals pace the bottleneck at the configured load; the floor guards
     // against a degenerate all-zero trace from timer quantisation.
     const double interarrival_us = std::max(bottleneck_us / config.offered_load, 1e-3);
     util::rng arrivals_rng(config.seed);  // unused by deterministic arrivals
+    // Constant-memory replay: bounded buffers per the config, percentiles
+    // from the digest instead of an O(uses) latency vector.
+    const pipeline::sim_options options{.buffer_capacity = config.buffer_capacity,
+                                        .policy = config.policy,
+                                        .record_latencies = false};
     return pipeline::simulate(stages, config.num_uses, {.interarrival_us = interarrival_us},
-                              arrivals_rng);
+                              arrivals_rng, options);
 }
 
 }  // namespace
 
-double stage_trace::mean_us() const {
-    metrics::running_stats stats;
-    for (const double v : service_us) stats.add(v);
-    return stats.mean();  // running_stats yields 0.0 on no data
+stage_trace::stage_trace(std::string name, std::size_t sample_stride)
+    : name_(std::move(name)), sample_stride_(std::max<std::size_t>(sample_stride, 1)) {}
+
+stage_trace::stage_trace(std::string name, const std::vector<double>& service_us)
+    : stage_trace(std::move(name)) {
+    for (const double v : service_us) add(v);
 }
 
-double stage_trace::p50_us() const {
-    return service_us.empty() ? 0.0 : metrics::percentile(service_us, 50.0);
-}
-
-double stage_trace::p99_us() const {
-    return service_us.empty() ? 0.0 : metrics::percentile(service_us, 99.0);
+void stage_trace::add(double service_us) {
+    const std::uint64_t index = digest_.count();
+    digest_.add(service_us);
+    if (index % sample_stride_ == 0 && sample_.size() < replay_sample_capacity) {
+        sample_.push_back(service_us);
+    }
 }
 
 std::vector<std::string> path_report::stage_names() const {
     std::vector<std::string> names;
     names.reserve(stages.size());
-    for (const auto& trace : stages) names.push_back(trace.name);
+    for (const auto& trace : stages) names.push_back(trace.name());
     return names;
 }
 
@@ -98,17 +122,72 @@ link_report run_link_simulation(const link_config& config) {
     const std::size_t num_paths = paths.size();
     const bool needs_qubo = std::any_of(paths.begin(), paths.end(),
                                         [](const auto& path) { return path->needs_qubo(); });
-    std::vector<qubo::bit_vector> tx_bits(config.num_uses);
-    std::vector<double> synth_us(config.num_uses, 0.0);
-    std::vector<double> reduce_us(config.num_uses, 0.0);
-    std::vector<paths::path_result> cells(config.num_uses * num_paths);
+
+    // Replay samples stride uniformly across the stream so long replays are
+    // not driven by warm-up-era service times alone.
+    const std::size_t sample_stride =
+        (config.num_uses + stage_trace::replay_sample_capacity - 1) /
+        stage_trace::replay_sample_capacity;
+
+    link_report report;
+    report.config = config;
+    report.synthesis = stage_trace("synth", sample_stride);
+    report.reduction = stage_trace("qubo", sample_stride);
+    report.paths.resize(num_paths);
+    std::vector<std::vector<std::string>> solve_stages(num_paths);
+    std::vector<std::size_t> first_solve_stage(num_paths);
+    std::vector<std::uint8_t> path_needs_qubo(num_paths, 0);
+    for (std::size_t p = 0; p < num_paths; ++p) {
+        path_report& path = report.paths[p];
+        path.kind = paths[p]->spec().kind;
+        path.name = paths[p]->name();
+        path.spec = canonical[p];
+        path.service = stage_trace("service", sample_stride);
+        path_needs_qubo[p] = paths[p]->needs_qubo() ? 1 : 0;
+
+        solve_stages[p] = paths[p]->stage_names();
+        const auto solve_servers = paths[p]->stage_servers();
+        if (solve_servers.size() != solve_stages[p].size()) {
+            throw std::logic_error("link: path '" + path.spec + "' declares " +
+                                   std::to_string(solve_servers.size()) +
+                                   " stage server counts for " +
+                                   std::to_string(solve_stages[p].size()) + " stages");
+        }
+        path.stages.emplace_back("synth", sample_stride);
+        path.stage_servers.push_back(1);
+        if (paths[p]->needs_qubo()) {
+            path.stages.emplace_back("qubo", sample_stride);
+            path.stage_servers.push_back(1);
+        }
+        first_solve_stage[p] = path.stages.size();
+        for (std::size_t s = 0; s < solve_stages[p].size(); ++s) {
+            path.stages.emplace_back(solve_stages[p][s], sample_stride);
+            path.stage_servers.push_back(solve_servers[s]);
+        }
+    }
 
     const util::rng synth_base = util::rng(config.seed).derive(synth_stream_domain);
     const util::rng solve_base = util::rng(config.seed).derive(solve_stream_domain);
 
-    util::pool_for_each(
-        config.num_uses,
-        [&](std::size_t u) {
+    // The stream is processed in fixed-size windows: workers fill one window
+    // of per-use cells in parallel, then the window is folded serially in
+    // use order into the constant-size aggregates above.  Peak memory is
+    // O(stream_block x paths), independent of num_uses.
+    const std::size_t block = std::min(config.stream_block, config.num_uses);
+    std::vector<qubo::bit_vector> tx_bits(block);
+    std::vector<double> synth_us(block, 0.0);
+    std::vector<double> reduce_us(block, 0.0);
+    std::vector<paths::path_result> cells(block * num_paths);
+
+    // One pool for the whole stream; num_threads == 1 degrades to a serial
+    // loop like util::pool_for_each.
+    std::optional<util::thread_pool> pool;
+    if (config.num_threads != 1 && block > 1) pool.emplace(config.num_threads);
+
+    for (std::size_t base = 0; base < config.num_uses; base += block) {
+        const std::size_t window = std::min(block, config.num_uses - base);
+        const auto fill_cell = [&](std::size_t i) {
+            const std::size_t u = base + i;
             // Stage 1: synthesise the channel use (channel draw + modulation).
             util::rng synth_rng = synth_base.derive(u);
             wireless::mimo_config mimo;
@@ -122,86 +201,93 @@ link_report run_link_simulation(const link_config& config) {
                                                                     config.snr_db);
             util::timer synth_clock;
             const auto instance = wireless::synthesize(synth_rng, mimo);
-            synth_us[u] = synth_clock.elapsed_us();
-            tx_bits[u] = instance.tx_bits;
+            synth_us[i] = synth_clock.elapsed_us();
+            tx_bits[i] = instance.tx_bits;
 
             // Stage 2: QUBO reduction (QuAMax transform), shared by the
             // QUBO-based paths (skipped — trace stays zero — when only
             // conventional detectors are configured).
             detect::ml_qubo mq;
+            reduce_us[i] = 0.0;
             if (needs_qubo) {
                 util::timer reduce_clock;
                 mq = detect::ml_to_qubo(instance);
-                reduce_us[u] = reduce_clock.elapsed_us();
+                reduce_us[i] = reduce_clock.elapsed_us();
             }
 
             // Stage 3: every configured path detects the same use, each on
-            // its own derived RNG stream.
+            // its own derived RNG stream (indexed by the GLOBAL use index,
+            // so statistics do not depend on the window size).
             for (std::size_t p = 0; p < num_paths; ++p) {
                 util::rng solve_rng = solve_base.derive(u * num_paths + p);
                 const paths::path_context ctx{instance, needs_qubo ? &mq : nullptr, solve_rng};
-                cells[u * num_paths + p] = paths[p]->run(ctx);
+                cells[i * num_paths + p] = paths[p]->run(ctx);
             }
-        },
-        config.num_threads);
+        };
+        if (!pool || window < 2) {
+            for (std::size_t i = 0; i < window; ++i) fill_cell(i);
+        } else {
+            for (std::size_t i = 0; i < window; ++i) {
+                pool->submit([&fill_cell, i] { fill_cell(i); });
+            }
+            pool->wait_idle();
+        }
 
-    // Serial aggregation in use order: the merged statistics never depend on
-    // the scheduling order above.
-    link_report report;
-    report.config = config;
-    report.synthesis = {"synth", synth_us};
-    report.reduction = {"qubo", reduce_us};
-    report.paths.resize(num_paths);
+        // Serial aggregation in use order: the merged statistics never
+        // depend on the scheduling order above.
+        for (std::size_t i = 0; i < window; ++i) {
+            report.synthesis.add(synth_us[i]);
+            report.reduction.add(reduce_us[i]);
+            for (std::size_t p = 0; p < num_paths; ++p) {
+                path_report& path = report.paths[p];
+                const paths::path_result& cell = cells[i * num_paths + p];
+                if (cell.stages.size() != solve_stages[p].size()) {
+                    throw std::logic_error("link: path '" + path.spec + "' returned " +
+                                           std::to_string(cell.stages.size()) +
+                                           " stage timings but declared " +
+                                           std::to_string(solve_stages[p].size()));
+                }
+                path.ber.add_frame(tx_bits[i], cell.bits);
+                if (cell.bits == tx_bits[i]) ++path.exact_frames;
+                path.sum_ml_cost += cell.ml_cost;
+
+                path.stages[0].add(synth_us[i]);
+                double service_sum = 0.0;
+                if (path_needs_qubo[p] != 0) {  // has the shared qubo stage
+                    path.stages[1].add(reduce_us[i]);
+                    service_sum += reduce_us[i];
+                }
+                for (std::size_t s = 0; s < cell.stages.size(); ++s) {
+                    path.stages[first_solve_stage[p] + s].add(cell.stages[s].service_us);
+                    service_sum += cell.stages[s].service_us;
+                }
+                path.service.add(service_sum);
+            }
+        }
+    }
+
     for (std::size_t p = 0; p < num_paths; ++p) {
-        path_report& path = report.paths[p];
-        path.kind = paths[p]->spec().kind;
-        path.name = paths[p]->name();
-        path.spec = canonical[p];
-
-        const auto solve_stages = paths[p]->stage_names();
-        path.stages.push_back({"synth", synth_us});
-        if (paths[p]->needs_qubo()) path.stages.push_back({"qubo", reduce_us});
-        const std::size_t first_solve_stage = path.stages.size();
-        for (const auto& stage : solve_stages) {
-            path.stages.push_back({stage, std::vector<double>(config.num_uses, 0.0)});
-        }
-
-        for (std::size_t u = 0; u < config.num_uses; ++u) {
-            const paths::path_result& cell = cells[u * num_paths + p];
-            if (cell.stages.size() != solve_stages.size()) {
-                throw std::logic_error("link: path '" + path.spec + "' returned " +
-                                       std::to_string(cell.stages.size()) +
-                                       " stage timings but declared " +
-                                       std::to_string(solve_stages.size()));
-            }
-            path.ber.add_frame(tx_bits[u], cell.bits);
-            if (cell.bits == tx_bits[u]) ++path.exact_frames;
-            path.sum_ml_cost += cell.ml_cost;
-            for (std::size_t s = 0; s < cell.stages.size(); ++s) {
-                path.stages[first_solve_stage + s].service_us[u] = cell.stages[s].service_us;
-            }
-        }
-        path.replay = replay_traces(path, config);
+        report.paths[p].replay = replay_traces(report.paths[p], config);
     }
     return report;
 }
 
 util::table summary_table(const link_report& report) {
     util::table t({"path", "BER", "bit errs", "exact uses", "svc mean us", "svc p50 us",
-                   "svc p99 us", "thrpt use/ms", "p50 lat us", "p99 lat us"});
+                   "svc p99 us", "thrpt use/ms", "p50 lat us", "p99 lat us", "drop rate",
+                   "peak queue"});
     for (const auto& path : report.paths) {
         // Per-path service: everything downstream of the shared synthesis
         // stage (for the hybrid that is qubo + classical + quantum).
-        stage_trace service{"service", std::vector<double>(report.config.num_uses, 0.0)};
-        for (std::size_t s = 1; s < path.stages.size(); ++s) {
-            for (std::size_t u = 0; u < report.config.num_uses; ++u) {
-                service.service_us[u] += path.stages[s].service_us[u];
-            }
+        std::size_t peak_queue = 0;
+        for (const std::size_t q : path.replay.max_queue_len) {
+            peak_queue = std::max(peak_queue, q);
         }
         t.add(path.name, util::format_double(path.ber.rate(), 5), path.ber.errors(),
-              path.exact_frames, service.mean_us(), service.p50_us(), service.p99_us(),
-              path.replay.throughput_per_us * 1000.0, path.replay.p50_latency_us,
-              path.replay.p99_latency_us);
+              path.exact_frames, path.service.mean_us(), path.service.p50_us(),
+              path.service.p99_us(), path.replay.throughput_per_us * 1000.0,
+              path.replay.p50_latency_us, path.replay.p99_latency_us,
+              util::format_double(path.replay.drop_rate, 5), peak_queue);
     }
     return t;
 }

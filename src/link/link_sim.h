@@ -9,13 +9,23 @@
 // it, and dispatches the solves across util::thread_pool side by side.
 //
 // Detection paths are *not* hard-coded: each entry of link_config::paths is
-// a paths::path_spec ("zf", "kbest:width=16", "gsra:reads=80,sp=0.29", ...)
-// resolved through paths::registry, so any registered path — conventional
-// detector, classical QUBO heuristic, or hybrid classical-quantum structure
-// — can ride the stream without touching this layer.  Measured per-stage
-// wall times feed pipeline::simulate via stage::from_trace, so Figure-2
-// throughput/latency numbers come from the actual code paths instead of
-// lognormal stand-ins.
+// a paths::path_spec ("zf", "kbest:width=16", "gsra:reads=80,sp=0.29",
+// "kxra:k=4", ...) resolved through paths::registry, so any registered path
+// — conventional detector, classical QUBO heuristic, or hybrid
+// classical-quantum structure — can ride the stream without touching this
+// layer.  Measured per-stage wall times feed pipeline::simulate via
+// stage::from_trace, so Figure-2 throughput/latency numbers come from the
+// actual code paths instead of lognormal stand-ins; the replay runs with the
+// configured bounded stage buffers and backpressure policy, reporting drop
+// rates and queue occupancy.
+//
+// Scaling: the stream is processed in fixed-size windows of
+// link_config::stream_block uses — the workers fill one window in parallel,
+// then the statistics are folded serially in use order into constant-size
+// aggregates (exact BER / ML-cost / exact-frame counters plus
+// metrics::latency_digest summaries and a bounded replay sample per stage).
+// Memory is therefore O(stream_block x paths), independent of num_uses —
+// million-use runs are first-class.
 //
 // Determinism: every channel use draws from an RNG stream derived from
 // (seed, domain, use index) and every (use, path) solve from
@@ -23,9 +33,10 @@
 // scheme — the thread pool decides only *when* a cell runs, never *what* it
 // computes, and aggregation is serial in use order.  All link-layer
 // statistics (BER, ML costs, exact-frame counts) are therefore bit-identical
-// at any thread count; only the measured wall times vary run to run.  The
-// golden-value test in tests/link_test.cpp pins these statistics to the
-// values the pre-registry (enum-dispatch) implementation produced.
+// at any thread count AND any stream_block size; only the measured wall
+// times vary run to run.  The golden-value tests in tests/link_test.cpp pin
+// these statistics to the values the pre-registry (enum-dispatch, per-cell
+// storage) implementation produced.
 #ifndef HCQ_LINK_LINK_SIM_H
 #define HCQ_LINK_LINK_SIM_H
 
@@ -35,6 +46,7 @@
 #include <vector>
 
 #include "metrics/ber.h"
+#include "metrics/digest.h"
 #include "paths/detection_path.h"
 #include "pipeline/pipeline.h"
 #include "util/table.h"
@@ -64,22 +76,65 @@ struct link_config {
     std::size_t num_threads = 0;   ///< worker threads (0 = hardware concurrency)
     std::uint64_t seed = 1;        ///< master seed for all derived streams
     double offered_load = 0.9;     ///< arrival rate / bottleneck rate in the replay
+
+    /// Tandem-queue replay buffering: waiting slots in front of every
+    /// replayed stage, and what happens when one fills.
+    /// pipeline::unbounded_capacity restores the legacy unbounded model;
+    /// 0 throws (see pipeline::simulate).
+    std::size_t buffer_capacity = 256;
+    pipeline::backpressure policy = pipeline::backpressure::block;
+
+    /// Channel uses processed per aggregation window; bounds peak memory at
+    /// O(stream_block x paths) without affecting any statistic.  0 throws.
+    std::size_t stream_block = 1024;
 };
 
-/// Measured wall-time trace of one named processing stage across the stream.
+/// Streaming summary of one named processing stage across the stream: exact
+/// count/mean/max, digest-backed p50/p99, and a bounded head sample used to
+/// replay the stage through the Figure-2 tandem queue.  Memory is fixed
+/// regardless of stream length.
 ///
 /// Percentile semantics: an empty trace has mean_us() == p50_us() ==
 /// p99_us() == 0.0 (there is nothing to summarise, and 0 keeps replay
 /// arithmetic finite); a single-entry trace returns that entry for every
-/// percentile.  With two or more entries the percentiles come from
-/// metrics::percentile (linear interpolation of the sorted data).
-struct stage_trace {
-    std::string name;
-    std::vector<double> service_us;  ///< one entry per channel use
+/// percentile (the digest clamps into [min, max]).  With two or more entries
+/// the percentiles come from metrics::latency_digest — log-binned, ~0.4%
+/// relative error.
+class stage_trace {
+public:
+    /// Service times kept verbatim for the tandem-queue replay: up to this
+    /// many entries, strided uniformly across the stream (see below).
+    /// pipeline::stage::from_trace cycles the sample over longer replays.
+    static constexpr std::size_t replay_sample_capacity = 512;
 
-    [[nodiscard]] double mean_us() const;
-    [[nodiscard]] double p50_us() const;
-    [[nodiscard]] double p99_us() const;
+    stage_trace() = default;
+    /// `sample_stride` spaces the replay sample across the stream: every
+    /// stride-th added entry is kept (first entry always).  Callers that
+    /// know the stream length use ceil(length / replay_sample_capacity) so
+    /// the sample covers the WHOLE stream uniformly instead of just the
+    /// warm-up head — warm-up service times run slower than steady state
+    /// and would otherwise bias long replays.  0 or 1 keeps every entry
+    /// until the capacity is reached.
+    explicit stage_trace(std::string name, std::size_t sample_stride = 1);
+    /// Pre-filled trace (adds every entry, stride 1); convenience for tests.
+    stage_trace(std::string name, const std::vector<double>& service_us);
+
+    /// Folds one per-use service time into the summary.
+    void add(double service_us);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::uint64_t count() const noexcept { return digest_.count(); }
+    [[nodiscard]] double mean_us() const { return digest_.mean(); }
+    [[nodiscard]] double p50_us() const { return digest_.p50(); }
+    [[nodiscard]] double p99_us() const { return digest_.p99(); }
+    [[nodiscard]] double max_us() const { return digest_.max(); }
+    [[nodiscard]] const std::vector<double>& replay_sample() const noexcept { return sample_; }
+
+private:
+    std::string name_;
+    std::size_t sample_stride_ = 1;
+    metrics::latency_digest digest_;
+    std::vector<double> sample_;
 };
 
 /// Everything one detection path accumulated over the stream.
@@ -91,13 +146,22 @@ struct path_report {
     std::size_t exact_frames = 0;    ///< uses whose detected bits match tx exactly
     double sum_ml_cost = 0.0;        ///< sum of ||y - H x_hat||^2 (deterministic)
 
-    /// Per-stage measured service traces, front-end first (synthesis and
+    /// Per-stage streaming service summaries, front-end first (synthesis and
     /// QUBO reduction are shared across paths; solve stages are per path —
     /// e.g. the hybrid splits into its classical and quantum halves).
     std::vector<stage_trace> stages;
 
+    /// Parallel-device count per entry of `stages` (1 except for stages a
+    /// path declares multi-device, e.g. the kxra quantum stage).
+    std::vector<std::size_t> stage_servers;
+
+    /// Total per-use service downstream of the shared synthesis stage (for
+    /// the hybrid that is qubo + classical + quantum).
+    stage_trace service;
+
     /// Tandem-queue replay of the measured traces at the configured offered
-    /// load (pipeline::simulate over stage::from_trace).
+    /// load and buffering (pipeline::simulate over stage::from_trace with
+    /// the link_config's buffer capacity / backpressure policy).
     pipeline::simulation_result replay;
 
     [[nodiscard]] std::vector<std::string> stage_names() const;
@@ -117,13 +181,16 @@ struct link_report {
     [[nodiscard]] const path_report& path(std::string_view query) const;
 };
 
-/// Runs the stream end to end.  Throws std::invalid_argument on zero uses or
-/// users, an empty path list, an unknown/malformed path spec, a duplicated
-/// canonical spec, or a non-positive offered load.
+/// Runs the stream end to end.  Throws std::invalid_argument on zero uses,
+/// users, or stream block, an empty path list, an unknown/malformed path
+/// spec, a duplicated canonical spec, a non-positive offered load, or a zero
+/// buffer capacity.
 [[nodiscard]] link_report run_link_simulation(const link_config& config);
 
-/// One row per path: BER, measured mean/p50/p99 solve service, and the
-/// replay's sustained throughput and p50/p99 latency (the ARQ budget view).
+/// One row per path: BER, measured mean/p50/p99 solve service, the replay's
+/// sustained throughput and p50/p99 latency (the ARQ budget view), and the
+/// replay's drop rate and peak queue occupancy under the configured
+/// backpressure policy.
 [[nodiscard]] util::table summary_table(const link_report& report);
 
 }  // namespace hcq::link

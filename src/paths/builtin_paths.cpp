@@ -97,17 +97,23 @@ private:
 /// owning hybrid_solver_adapter, so the path — and any solver handed out by
 /// as_solver() — is safe to construct from temporaries and to outlive this
 /// translation unit's statics.
+///
+/// `devices` > 1 is the paper's §5 multi-device scaling lever (registry kind
+/// "kxra"): K interchangeable annealer devices round-robin one stream.  The
+/// emulated devices are identical and every (use, path) cell draws from the
+/// same derived RNG stream, so detection statistics are bit-identical to the
+/// single-device "gsra" with the same knobs — only the pipeline replay
+/// differs, where the quantum stage runs on K round-robin servers.
 class gs_ra_path final : public detection_path {
 public:
-    gs_ra_path(std::size_t reads, double sp, double pause_us)
+    gs_ra_path(std::size_t reads, double sp, double pause_us, std::size_t devices,
+               path_spec spec)
         : adapter_(std::make_shared<const hybrid::hybrid_solver_adapter>(
               std::make_shared<const solvers::greedy_search>(),
               std::make_shared<const anneal::annealer_emulator>(),
               anneal::anneal_schedule::reverse(sp, pause_us), reads)),
-          spec_{"gsra",
-                {{"reads", std::to_string(reads)},
-                 {"sp", format_spec_value(sp)},
-                 {"pause_us", format_spec_value(pause_us)}}} {}
+          devices_(devices),
+          spec_(std::move(spec)) {}
 
     [[nodiscard]] path_result run(const path_context& ctx) const override {
         require_qubo(ctx);
@@ -118,11 +124,17 @@ public:
         out.stages = {{"classical", result.classical_us}, {"quantum", result.quantum_us}};
         return out;
     }
-    [[nodiscard]] std::string name() const override { return adapter_->name(); }
+    [[nodiscard]] std::string name() const override {
+        return devices_ > 1 ? adapter_->name() + "x" + std::to_string(devices_)
+                            : adapter_->name();
+    }
     [[nodiscard]] path_spec spec() const override { return spec_; }
     [[nodiscard]] bool needs_qubo() const noexcept override { return true; }
     [[nodiscard]] std::vector<std::string> stage_names() const override {
         return {"classical", "quantum"};
+    }
+    [[nodiscard]] std::vector<std::size_t> stage_servers() const override {
+        return {1, devices_};
     }
     [[nodiscard]] std::shared_ptr<const solvers::solver> as_solver() const override {
         return adapter_;
@@ -130,6 +142,7 @@ public:
 
 private:
     std::shared_ptr<const hybrid::hybrid_solver_adapter> adapter_;
+    std::size_t devices_;
     path_spec spec_;
 };
 
@@ -282,7 +295,34 @@ path_info gsra_info() {
                 const std::size_t reads = spec_positive_size(spec, "reads", 80);
                 const double sp = spec_double(spec, "sp", 0.29);
                 const double pause_us = spec_double(spec, "pause_us", 1.0);
-                return std::make_shared<const gs_ra_path>(reads, sp, pause_us);
+                return std::make_shared<const gs_ra_path>(
+                    reads, sp, pause_us, 1,
+                    path_spec{"gsra",
+                              {{"reads", std::to_string(reads)},
+                               {"sp", format_spec_value(sp)},
+                               {"pause_us", format_spec_value(pause_us)}}});
+            }};
+}
+
+path_info kxra_info() {
+    return {.kind = "kxra",
+            .summary = "gsra stream served by K round-robin annealer devices (paper section 5)",
+            .keys = {{"k", "annealer devices round-robining the stream (positive, default 2)"},
+                     {"reads", "annealer reads per use (positive integer, default 80)"},
+                     {"sp", "reverse-anneal switch/pause location s_p in (0,1) (default 0.29)"},
+                     {"pause_us", "pause time t_p in us (default 1)"}},
+            .factory = [](const path_spec& spec) -> std::shared_ptr<const detection_path> {
+                const std::size_t devices = spec_positive_size(spec, "k", 2);
+                const std::size_t reads = spec_positive_size(spec, "reads", 80);
+                const double sp = spec_double(spec, "sp", 0.29);
+                const double pause_us = spec_double(spec, "pause_us", 1.0);
+                return std::make_shared<const gs_ra_path>(
+                    reads, sp, pause_us, devices,
+                    path_spec{"kxra",
+                              {{"k", std::to_string(devices)},
+                               {"reads", std::to_string(reads)},
+                               {"sp", format_spec_value(sp)},
+                               {"pause_us", format_spec_value(pause_us)}}});
             }};
 }
 
@@ -301,6 +341,7 @@ void register_builtin_paths() {
     registry::register_path(tabu_info());
     registry::register_path(pt_info());
     registry::register_path(gsra_info());
+    registry::register_path(kxra_info());
 }
 
 }  // namespace detail

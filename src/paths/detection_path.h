@@ -119,6 +119,15 @@ public:
     /// {"classical", "quantum"}).  Fixed for the lifetime of the path.
     [[nodiscard]] virtual std::vector<std::string> stage_names() const = 0;
 
+    /// Parallel-device count of each solve stage, aligned with
+    /// stage_names() — e.g. {1, K} for a K-annealer path whose quantum
+    /// stage round-robins one stream over K devices.  The link layer
+    /// replays a stage with S > 1 as a pipeline::stage with S round-robin
+    /// servers.  Default: one device per stage.
+    [[nodiscard]] virtual std::vector<std::size_t> stage_servers() const {
+        return std::vector<std::size_t>(stage_names().size(), 1);
+    }
+
     /// The path's QUBO-solver form for (instances x solvers) sweeps
     /// (hybrid::parallel_runner), or nullptr when the path has none (the
     /// conventional detectors, which never touch a QUBO).  The returned

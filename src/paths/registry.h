@@ -13,7 +13,7 @@
 // a bad value names the key and the expected form.
 //
 // The built-in paths (zf, mmse, kbest, sphere, sic, fcsd, sa, tabu, pt,
-// gsra — see builtin_paths.cpp) are registered lazily before the first
+// gsra, kxra — see builtin_paths.cpp) are registered lazily before the first
 // lookup, so a static-initialisation-order race with user registrations is
 // impossible.  New paths register with registry::register_path, either
 // directly or through a namespace-scope `paths::registrar` object — see

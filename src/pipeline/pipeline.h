@@ -5,32 +5,46 @@
 // greedy-search unit, then a quantum reverse-annealing unit).  While the
 // quantum unit processes channel use N, the classical unit may already work
 // on N+1 — exactly the overlap the figure depicts.  The simulator is a
-// tandem queue with single-server stages:
-//     start[k][j] = max(done[k-1][j], done[k][j-1]),
+// tandem queue:
+//     start[k][j] = max(done[k-1][j], free_k),
 //     done[k][j]  = start[k][j] + service_k(j).
 //
-// Modelling assumptions, explicitly:
-//   * Buffers between stages are UNBOUNDED: a job finishing stage k-1 always
-//     parks in front of stage k, no matter how far behind that stage is.
-//     There is no backpressure and no drop policy, so offered load above the
-//     bottleneck service rate grows queues (and latency) without bound —
-//     saturate deliberately when probing capacity, and read p99 latency
-//     against an ARQ budget rather than expecting it to plateau.
-//   * Each stage serves one job at a time, in arrival order (FIFO).
-//   * `stage_utilization[k]` is busy time / makespan — the fraction of the
-//     whole run the stage spent serving, measured against the LAST departure
-//     time, not against the stage's own active window.  Early stages that
-//     finish their work and then idle while the tail drains therefore report
-//     lower utilisation than an in-isolation measurement would.
+// Modelling semantics, explicitly:
+//   * Stage buffers are bounded by sim_options::buffer_capacity (waiting
+//     slots per stage; unbounded_capacity restores the legacy
+//     grow-without-bound behaviour).  A full buffer applies the selected
+//     backpressure policy: `block` stalls the upstream stage (and, at the
+//     first stage, delays admission of offered arrivals) until a slot
+//     frees; `drop_oldest` evicts the longest-waiting queued job in favour
+//     of the newcomer; `drop_newest` discards the arriving job.  Capacity 0
+//     is a configuration error (a stage could never accept work) and
+//     throws — see simulate().
+//   * Jobs traverse the pipeline strictly in stream order (in-order
+//     delivery between stages); a stage with S servers dispatches jobs
+//     round-robin (job n of the stage's served stream goes to server
+//     n mod S) — the paper's §5 "K annealer devices serving one stream"
+//     lever made literal.
+//   * `stage_utilization[k]` is busy time / (makespan x servers) — the
+//     fraction of the stage's total service capacity spent serving,
+//     measured against the LAST departure time.  Early stages that finish
+//     and then idle while the tail drains report lower utilisation than an
+//     in-isolation measurement would.
+//   * Latency statistics cover completed jobs only; dropped jobs count into
+//     drop_rate/stage_drops and into queue-occupancy time while queued, but
+//     have no latency.
 //
 // The simulator reports the link-layer quantities of interest: sustained
 // throughput, per-channel-use latency percentiles (the ARQ turnaround
-// budget), stage utilisation, and queueing delay.  Service models may be
-// synthetic (constant / lognormal) or measured traces recorded from the real
-// solver code paths by the end-to-end link simulator (link/link_sim.h).
+// budget), drop rates, stage utilisation, and queue occupancy.  For
+// million-job streaming runs set record_latencies = false: percentiles then
+// come from a fixed-memory metrics::latency_digest (~0.4% relative error)
+// instead of an O(jobs) vector.  Service models may be synthetic (constant /
+// lognormal) or measured traces recorded from the real solver code paths by
+// the end-to-end link simulator (link/link_sim.h).
 #ifndef HCQ_PIPELINE_PIPELINE_H
 #define HCQ_PIPELINE_PIPELINE_H
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -40,12 +54,14 @@
 
 namespace hcq::pipeline {
 
-/// One pipeline stage: a name plus a per-job service-time model.
+/// One pipeline stage: a name, a per-job service-time model, and a server
+/// count (parallel identical devices fed round-robin, default 1).
 class stage {
 public:
     using service_model = std::function<double(std::size_t job_index, util::rng& rng)>;
 
-    stage(std::string name, service_model service);
+    /// Throws std::invalid_argument on a null service model or zero servers.
+    stage(std::string name, service_model service, std::size_t num_servers = 1);
 
     /// Deterministic service time.
     [[nodiscard]] static stage constant(std::string name, double service_us);
@@ -60,12 +76,18 @@ public:
     /// non-finite entry.
     [[nodiscard]] static stage from_trace(std::string name, std::vector<double> trace_us);
 
+    /// Copy of this stage backed by `num_servers` parallel servers (e.g. the
+    /// K devices of a kxra detection path).  Throws on zero.
+    [[nodiscard]] stage with_servers(std::size_t num_servers) const;
+
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::size_t servers() const noexcept { return num_servers_; }
     [[nodiscard]] double service_us(std::size_t job_index, util::rng& rng) const;
 
 private:
     std::string name_;
     service_model service_;
+    std::size_t num_servers_ = 1;
 };
 
 /// Arrival process for channel uses.
@@ -74,42 +96,82 @@ struct arrival_process {
     bool poisson = false;           ///< exponential spacing instead of fixed
 };
 
+/// What a stage does when a job arrives at a full buffer.
+enum class backpressure {
+    block,        ///< stall the upstream stage until a slot frees (no drops)
+    drop_oldest,  ///< evict the longest-waiting queued job for the newcomer
+    drop_newest,  ///< discard the arriving job
+};
+
+/// Canonical names: "block", "drop-oldest", "drop-newest".
+[[nodiscard]] const char* to_string(backpressure policy) noexcept;
+/// Parses the canonical names; throws std::invalid_argument listing them.
+[[nodiscard]] backpressure parse_backpressure(const std::string& text);
+
+/// Sentinel capacity restoring the legacy unbounded-buffer behaviour.
+inline constexpr std::size_t unbounded_capacity = static_cast<std::size_t>(-1);
+
+/// Simulation knobs beyond the stage list and arrival process.
+struct sim_options {
+    /// Waiting slots in front of every stage (jobs in service not counted).
+    /// unbounded_capacity disables backpressure entirely; 0 throws.
+    std::size_t buffer_capacity = unbounded_capacity;
+    backpressure policy = backpressure::block;
+    /// Keep the per-job latencies_us vector (O(jobs) memory) and compute
+    /// exact percentiles from it.  When false, percentiles come from a
+    /// fixed-memory log-binned digest instead (~0.4% relative error) and
+    /// latencies_us stays empty — the million-job streaming mode.
+    bool record_latencies = true;
+};
+
 /// Aggregate simulation outcome.
 struct simulation_result {
-    std::size_t num_jobs = 0;
-    double makespan_us = 0.0;               ///< last departure time
-    double throughput_per_us = 0.0;         ///< jobs / makespan
-    double mean_latency_us = 0.0;           ///< arrival -> final departure
+    std::size_t num_jobs = 0;                ///< offered jobs (arrivals)
+    std::size_t jobs_completed = 0;          ///< jobs that left the last stage
+    std::size_t jobs_dropped = 0;            ///< offered - completed
+    double drop_rate = 0.0;                  ///< dropped / offered
+    double makespan_us = 0.0;                ///< last departure time
+    double throughput_per_us = 0.0;          ///< completed jobs / makespan
+    double mean_latency_us = 0.0;            ///< arrival -> final departure
     double p50_latency_us = 0.0;
     double p99_latency_us = 0.0;
     double max_latency_us = 0.0;
-    std::vector<double> stage_utilization;  ///< busy time / makespan, per stage
-    std::vector<double> mean_queue_wait_us; ///< time waiting before each stage
-    std::vector<double> latencies_us;       ///< per-job, for custom analysis
+    std::vector<double> stage_utilization;   ///< busy / (makespan x servers)
+    std::vector<double> mean_queue_wait_us;  ///< buffer wait per completed job
+    std::vector<double> mean_queue_len;      ///< time-averaged buffer occupancy
+    std::vector<std::size_t> max_queue_len;  ///< peak buffer occupancy
+    std::vector<std::size_t> stage_drops;    ///< jobs dropped at each buffer
+    /// Per-completed-job latencies in completion order; empty when
+    /// record_latencies is false.
+    std::vector<double> latencies_us;
 };
 
 /// Runs `num_jobs` channel uses through the stages.  Throws
-/// std::invalid_argument on an empty stage list or non-positive parameters.
+/// std::invalid_argument on an empty stage list, non-positive parameters, or
+/// a zero buffer capacity (a stage could never accept work — pass
+/// unbounded_capacity for the legacy no-backpressure model).
 [[nodiscard]] simulation_result simulate(const std::vector<stage>& stages,
                                          std::size_t num_jobs, const arrival_process& arrivals,
-                                         util::rng& rng);
+                                         util::rng& rng, const sim_options& options = {});
 
 /// Renders a simulation_result as a two-column metric/value util::table
-/// (throughput, latency percentiles, then per-stage utilisation and queue
-/// wait).  `stage_names` labels the per-stage rows and must either match the
-/// per-stage vector sizes or be empty (stages are then numbered).  This is
-/// the one place result formatting lives — examples and benches print
-/// through it instead of ad-hoc streaming.
+/// (throughput, drop rate, latency percentiles, then per-stage utilisation,
+/// queue wait, occupancy, and drops).  `stage_names` labels the per-stage
+/// rows and must either match the per-stage vector sizes or be empty (stages
+/// are then numbered).  This is the one place result formatting lives —
+/// examples and benches print through it instead of ad-hoc streaming.
 [[nodiscard]] util::table summary_table(const simulation_result& result,
                                         const std::vector<std::string>& stage_names = {});
 
 /// Convenience builder for the paper's two-stage hybrid: a classical
 /// initialiser stage followed by a quantum annealer stage whose service time
 /// is reads x schedule duration plus a per-job programming overhead.
+/// `quantum_devices` replicates the annealer stage (round-robin dispatch).
 [[nodiscard]] std::vector<stage> make_hybrid_stages(double classical_us,
                                                     double schedule_duration_us,
                                                     std::size_t reads_per_use,
-                                                    double programming_us = 0.0);
+                                                    double programming_us = 0.0,
+                                                    std::size_t quantum_devices = 1);
 
 }  // namespace hcq::pipeline
 

@@ -59,6 +59,78 @@ void table::print(std::ostream& os) const {
     for (const auto& row : rows_) emit(row);
 }
 
+namespace {
+
+/// True when the whole cell matches the JSON number grammar (RFC 8259):
+/// -?(0|[1-9][0-9]*)(.[0-9]+)?([eE][+-]?[0-9]+)?.  Deliberately stricter
+/// than strtod, which also accepts hex floats, "1.", ".5", inf/nan — all
+/// illegal as unquoted JSON tokens.
+bool is_numeric_cell(const std::string& cell) {
+    const char* p = cell.c_str();
+    if (*p == '-') ++p;
+    if (*p == '0') {
+        ++p;
+    } else if (*p >= '1' && *p <= '9') {
+        while (*p >= '0' && *p <= '9') ++p;
+    } else {
+        return false;
+    }
+    if (*p == '.') {
+        ++p;
+        if (*p < '0' || *p > '9') return false;
+        while (*p >= '0' && *p <= '9') ++p;
+    }
+    if (*p == 'e' || *p == 'E') {
+        ++p;
+        if (*p == '+' || *p == '-') ++p;
+        if (*p < '0' || *p > '9') return false;
+        while (*p >= '0' && *p <= '9') ++p;
+    }
+    return *p == '\0';
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                    os << buf;
+                } else {
+                    os << ch;
+                }
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+void table::print_json(std::ostream& os) const {
+    os << "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << "  {";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            write_json_string(os, headers_[c]);
+            os << ": ";
+            if (is_numeric_cell(rows_[r][c])) {
+                os << rows_[r][c];
+            } else {
+                write_json_string(os, rows_[r][c]);
+            }
+            if (c + 1 < headers_.size()) os << ", ";
+        }
+        os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
+}
+
 void table::print_csv(std::ostream& os) const {
     const auto emit = [&](const std::vector<std::string>& row) {
         for (std::size_t c = 0; c < row.size(); ++c) {

@@ -34,6 +34,12 @@ public:
     /// cells comma-free).
     void print_csv(std::ostream& os) const;
 
+    /// Writes a JSON array of row objects keyed by the headers — the
+    /// machine-readable form CI bench artifacts (`BENCH_*.json`) use.
+    /// Cells that parse fully as finite numbers are emitted unquoted; all
+    /// other cells become JSON strings (with standard escaping).
+    void print_json(std::ostream& os) const;
+
     [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
     [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
 

@@ -89,7 +89,7 @@ TEST(Registry, ListsBuiltinsSorted) {
     const auto kinds = pt::registry::available();
     EXPECT_TRUE(std::is_sorted(kinds.begin(), kinds.end()));
     for (const char* kind :
-         {"zf", "mmse", "kbest", "sphere", "sic", "fcsd", "sa", "tabu", "pt", "gsra"}) {
+         {"zf", "mmse", "kbest", "sphere", "sic", "fcsd", "sa", "tabu", "pt", "gsra", "kxra"}) {
         EXPECT_TRUE(pt::registry::is_registered(kind)) << kind;
     }
     EXPECT_FALSE(pt::registry::is_registered("warp-drive"));
@@ -142,7 +142,7 @@ TEST(Registry, SpecRoundTripsThroughMakeForEveryBuiltin) {
     // The fixed builtin list, not available(): other tests in this binary
     // legitimately add process-global test-only kinds.
     for (const std::string kind :
-         {"zf", "mmse", "kbest", "sphere", "sic", "fcsd", "sa", "tabu", "pt", "gsra"}) {
+         {"zf", "mmse", "kbest", "sphere", "sic", "fcsd", "sa", "tabu", "pt", "gsra", "kxra"}) {
         SCOPED_TRACE(kind);
         const auto path = pt::registry::make(kind);
         const auto canonical = path->spec();
@@ -153,7 +153,28 @@ TEST(Registry, SpecRoundTripsThroughMakeForEveryBuiltin) {
         EXPECT_EQ(rebuilt->spec().to_string(), canonical.to_string());
         EXPECT_EQ(rebuilt->needs_qubo(), path->needs_qubo());
         EXPECT_EQ(rebuilt->stage_names(), path->stage_names());
+        EXPECT_EQ(rebuilt->stage_servers(), path->stage_servers());
     }
+}
+
+TEST(Registry, KxraDeclaresItsDeviceBank) {
+    // kxra is gsra served by K round-robin annealer devices (paper §5): the
+    // quantum stage reports K servers, everything else matches gsra.
+    const auto kxra = pt::registry::make("kxra:k=4,reads=10");
+    EXPECT_EQ(kxra->spec().to_string(), "kxra:k=4,reads=10,sp=0.29,pause_us=1");
+    EXPECT_EQ(kxra->name(), "GS+RAx4");
+    EXPECT_TRUE(kxra->needs_qubo());
+    EXPECT_EQ(kxra->stage_names(), (std::vector<std::string>{"classical", "quantum"}));
+    EXPECT_EQ(kxra->stage_servers(), (std::vector<std::size_t>{1, 4}));
+    EXPECT_NE(kxra->as_solver(), nullptr);  // bridges into parallel_runner sweeps
+    // Defaults: k=2.
+    EXPECT_EQ(pt::registry::make("kxra")->stage_servers(), (std::vector<std::size_t>{1, 2}));
+    EXPECT_THROW((void)pt::registry::make("kxra:k=0"), std::invalid_argument);
+
+    // Every other builtin defaults to one device per stage.
+    const auto gsra = pt::registry::make("gsra");
+    EXPECT_EQ(gsra->stage_servers(), (std::vector<std::size_t>{1, 1}));
+    EXPECT_EQ(pt::registry::make("zf")->stage_servers(), (std::vector<std::size_t>{1}));
 }
 
 TEST(Registry, NonDefaultSpecRoundTrips) {
@@ -233,7 +254,8 @@ TEST(Registry, UserRegisteredPathRunsThroughTheLinkSimulator) {
 }
 
 TEST(Registry, SolverFormsBridgeIntoSweeps) {
-    for (const char* spec : {"sa:reads=2,sweeps=10", "tabu:iters=20", "pt:rounds=4", "gsra:reads=4"}) {
+    for (const char* spec : {"sa:reads=2,sweeps=10", "tabu:iters=20", "pt:rounds=4",
+                             "gsra:reads=4", "kxra:k=2,reads=4"}) {
         SCOPED_TRACE(spec);
         const auto solver = pt::registry::make_solver(spec);
         ASSERT_NE(solver, nullptr);
@@ -273,7 +295,7 @@ TEST(Registry, ConventionalPathsHaveNoSolverFormAndNeedNoQubo) {
         EXPECT_FALSE(path->needs_qubo());
         EXPECT_EQ(path->as_solver(), nullptr);
     }
-    for (const char* kind : {"sa", "tabu", "pt", "gsra"}) {
+    for (const char* kind : {"sa", "tabu", "pt", "gsra", "kxra"}) {
         SCOPED_TRACE(kind);
         const auto path = pt::registry::make(kind);
         EXPECT_TRUE(path->needs_qubo());

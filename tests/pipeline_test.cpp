@@ -173,10 +173,11 @@ TEST(SummaryTable, ShapeAndStageLabels) {
     const std::vector<pl::stage> stages{pl::stage::constant("cl", 1.0),
                                         pl::stage::constant("qu", 2.0)};
     const auto result = pl::simulate(stages, 50, {.interarrival_us = 4.0}, rng);
-    // 7 headline metrics + 2 rows (utilisation, queue wait) per stage.
+    // 10 headline metrics + 5 rows (utilisation, queue wait, mean/max
+    // occupancy, drops) per stage.
     const auto named = pl::summary_table(result, {"cl", "qu"});
     EXPECT_EQ(named.columns(), 2u);
-    EXPECT_EQ(named.rows(), 7u + 2u * stages.size());
+    EXPECT_EQ(named.rows(), 10u + 5u * stages.size());
     const auto numbered = pl::summary_table(result);
     EXPECT_EQ(numbered.rows(), named.rows());
     EXPECT_THROW((void)pl::summary_table(result, {"only-one"}), std::invalid_argument);
@@ -189,6 +190,197 @@ TEST(HybridStages, EndToEndHybridPipelineRuns) {
     const auto result = pl::simulate(stages, 200, {.interarrival_us = 12.0}, rng);
     EXPECT_NEAR(result.mean_latency_us, 1.0 + 5 * 2.18, 1e-6);
     EXPECT_GT(result.stage_utilization[1], result.stage_utilization[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded buffers, backpressure policies, multi-server stages
+// ---------------------------------------------------------------------------
+
+TEST(Backpressure, NamesRoundTrip) {
+    for (const auto policy : {pl::backpressure::block, pl::backpressure::drop_oldest,
+                              pl::backpressure::drop_newest}) {
+        EXPECT_EQ(pl::parse_backpressure(pl::to_string(policy)), policy);
+    }
+    EXPECT_THROW((void)pl::parse_backpressure("drop-random"), std::invalid_argument);
+}
+
+TEST(Bounded, CapacityZeroIsAConfigurationError) {
+    // A zero-slot buffer could never admit a job, so it is rejected up
+    // front instead of silently deadlocking or dropping the whole stream.
+    hcq::util::rng rng(30);
+    const std::vector<pl::stage> stages{pl::stage::constant("s", 1.0)};
+    EXPECT_THROW((void)pl::simulate(stages, 10, {.interarrival_us = 1.0}, rng,
+                                    {.buffer_capacity = 0}),
+                 std::invalid_argument);
+}
+
+TEST(Bounded, AmpleCapacityMatchesUnboundedExactly) {
+    // With deterministic service models and more slots than jobs, the
+    // bounded core must reproduce the unbounded recurrence bit for bit.
+    const std::vector<pl::stage> stages{pl::stage::from_trace("a", {1.0, 2.0, 0.5}),
+                                        pl::stage::constant("b", 1.5)};
+    hcq::util::rng rng_a(31);
+    const auto unbounded = pl::simulate(stages, 60, {.interarrival_us = 1.0}, rng_a);
+    for (const auto policy : {pl::backpressure::block, pl::backpressure::drop_oldest,
+                              pl::backpressure::drop_newest}) {
+        SCOPED_TRACE(pl::to_string(policy));
+        hcq::util::rng rng_b(31);
+        const auto bounded =
+            pl::simulate(stages, 60, {.interarrival_us = 1.0}, rng_b,
+                         {.buffer_capacity = 1000, .policy = policy});
+        EXPECT_EQ(bounded.jobs_completed, unbounded.jobs_completed);
+        EXPECT_EQ(bounded.jobs_dropped, 0u);
+        EXPECT_DOUBLE_EQ(bounded.makespan_us, unbounded.makespan_us);
+        ASSERT_EQ(bounded.latencies_us.size(), unbounded.latencies_us.size());
+        for (std::size_t j = 0; j < bounded.latencies_us.size(); ++j) {
+            EXPECT_DOUBLE_EQ(bounded.latencies_us[j], unbounded.latencies_us[j]);
+        }
+        EXPECT_DOUBLE_EQ(bounded.mean_queue_wait_us[0], unbounded.mean_queue_wait_us[0]);
+        EXPECT_DOUBLE_EQ(bounded.mean_queue_wait_us[1], unbounded.mean_queue_wait_us[1]);
+    }
+}
+
+TEST(Bounded, DropNewestHandComputed) {
+    // One 2-us server, arrivals every 1 us, one waiting slot: once the slot
+    // is taken, every other arrival finds it occupied and is discarded.
+    hcq::util::rng rng(32);
+    const std::vector<pl::stage> stages{pl::stage::constant("s", 2.0)};
+    const auto result =
+        pl::simulate(stages, 10, {.interarrival_us = 1.0}, rng,
+                     {.buffer_capacity = 1, .policy = pl::backpressure::drop_newest});
+    EXPECT_EQ(result.jobs_completed, 6u);  // jobs 0,1,2,4,6,8
+    EXPECT_EQ(result.jobs_dropped, 4u);    // jobs 3,5,7,9
+    EXPECT_DOUBLE_EQ(result.drop_rate, 0.4);
+    EXPECT_EQ(result.stage_drops[0], 4u);
+    EXPECT_DOUBLE_EQ(result.makespan_us, 12.0);
+    const std::vector<double> want{2.0, 3.0, 4.0, 4.0, 4.0, 4.0};
+    ASSERT_EQ(result.latencies_us.size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j) {
+        EXPECT_DOUBLE_EQ(result.latencies_us[j], want[j]);
+    }
+    EXPECT_EQ(result.max_queue_len[0], 1u);
+}
+
+TEST(Bounded, DropOldestHandComputed) {
+    // Same offered load, but the newcomer evicts the waiting job: the
+    // freshest work survives, so completed-job latency stays low.
+    hcq::util::rng rng(33);
+    const std::vector<pl::stage> stages{pl::stage::constant("s", 2.0)};
+    const auto result =
+        pl::simulate(stages, 10, {.interarrival_us = 1.0}, rng,
+                     {.buffer_capacity = 1, .policy = pl::backpressure::drop_oldest});
+    EXPECT_EQ(result.jobs_completed, 6u);  // jobs 0,1,3,5,7,9
+    EXPECT_EQ(result.jobs_dropped, 4u);    // jobs 2,4,6,8 evicted while queued
+    EXPECT_EQ(result.stage_drops[0], 4u);
+    EXPECT_DOUBLE_EQ(result.makespan_us, 12.0);
+    const std::vector<double> want{2.0, 3.0, 3.0, 3.0, 3.0, 3.0};
+    ASSERT_EQ(result.latencies_us.size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j) {
+        EXPECT_DOUBLE_EQ(result.latencies_us[j], want[j]);
+    }
+    // Drop-oldest keeps the completed-job p99 below drop-newest's: the
+    // queue never holds stale work.
+    EXPECT_DOUBLE_EQ(result.p99_latency_us, 3.0);
+}
+
+TEST(Bounded, BlockPolicyNeverDropsAndBoundsTheQueue) {
+    // Blocking backpressure: offered jobs wait at the entrance instead of
+    // being dropped; the buffer never exceeds its capacity and admission
+    // delay shows up as latency.
+    hcq::util::rng rng(34);
+    const std::vector<pl::stage> stages{pl::stage::constant("s", 2.0)};
+    const auto result =
+        pl::simulate(stages, 10, {.interarrival_us = 1.0}, rng,
+                     {.buffer_capacity = 1, .policy = pl::backpressure::block});
+    EXPECT_EQ(result.jobs_completed, 10u);
+    EXPECT_EQ(result.jobs_dropped, 0u);
+    EXPECT_DOUBLE_EQ(result.drop_rate, 0.0);
+    EXPECT_DOUBLE_EQ(result.makespan_us, 20.0);  // server busy back to back
+    EXPECT_LE(result.max_queue_len[0], 1u);
+    // Job j starts at 2j and arrived at j: latency j + 2.
+    ASSERT_EQ(result.latencies_us.size(), 10u);
+    for (std::size_t j = 0; j < 10; ++j) {
+        EXPECT_DOUBLE_EQ(result.latencies_us[j], static_cast<double>(j) + 2.0);
+    }
+}
+
+TEST(Bounded, BlockingPropagatesUpstreamHandComputed) {
+    // Two stages, one slot each: the 3-us bottleneck holds the 1-us
+    // front-end, whose server must keep each finished job until the
+    // downstream buffer admits it.  Departures settle into the bottleneck
+    // period; every job survives.
+    hcq::util::rng rng(35);
+    const std::vector<pl::stage> stages{pl::stage::constant("a", 1.0),
+                                        pl::stage::constant("b", 3.0)};
+    const auto result =
+        pl::simulate(stages, 6, {.interarrival_us = 0.5}, rng,
+                     {.buffer_capacity = 1, .policy = pl::backpressure::block});
+    EXPECT_EQ(result.jobs_completed, 6u);
+    EXPECT_EQ(result.jobs_dropped, 0u);
+    EXPECT_DOUBLE_EQ(result.makespan_us, 19.0);  // departures at 4,7,10,13,16,19
+    const std::vector<double> want{4.0, 6.5, 9.0, 11.5, 14.0, 16.5};
+    ASSERT_EQ(result.latencies_us.size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j) {
+        EXPECT_DOUBLE_EQ(result.latencies_us[j], want[j]);
+    }
+}
+
+TEST(MultiServer, RoundRobinDoublesThroughput) {
+    // One 2-us stage backed by two devices, fed every 1 us: the bank keeps
+    // up exactly, so no job ever queues and every latency is the bare
+    // service time.
+    hcq::util::rng rng(36);
+    const std::vector<pl::stage> stages{pl::stage::constant("bank", 2.0).with_servers(2)};
+    const auto result = pl::simulate(stages, 100, {.interarrival_us = 1.0}, rng);
+    EXPECT_NEAR(result.mean_latency_us, 2.0, 1e-12);
+    EXPECT_NEAR(result.p99_latency_us, 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(result.makespan_us, 101.0);
+    // Utilisation is measured against the bank's total capacity.
+    EXPECT_NEAR(result.stage_utilization[0], 200.0 / (101.0 * 2.0), 1e-12);
+    EXPECT_THROW((void)stages[0].with_servers(0), std::invalid_argument);
+}
+
+TEST(MultiServer, HybridBuilderReplicatesTheQuantumStage) {
+    const auto stages = pl::make_hybrid_stages(3.0, 2.2, 10, 1.5, 4);
+    ASSERT_EQ(stages.size(), 2u);
+    EXPECT_EQ(stages[0].servers(), 1u);
+    EXPECT_EQ(stages[1].servers(), 4u);
+    EXPECT_THROW((void)pl::make_hybrid_stages(1.0, 1.0, 1, 0.0, 0), std::invalid_argument);
+}
+
+TEST(Streaming, DigestPercentilesTrackExactOnesWithoutRecording) {
+    const std::vector<pl::stage> stages{pl::stage::lognormal("jitter", 5.0, 0.6)};
+    hcq::util::rng rng_exact(37);
+    const auto exact = pl::simulate(stages, 800, {.interarrival_us = 6.0}, rng_exact);
+    hcq::util::rng rng_stream(37);
+    const auto streamed = pl::simulate(stages, 800, {.interarrival_us = 6.0}, rng_stream,
+                                       {.record_latencies = false});
+    EXPECT_TRUE(streamed.latencies_us.empty());
+    EXPECT_FALSE(exact.latencies_us.empty());
+    // Identical simulated timeline, so the digest percentiles must land
+    // within the digest's ~0.4% bin resolution of the exact ones.
+    EXPECT_DOUBLE_EQ(streamed.makespan_us, exact.makespan_us);
+    EXPECT_NEAR(streamed.p50_latency_us, exact.p50_latency_us, 0.02 * exact.p50_latency_us);
+    EXPECT_NEAR(streamed.p99_latency_us, exact.p99_latency_us, 0.02 * exact.p99_latency_us);
+}
+
+TEST(Bounded, OverloadedDropRunReportsOccupancy) {
+    hcq::util::rng rng(38);
+    const std::vector<pl::stage> stages{pl::stage::constant("a", 1.0),
+                                        pl::stage::constant("b", 4.0)};
+    const auto result =
+        pl::simulate(stages, 400, {.interarrival_us = 1.0}, rng,
+                     {.buffer_capacity = 8, .policy = pl::backpressure::drop_oldest,
+                      .record_latencies = false});
+    EXPECT_GT(result.jobs_dropped, 0u);
+    EXPECT_EQ(result.jobs_completed + result.jobs_dropped, 400u);
+    // Drops happen at the bottleneck's buffer, not the front-end's.
+    EXPECT_EQ(result.stage_drops[0], 0u);
+    EXPECT_GT(result.stage_drops[1], 0u);
+    EXPECT_LE(result.max_queue_len[1], 8u);
+    EXPECT_GT(result.mean_queue_len[1], result.mean_queue_len[0]);
+    // The bottleneck never starves under sustained overload.
+    EXPECT_GT(result.stage_utilization[1], 0.9);
 }
 
 }  // namespace

@@ -329,6 +329,36 @@ TEST(Table, CsvOutput) {
     EXPECT_EQ(os.str(), "a,b\n1,2\n");
 }
 
+TEST(Table, JsonOutput) {
+    hcq::util::table t({"path", "BER", "note"});
+    t.add("zf", 0.125, "a \"quoted\" cell");
+    t.add("sa", 0, "plain");
+    std::ostringstream os;
+    t.print_json(os);
+    const auto text = os.str();
+    // Numeric cells unquoted, text cells quoted and escaped.
+    EXPECT_NE(text.find("\"BER\": 0.125"), std::string::npos);
+    EXPECT_NE(text.find("\"path\": \"zf\""), std::string::npos);
+    EXPECT_NE(text.find("a \\\"quoted\\\" cell"), std::string::npos);
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_EQ(text[text.size() - 2], ']');  // trailing newline after the array
+}
+
+TEST(Table, JsonNumericDetectionIsStrict) {
+    // Cells that strtod would accept but JSON forbids must stay quoted.
+    hcq::util::table t({"a", "b", "c", "d", "e", "f"});
+    t.add("0x1A", "1.", ".5", "01", "-0.5", "1e-3");
+    std::ostringstream os;
+    t.print_json(os);
+    const auto text = os.str();
+    EXPECT_NE(text.find("\"a\": \"0x1A\""), std::string::npos);
+    EXPECT_NE(text.find("\"b\": \"1.\""), std::string::npos);
+    EXPECT_NE(text.find("\"c\": \".5\""), std::string::npos);
+    EXPECT_NE(text.find("\"d\": \"01\""), std::string::npos);
+    EXPECT_NE(text.find("\"e\": -0.5"), std::string::npos);
+    EXPECT_NE(text.find("\"f\": 1e-3"), std::string::npos);
+}
+
 TEST(Table, RejectsArityMismatch) {
     hcq::util::table t({"a", "b"});
     EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
