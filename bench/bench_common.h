@@ -5,9 +5,14 @@
 //                              approaches the paper's counts)
 //   --seed=<n>                 master seed (default 7)
 //   --csv                      emit CSV instead of aligned tables
-//   --json                     emit a JSON array of row objects (the
+//   --json                     emit a self-describing JSON envelope
+//                              {git_sha, bench, config, rows} (the
 //                              BENCH_*.json CI artifact format; takes
-//                              precedence over --csv)
+//                              precedence over --csv).  The envelope's
+//                              git_sha and argv echo make baseline diffs in
+//                              CI self-describing: scripts/check_bench.py
+//                              reports WHICH commit and flags produced each
+//                              side.
 // plus bench-specific flags documented in each binary's banner.
 #ifndef HCQ_BENCH_BENCH_COMMON_H
 #define HCQ_BENCH_BENCH_COMMON_H
@@ -21,6 +26,12 @@
 #include "util/table.h"
 #include "util/timer.h"
 
+// Injected by bench/CMakeLists.txt from `git rev-parse`; "unknown" when the
+// source tree is not a git checkout (e.g. a release tarball).
+#ifndef HCQ_GIT_SHA
+#define HCQ_GIT_SHA "unknown"
+#endif
+
 namespace hcq::bench {
 
 /// Parsed common options.
@@ -30,12 +41,23 @@ struct context {
     std::uint64_t seed = 7;
     bool csv = false;
     bool json = false;
+    std::string bench_name;  ///< argv[0] basename, for the JSON envelope
+    std::string argv_echo;   ///< argv[1..] joined, for the JSON envelope
 
     context(int argc, const char* const argv[]) : flags(argc, argv) {
         scale = util::parse_scale(flags);
         seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
         csv = flags.get_bool("csv", false);
         json = flags.get_bool("json", false);
+        if (argc > 0) {
+            bench_name = argv[0];
+            const auto slash = bench_name.find_last_of('/');
+            if (slash != std::string::npos) bench_name = bench_name.substr(slash + 1);
+        }
+        for (int i = 1; i < argc; ++i) {
+            if (i > 1) argv_echo += ' ';
+            argv_echo += argv[i];
+        }
     }
 
     /// Scales a base count by the preset factor (>= 1).
@@ -54,10 +76,23 @@ struct context {
                   << "scale: " << util::to_string(scale) << "  seed: " << seed << "\n\n";
     }
 
-    /// Emits a table in the selected format.
+    /// Emits a table in the selected format.  JSON output is wrapped in a
+    /// self-describing envelope so BENCH_*.json artifacts carry the commit
+    /// and configuration that produced them:
+    ///   {"git_sha": "...", "bench": "...",
+    ///    "config": {"argv": "...", "scale": "...", "seed": N},
+    ///    "rows": [...]}
     void emit(const util::table& t) const {
         if (json) {
+            std::cout << "{\n"
+                      << "  \"git_sha\": " << util::json_quote(HCQ_GIT_SHA) << ",\n"
+                      << "  \"bench\": " << util::json_quote(bench_name) << ",\n"
+                      << "  \"config\": {\"argv\": " << util::json_quote(argv_echo)
+                      << ", \"scale\": " << util::json_quote(util::to_string(scale))
+                      << ", \"seed\": " << seed << "},\n"
+                      << "  \"rows\":\n";
             t.print_json(std::cout);
+            std::cout << "}\n";
             return;
         }
         if (csv) {

@@ -10,9 +10,14 @@
 // Extra flags: --uses=<base count> (scaled by --scale), --load=<offered
 // load>, --threads=<n>, --paths=<spec list> (paths::registry spec strings,
 // e.g. zf,kbest:width=16,gsra,kxra:k=4), --buffer=<slots per replay stage;
-// 0 = unbounded>, --policy=block|drop-oldest|drop-newest.  With --json the
-// table is emitted as a JSON array of row objects — the format the CI
-// bench-smoke job uploads as a BENCH_*.json artifact.
+// 0 = unbounded>, --policy=block|drop-oldest|drop-newest, and
+// --arq deadline_us=<auto|none|us>,max_retx=<n> to close the retransmission
+// loop (adds residual-FER / retx-rate / miss-rate / goodput columns).  With
+// --json the table is emitted inside the self-describing envelope
+// {git_sha, bench, config, rows} — the format the CI bench-smoke job
+// uploads as a BENCH_*.json artifact and the bench-regression gate diffs
+// against bench/baselines/.
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -33,6 +38,9 @@ int main(int argc, char** argv) {
         paths::parse_spec_list(ctx.flags.get_string("paths", "zf,kbest,sphere,sa,gsra"));
     const auto buffer = static_cast<std::size_t>(ctx.flags.get_int("buffer", 256));
     const auto policy = pipeline::parse_backpressure(ctx.flags.get_string("policy", "block"));
+    const bool arq_on = ctx.flags.has("arq");
+    const arq::arq_config arq_config =
+        arq_on ? arq::parse_arq(ctx.flags.get_string("arq", "")) : arq::arq_config{};
 
     struct scenario {
         std::size_t users;
@@ -45,8 +53,14 @@ int main(int argc, char** argv) {
         scenarios.push_back({8, wireless::modulation::qam16});
     }
 
-    util::table t({"users", "mod", "path", "BER", "exact uses", "svc mean us",
-                   "thrpt use/ms", "p50 lat us", "p99 lat us", "drop rate", "wall s"});
+    std::vector<std::string> headers{"users", "mod", "path", "BER", "exact uses",
+                                     "svc mean us", "thrpt use/ms", "p50 lat us",
+                                     "p99 lat us", "drop rate", "wall s"};
+    if (arq_on) {
+        headers.insert(headers.end(),
+                       {"resid FER", "retx rate", "miss rate", "goodput use/ms"});
+    }
+    util::table t(std::move(headers));
     for (const auto& s : scenarios) {
         link::link_config config;
         config.num_uses = uses;
@@ -58,6 +72,7 @@ int main(int argc, char** argv) {
         config.seed = ctx.seed;
         config.buffer_capacity = buffer == 0 ? pipeline::unbounded_capacity : buffer;
         config.policy = policy;
+        if (arq_on) config.arq = arq_config;
 
         const util::timer clock;
         const auto report = link::run_link_simulation(config);
@@ -65,12 +80,26 @@ int main(int argc, char** argv) {
 
         for (const auto& path : report.paths) {
             // Per-path service downstream of the shared synthesis stage.
-            t.add(s.users, wireless::to_string(s.mod), path.name,
-                  util::format_double(path.ber.rate(), 5), path.exact_frames,
-                  path.service.mean_us(), path.replay.throughput_per_us * 1000.0,
-                  path.replay.p50_latency_us, path.replay.p99_latency_us,
-                  util::format_double(path.replay.drop_rate, 5),
-                  util::format_double(wall_s, 2));
+            std::vector<std::string> row{std::to_string(s.users),
+                                         wireless::to_string(s.mod),
+                                         path.name,
+                                         util::format_double(path.ber.rate(), 5),
+                                         std::to_string(path.exact_frames),
+                                         util::format_double(path.service.mean_us()),
+                                         util::format_double(path.replay.throughput_per_us *
+                                                             1000.0),
+                                         util::format_double(path.replay.p50_latency_us),
+                                         util::format_double(path.replay.p99_latency_us),
+                                         util::format_double(path.replay.drop_rate, 5),
+                                         util::format_double(wall_s, 2)};
+            if (arq_on) {
+                const auto& ar = *path.arq;
+                row.push_back(util::format_double(ar.counters.residual_fer(), 5));
+                row.push_back(util::format_double(ar.counters.retx_rate(), 4));
+                row.push_back(util::format_double(ar.replay_stats.miss_rate(), 5));
+                row.push_back(util::format_double(ar.replay_stats.goodput_per_us * 1000.0));
+            }
+            t.add_row(std::move(row));
         }
     }
     ctx.emit(t);

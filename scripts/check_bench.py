@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""Bench perf-regression gate: diff a BENCH_*.json run against its baseline.
+
+Both files are bench JSON artifacts — either the self-describing envelope
+{"git_sha": ..., "bench": ..., "config": ..., "rows": [...]} emitted by
+bench_common.h, or a bare JSON array of row objects (the pre-envelope
+format, still accepted so old baselines keep working).
+
+Rows are matched on the key columns (default: users, mod, path).  Two kinds
+of checks run:
+
+  * TOLERANCED metrics (timing-domain, vary run to run): a higher-better
+    metric regresses when current < baseline * (1 - tolerance); a
+    lower-better metric when current > baseline * (1 + tolerance).
+    Defaults: --higher-better "thrpt use/ms", --lower-better "p99 lat us",
+    --tolerance 0.15.  Improvements never fail.  A metric may carry an
+    absolute noise floor ("p99 lat us:100"): differences smaller than the
+    floor never fail, because a relative tolerance is meaningless below the
+    timer-noise resolution (a 30 us p99 legitimately jitters by tens of
+    percent run to run).
+
+  * EXACT metrics (deterministic in the seed, machine-independent): any
+    difference beyond floating-point noise fails.  Off by default; the CI
+    gate passes --exact "BER,exact uses" so a statistics regression is
+    caught even when it is timing-neutral.
+
+A baseline row missing from the current run (or vice versa) fails: a
+silently vanished configuration is itself a regression.  Exit status: 0
+clean, non-zero on regression or usage/format error.
+
+Timing metrics are noisy at the single-run level, so both sides of the gate
+are MEDIANS: pass several current files (repeat runs of the same command)
+and each numeric cell is reduced to its per-row median before comparison;
+baselines are produced the same way with --merge.
+
+Usage:
+  # gate: compare the median of 3 fresh runs against the committed baseline
+  scripts/check_bench.py bench/baselines/BENCH_link_e2e.json \
+      run1.json run2.json run3.json \
+      --tolerance 0.15 --lower-better "p99 lat us:100" --exact "BER,exact uses"
+
+  # baseline refresh: median-merge repeat runs into a committed artifact
+  scripts/check_bench.py --merge bench/baselines/BENCH_link_e2e.json \
+      run1.json run2.json run3.json
+
+NOTE: the toleranced comparison assumes both sides ran on the same class of
+machine (see bench/baselines/README.md for the refresh procedure).
+Comparing a laptop run against a CI baseline will trip the gate spuriously.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_rows(path):
+    """Returns (rows, meta) from an envelope or bare-array artifact."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"check_bench: cannot read {path}: {e}")
+    if isinstance(data, list):
+        return data, {}
+    if isinstance(data, dict) and isinstance(data.get("rows"), list):
+        meta = {k: data[k] for k in ("git_sha", "bench", "config") if k in data}
+        return data["rows"], meta
+    raise SystemExit(f"check_bench: {path}: expected a JSON array or an "
+                     "envelope object with a 'rows' array")
+
+
+def split_list(text):
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def split_metrics(text):
+    """Parses "name" or "name:floor" entries into {name: absolute_floor}."""
+    metrics = {}
+    for part in split_list(text):
+        name, sep, floor = part.rpartition(":")
+        if sep and name:
+            try:
+                metrics[name] = float(floor)
+            except ValueError:
+                raise SystemExit(f"check_bench: bad metric floor in {part!r}")
+        else:
+            metrics[part] = 0.0
+    return metrics
+
+
+def describe(meta):
+    if not meta:
+        return "(no envelope metadata)"
+    sha = meta.get("git_sha", "?")
+    argv = (meta.get("config") or {}).get("argv", "?")
+    return f"git {sha}, argv: {argv}"
+
+
+def row_key(row, key_columns):
+    return tuple(str(row.get(column, "")) for column in key_columns)
+
+
+def index_rows(rows, key_columns, path):
+    by_key = {row_key(r, key_columns): r for r in rows}
+    if len(by_key) != len(rows):
+        raise SystemExit(f"check_bench: {path}: key columns {key_columns} do not "
+                         "uniquely identify rows; pass --key with more columns")
+    return by_key
+
+
+def median(values):
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+def median_merge(paths, key_columns):
+    """Loads several runs of the same bench command and reduces each row's
+    numeric cells to their median; non-numeric cells must agree.  Returns
+    (rows, meta) with rows in first-run order."""
+    first_rows, first_meta = load_rows(paths[0])
+    indexed = [index_rows(first_rows, key_columns, paths[0])]
+    for path in paths[1:]:
+        rows, _ = load_rows(path)
+        by_key = index_rows(rows, key_columns, path)
+        if set(by_key) != set(indexed[0]):
+            raise SystemExit(f"check_bench: {path}: row set differs from "
+                             f"{paths[0]} — merge inputs must be repeat runs "
+                             "of one command")
+        indexed.append(by_key)
+    merged = []
+    for row in first_rows:
+        key = row_key(row, key_columns)
+        out = {}
+        for column, first_value in row.items():
+            cells = [run[key].get(column) for run in indexed]
+            is_numeric = (isinstance(first_value, (int, float))
+                          and not isinstance(first_value, bool))
+            # Key columns pass through verbatim: floating them (2 -> 2.0)
+            # would break row matching against a raw bare-array baseline.
+            if is_numeric and column not in key_columns:
+                out[column] = median([as_number(c, column, key) for c in cells])
+            else:
+                if any(c != first_value for c in cells):
+                    raise SystemExit(f"check_bench: row {key}: column "
+                                     f"'{column}' differs across runs: {cells!r}")
+                out[column] = first_value
+        merged.append(out)
+    return merged, first_meta
+
+
+def as_number(value, column, key):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise SystemExit(f"check_bench: row {key}: column '{column}' is not "
+                         f"numeric: {value!r}")
+
+
+def write_merged(out_path, rows, meta):
+    envelope = dict(meta)
+    envelope["rows"] = rows
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(envelope, f, indent=1)
+        f.write("\n")
+    print(f"merged {len(rows)} rows -> {out_path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json "
+                        "(with --merge: the output path)")
+    parser.add_argument("current", nargs="+",
+                        help="freshly produced BENCH_*.json (repeat runs are "
+                        "median-merged before comparison)")
+    parser.add_argument("--merge", action="store_true",
+                        help="median-merge the current files INTO the first "
+                        "path instead of comparing (baseline refresh)")
+    parser.add_argument("--key", default="users,mod,path",
+                        help="comma-separated row-identity columns")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="relative tolerance for timing metrics (default 0.15)")
+    parser.add_argument("--higher-better", default="thrpt use/ms",
+                        help="comma-separated metrics (optionally name:floor) "
+                        "where lower is a regression")
+    parser.add_argument("--lower-better", default="p99 lat us",
+                        help="comma-separated metrics (optionally name:floor) "
+                        "where higher is a regression")
+    parser.add_argument("--exact", default="",
+                        help="comma-separated deterministic metrics compared exactly")
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        raise SystemExit("check_bench: --tolerance must be in [0, 1)")
+
+    key_columns = split_list(args.key)
+    if args.merge:
+        rows, meta = median_merge(args.current, key_columns)
+        write_merged(args.baseline, rows, meta)
+        return 0
+
+    base_rows, base_meta = load_rows(args.baseline)
+    curr_rows, curr_meta = median_merge(args.current, key_columns)
+    higher = split_metrics(args.higher_better)
+    lower = split_metrics(args.lower_better)
+    exact = split_list(args.exact)
+
+    print(f"baseline: {args.baseline} {describe(base_meta)}")
+    print(f"current : median of {len(args.current)} run(s) — "
+          f"{args.current[0]} {describe(curr_meta)}")
+
+    base_by_key = index_rows(base_rows, key_columns, args.baseline)
+    curr_by_key = index_rows(curr_rows, key_columns, "current")
+
+    failures = []
+    checked = 0
+    for key, base in base_by_key.items():
+        curr = curr_by_key.get(key)
+        if curr is None:
+            failures.append(f"row {key}: present in baseline, missing from current run")
+            continue
+        for column, noise_floor in list(higher.items()) + list(lower.items()):
+            if column not in base and column not in curr:
+                continue  # metric absent on both sides (e.g. ARQ columns off)
+            if (column in base) != (column in curr):
+                failures.append(f"row {key}: '{column}' present only in "
+                                f"{'baseline' if column in base else 'current run'} "
+                                "(bench flags differ between the two sides?)")
+                checked += 1
+                continue
+            b = as_number(base.get(column), column, key)
+            c = as_number(curr.get(column), column, key)
+            if math.isnan(b) or math.isnan(c):
+                # Every comparison against NaN is false, which would make a
+                # metric that degenerated to NaN pass silently — fail instead.
+                failures.append(f"row {key}: '{column}' is NaN "
+                                f"(baseline {b!r}, current {c!r})")
+                checked += 1
+                continue
+            if column in higher:
+                floor = b * (1.0 - args.tolerance)
+                if c < floor and b - c > noise_floor:
+                    failures.append(
+                        f"row {key}: '{column}' regressed: {c:g} < {b:g} "
+                        f"- {args.tolerance:.0%} (floor {floor:g})")
+            else:
+                ceiling = b * (1.0 + args.tolerance)
+                if c > ceiling and c - b > noise_floor:
+                    failures.append(
+                        f"row {key}: '{column}' regressed: {c:g} > {b:g} "
+                        f"+ {args.tolerance:.0%} (ceiling {ceiling:g})")
+            checked += 1
+        for column in exact:
+            if column not in base and column not in curr:
+                continue
+            if (column in base) != (column in curr):
+                failures.append(f"row {key}: deterministic '{column}' present only in "
+                                f"{'baseline' if column in base else 'current run'} "
+                                "(bench flags differ between the two sides?)")
+                checked += 1
+                continue
+            b = as_number(base.get(column), column, key)
+            c = as_number(curr.get(column), column, key)
+            if math.isnan(b) or math.isnan(c):
+                failures.append(f"row {key}: deterministic '{column}' is NaN "
+                                f"(baseline {b!r}, current {c!r})")
+                checked += 1
+                continue
+            # Identical formatting on identical statistics: allow only
+            # float-parse noise, not a real difference.
+            if abs(c - b) > 1e-12 * max(1.0, abs(b)):
+                failures.append(
+                    f"row {key}: deterministic '{column}' changed: {b:g} -> {c:g} "
+                    "(statistics must be bit-stable for the same seed)")
+            checked += 1
+    for key in curr_by_key:
+        if key not in base_by_key:
+            failures.append(f"row {key}: new in current run, missing from baseline "
+                            "(regenerate bench/baselines/ — see its README)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) across {checked} checks:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"OK: {checked} checks across {len(base_by_key)} rows within "
+          f"{args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

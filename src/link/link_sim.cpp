@@ -22,6 +22,14 @@ namespace {
 constexpr std::uint64_t synth_stream_domain = 0x6c696e6b5f434855ULL;  // "link_CHU"
 constexpr std::uint64_t solve_stream_domain = 0x6c696e6b5f534c56ULL;  // "link_SLV"
 
+// ARQ retransmission streams: attempt r of frame u draws from
+// derive(arq_*_domain).derive(u [* num_paths + p]).derive(r) — globally
+// indexed, so ARQ counters inherit the thread-count / stream-block
+// invariance, and disjoint from the open-loop streams above, so enabling
+// ARQ never perturbs the golden open-loop statistics.
+constexpr std::uint64_t arq_synth_domain = 0x6172715f5f434855ULL;  // "arq__CHU"
+constexpr std::uint64_t arq_solve_domain = 0x6172715f5f534c56ULL;  // "arq__SLV"
+
 void validate(const link_config& config) {
     if (config.num_uses == 0) throw std::invalid_argument("link: zero channel uses");
     if (config.num_users == 0) throw std::invalid_argument("link: zero users");
@@ -37,14 +45,23 @@ void validate(const link_config& config) {
     if (config.stream_block == 0) throw std::invalid_argument("link: zero stream block");
 }
 
-pipeline::simulation_result replay_traces(const path_report& path, const link_config& config) {
+/// Shared setup of the measured-trace tandem-queue replay: the staged
+/// service models and the arrival pacing — used by both the open-loop
+/// replay and the ARQ closed-loop replay so the two see identical load.
+struct replay_setup {
     std::vector<pipeline::stage> stages;
+    double interarrival_us = 0.0;
+    pipeline::sim_options options;
+};
+
+replay_setup build_replay(const path_report& path, const link_config& config) {
+    replay_setup setup;
     double bottleneck_us = 0.0;
     for (std::size_t s = 0; s < path.stages.size(); ++s) {
         const auto& trace = path.stages[s];
         const std::size_t servers = path.stage_servers[s];
-        stages.push_back(pipeline::stage::from_trace(trace.name(), trace.replay_sample())
-                             .with_servers(servers));
+        setup.stages.push_back(pipeline::stage::from_trace(trace.name(), trace.replay_sample())
+                                   .with_servers(servers));
         // Pace arrivals by the mean of the sample actually being replayed,
         // so the requested load is honoured against the cycled trace even
         // where the strided sample and the full-stream digest mean differ
@@ -56,16 +73,33 @@ pipeline::simulation_result replay_traces(const path_report& path, const link_co
     }
     // Arrivals pace the bottleneck at the configured load; the floor guards
     // against a degenerate all-zero trace from timer quantisation.
-    const double interarrival_us = std::max(bottleneck_us / config.offered_load, 1e-3);
-    util::rng arrivals_rng(config.seed);  // unused by deterministic arrivals
+    setup.interarrival_us = std::max(bottleneck_us / config.offered_load, 1e-3);
     // Constant-memory replay: bounded buffers per the config, percentiles
     // from the digest instead of an O(uses) latency vector.
-    const pipeline::sim_options options{.buffer_capacity = config.buffer_capacity,
-                                        .policy = config.policy,
-                                        .record_latencies = false};
-    return pipeline::simulate(stages, config.num_uses, {.interarrival_us = interarrival_us},
-                              arrivals_rng, options);
+    setup.options = pipeline::sim_options{.buffer_capacity = config.buffer_capacity,
+                                          .policy = config.policy,
+                                          .record_latencies = false};
+    return setup;
 }
+
+pipeline::simulation_result replay_traces(const path_report& path, const link_config& config) {
+    const replay_setup setup = build_replay(path, config);
+    util::rng arrivals_rng(config.seed);  // unused by deterministic arrivals
+    return pipeline::simulate(setup.stages, config.num_uses,
+                              {.interarrival_us = setup.interarrival_us}, arrivals_rng,
+                              setup.options);
+}
+
+/// Per-(use, path) outcome of the streaming ARQ chain, filled by the pool
+/// workers and folded serially.  Memory is O(stream_block x paths x
+/// max_retx) — constant in num_uses.
+struct arq_cell {
+    std::size_t attempts = 1;   ///< transmissions incl. retransmissions
+    std::size_t wrong = 0;      ///< attempts with wrong detected bits
+    bool first_ok = true;
+    bool final_ok = true;
+    std::vector<double> retx_service_us;  ///< measured service per retransmission
+};
 
 }  // namespace
 
@@ -164,10 +198,16 @@ link_report run_link_simulation(const link_config& config) {
             path.stages.emplace_back(solve_stages[p][s], sample_stride);
             path.stage_servers.push_back(solve_servers[s]);
         }
+        if (config.arq) {
+            path.arq.emplace();
+            path.arq->retx_service = stage_trace("retx service", sample_stride);
+        }
     }
 
     const util::rng synth_base = util::rng(config.seed).derive(synth_stream_domain);
     const util::rng solve_base = util::rng(config.seed).derive(solve_stream_domain);
+    const util::rng arq_synth_base = util::rng(config.seed).derive(arq_synth_domain);
+    const util::rng arq_solve_base = util::rng(config.seed).derive(arq_solve_domain);
 
     // The stream is processed in fixed-size windows: workers fill one window
     // of per-use cells in parallel, then the window is folded serially in
@@ -178,6 +218,7 @@ link_report run_link_simulation(const link_config& config) {
     std::vector<double> synth_us(block, 0.0);
     std::vector<double> reduce_us(block, 0.0);
     std::vector<paths::path_result> cells(block * num_paths);
+    std::vector<arq_cell> arq_cells(config.arq ? block * num_paths : 0);
 
     // One pool for the whole stream; num_threads == 1 degrades to a serial
     // loop like util::pool_for_each.
@@ -223,6 +264,66 @@ link_report run_link_simulation(const link_config& config) {
                 const paths::path_context ctx{instance, needs_qubo ? &mq : nullptr, solve_rng};
                 cells[i * num_paths + p] = paths[p]->run(ctx);
             }
+
+            // Stage 4 (ARQ only): run each path's retransmission chain.  A
+            // retransmission is a REAL re-solve on a fresh channel use; its
+            // RNG streams are indexed by (frame, attempt) globally, so the
+            // resulting counters are invariant to threads and window size.
+            // The retransmitted channel use at (frame, attempt) is shared
+            // across paths (like the open-loop use), so synthesis and the
+            // QUBO reduction are memoised per attempt rather than redone by
+            // every retransmitting path; each path's service still counts
+            // the reduction time its own pipeline would spend.
+            if (config.arq) {
+                struct retx_attempt {
+                    wireless::mimo_instance instance;
+                    detect::ml_qubo mq;
+                    double reduce_us = 0.0;
+                    bool reduced = false;
+                };
+                std::vector<std::optional<retx_attempt>> shared(config.arq->max_retx);
+                const auto attempt_for = [&](std::size_t attempt,
+                                             bool needs_reduction) -> retx_attempt& {
+                    auto& slot = shared[attempt - 1];
+                    if (!slot) {
+                        util::rng retx_synth = arq_synth_base.derive(u).derive(attempt);
+                        slot.emplace();
+                        slot->instance = wireless::synthesize(retx_synth, mimo);
+                    }
+                    if (needs_reduction && !slot->reduced) {
+                        util::timer reduce_clock;
+                        slot->mq = detect::ml_to_qubo(slot->instance);
+                        slot->reduce_us = reduce_clock.elapsed_us();
+                        slot->reduced = true;
+                    }
+                    return *slot;
+                };
+                for (std::size_t p = 0; p < num_paths; ++p) {
+                    arq_cell& ac = arq_cells[i * num_paths + p];
+                    ac = arq_cell{};
+                    bool ok = cells[i * num_paths + p].bits == tx_bits[i];
+                    ac.first_ok = ok;
+                    if (!ok) ++ac.wrong;
+                    std::size_t attempt = 0;
+                    while (arq::needs_retx(*config.arq, ok, attempt)) {
+                        ++attempt;
+                        const bool wants_qubo = path_needs_qubo[p] != 0;
+                        retx_attempt& retx = attempt_for(attempt, wants_qubo);
+                        double service_sum = wants_qubo ? retx.reduce_us : 0.0;
+                        util::rng retx_solve =
+                            arq_solve_base.derive(u * num_paths + p).derive(attempt);
+                        const paths::path_context retx_ctx{
+                            retx.instance, wants_qubo ? &retx.mq : nullptr, retx_solve};
+                        const auto result = paths[p]->run(retx_ctx);
+                        for (const auto& st : result.stages) service_sum += st.service_us;
+                        ok = result.bits == retx.instance.tx_bits;
+                        if (!ok) ++ac.wrong;
+                        ac.retx_service_us.push_back(service_sum);
+                    }
+                    ac.attempts = attempt + 1;
+                    ac.final_ok = ok;
+                }
+            }
         };
         if (!pool || window < 2) {
             for (std::size_t i = 0; i < window; ++i) fill_cell(i);
@@ -262,20 +363,56 @@ link_report run_link_simulation(const link_config& config) {
                     service_sum += cell.stages[s].service_us;
                 }
                 path.service.add(service_sum);
+
+                if (config.arq) {
+                    const arq_cell& ac = arq_cells[i * num_paths + p];
+                    path.arq->counters.add_frame(ac.attempts, ac.wrong, ac.first_ok,
+                                                 ac.final_ok);
+                    for (const double s_us : ac.retx_service_us) {
+                        path.arq->retx_service.add(s_us);
+                    }
+                }
             }
         }
     }
 
     for (std::size_t p = 0; p < num_paths; ++p) {
-        report.paths[p].replay = replay_traces(report.paths[p], config);
+        path_report& path = report.paths[p];
+        path.replay = replay_traces(path, config);
+        if (config.arq) {
+            // Closed-loop replay: same stages and pacing as the open-loop
+            // replay, with failed frames re-entering the chain.  `auto`
+            // deadlines resolve to the open-loop replay's p99 — the ARQ
+            // loop driven by the replay's own latency budget.
+            arq_path_report& ar = *path.arq;
+            const double resolved_deadline_us = config.arq->deadline_auto
+                                                    ? path.replay.p99_latency_us
+                                                    : config.arq->deadline_us;
+            const replay_setup setup = build_replay(path, config);
+            util::rng replay_rng(config.seed);
+            auto closed = arq::closed_loop_replay(
+                setup.stages, config.num_uses, ar.counters.attempt_error_rate(),
+                resolved_deadline_us, config.arq->max_retx,
+                {.interarrival_us = setup.interarrival_us}, replay_rng, setup.options);
+            ar.replay_stats = closed.stats;
+            ar.closed_replay = std::move(closed.replay);
+        }
     }
     return report;
 }
 
 util::table summary_table(const link_report& report) {
-    util::table t({"path", "BER", "bit errs", "exact uses", "svc mean us", "svc p50 us",
-                   "svc p99 us", "thrpt use/ms", "p50 lat us", "p99 lat us", "drop rate",
-                   "peak queue"});
+    const bool arq_on = report.config.arq.has_value();
+    std::vector<std::string> headers{"path", "BER", "bit errs", "exact uses", "svc mean us",
+                                     "svc p50 us", "svc p99 us", "thrpt use/ms", "p50 lat us",
+                                     "p99 lat us", "drop rate", "peak queue"};
+    if (arq_on) {
+        // Detection-domain residual FER / retx rate (bit-identical), then
+        // timing-domain deadline-miss rate / goodput (closed-loop replay).
+        headers.insert(headers.end(),
+                       {"resid FER", "retx rate", "miss rate", "goodput use/ms"});
+    }
+    util::table t(std::move(headers));
     for (const auto& path : report.paths) {
         // Per-path service: everything downstream of the shared synthesis
         // stage (for the hybrid that is qubo + classical + quantum).
@@ -283,11 +420,26 @@ util::table summary_table(const link_report& report) {
         for (const std::size_t q : path.replay.max_queue_len) {
             peak_queue = std::max(peak_queue, q);
         }
-        t.add(path.name, util::format_double(path.ber.rate(), 5), path.ber.errors(),
-              path.exact_frames, path.service.mean_us(), path.service.p50_us(),
-              path.service.p99_us(), path.replay.throughput_per_us * 1000.0,
-              path.replay.p50_latency_us, path.replay.p99_latency_us,
-              util::format_double(path.replay.drop_rate, 5), peak_queue);
+        std::vector<std::string> row{path.name,
+                                     util::format_double(path.ber.rate(), 5),
+                                     std::to_string(path.ber.errors()),
+                                     std::to_string(path.exact_frames),
+                                     util::format_double(path.service.mean_us()),
+                                     util::format_double(path.service.p50_us()),
+                                     util::format_double(path.service.p99_us()),
+                                     util::format_double(path.replay.throughput_per_us * 1000.0),
+                                     util::format_double(path.replay.p50_latency_us),
+                                     util::format_double(path.replay.p99_latency_us),
+                                     util::format_double(path.replay.drop_rate, 5),
+                                     std::to_string(peak_queue)};
+        if (arq_on) {
+            const arq_path_report& ar = *path.arq;
+            row.push_back(util::format_double(ar.counters.residual_fer(), 5));
+            row.push_back(util::format_double(ar.counters.retx_rate(), 4));
+            row.push_back(util::format_double(ar.replay_stats.miss_rate(), 5));
+            row.push_back(util::format_double(ar.replay_stats.goodput_per_us * 1000.0));
+        }
+        t.add_row(std::move(row));
     }
     return t;
 }

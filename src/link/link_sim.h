@@ -41,10 +41,12 @@
 #define HCQ_LINK_LINK_SIM_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "arq/arq.h"
 #include "metrics/ber.h"
 #include "metrics/digest.h"
 #include "paths/detection_path.h"
@@ -87,6 +89,16 @@ struct link_config {
     /// Channel uses processed per aggregation window; bounds peak memory at
     /// O(stream_block x paths) without affecting any statistic.  0 throws.
     std::size_t stream_block = 1024;
+
+    /// ARQ / retransmission loop (arq/arq.h): when set, every frame whose
+    /// detected bits are wrong (or every frame, when deadline_us == 0) is
+    /// re-solved on fresh derived-RNG channel uses up to max_retx times in
+    /// the streaming loop — the detection-domain counters stay bit-identical
+    /// at any thread count and stream_block size — and the measured traces
+    /// are additionally replayed CLOSED loop (failures re-enter the chain as
+    /// retransmission load, deadline judged on replayed latency).  nullopt
+    /// keeps the simulator open loop, byte-for-byte as before.
+    std::optional<arq::arq_config> arq;
 };
 
 /// Streaming summary of one named processing stage across the stream: exact
@@ -137,6 +149,21 @@ private:
     std::vector<double> sample_;
 };
 
+/// Per-path ARQ outcome (present on path_report when link_config::arq is
+/// set).  `counters` and `retx_service`'s count are detection-domain
+/// (bit-identical at any thread count / stream block); `replay_stats` and
+/// `closed_replay` are timing-domain (measured traces, vary run to run).
+struct arq_path_report {
+    arq::counters counters;        ///< residual FER / retx rate / attempts, exact
+    stage_trace retx_service;      ///< measured per-retransmission service (qubo + solve)
+    /// Deadline misses, delivered frames, goodput — and the deadline the
+    /// replay actually ran against (after `auto` resolution to the
+    /// open-loop replay's p99): replay_stats.resolved_deadline_us.  The
+    /// configuration itself lives in link_report::config.arq.
+    arq::replay_stats replay_stats;
+    pipeline::simulation_result closed_replay;  ///< the feedback tandem-queue replay
+};
+
 /// Everything one detection path accumulated over the stream.
 struct path_report {
     std::string kind;  ///< registry kind, e.g. "kbest"
@@ -164,6 +191,9 @@ struct path_report {
     /// the link_config's buffer capacity / backpressure policy).
     pipeline::simulation_result replay;
 
+    /// ARQ loop outcome; engaged iff link_config::arq was set.
+    std::optional<arq_path_report> arq;
+
     [[nodiscard]] std::vector<std::string> stage_names() const;
 };
 
@@ -190,7 +220,10 @@ struct link_report {
 /// One row per path: BER, measured mean/p50/p99 solve service, the replay's
 /// sustained throughput and p50/p99 latency (the ARQ budget view), and the
 /// replay's drop rate and peak queue occupancy under the configured
-/// backpressure policy.
+/// backpressure policy.  When the ARQ loop is engaged, four more columns:
+/// residual FER and retransmission rate (detection domain, bit-identical),
+/// deadline-miss rate and goodput (timing domain, from the closed-loop
+/// replay).
 [[nodiscard]] util::table summary_table(const link_report& report);
 
 }  // namespace hcq::link

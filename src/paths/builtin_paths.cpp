@@ -104,29 +104,87 @@ private:
 /// same derived RNG stream, so detection statistics are bit-identical to the
 /// single-device "gsra" with the same knobs — only the pipeline replay
 /// differs, where the quantum stage runs on K round-robin servers.
+///
+/// `init` is the paper's §5 initialiser choice: `gs` (the default greedy
+/// search — byte-for-byte the historical behaviour), `tabu` (the classical
+/// solver D-Wave hybridises with, doubling as an initialiser), or `kbest`
+/// (an application-specific tree-search initialiser: the K-best detector,
+/// width 8, run on the channel use itself and fed to the reverse anneal as
+/// a fixed initial state).  `kbest` consumes the MIMO instance, so it has
+/// no pure-QUBO solver form — as_solver() returns nullptr for it.
 class gs_ra_path final : public detection_path {
 public:
-    gs_ra_path(std::size_t reads, double sp, double pause_us, std::size_t devices,
-               path_spec spec)
-        : adapter_(std::make_shared<const hybrid::hybrid_solver_adapter>(
-              std::make_shared<const solvers::greedy_search>(),
-              std::make_shared<const anneal::annealer_emulator>(),
-              anneal::anneal_schedule::reverse(sp, pause_us), reads)),
+    enum class init_kind { gs, tabu, kbest };
+
+    /// Parses an `init=` spec value; throws listing the accepted names.
+    static init_kind parse_init(const path_spec& spec) {
+        const std::string* value = spec.find("init");
+        if (value == nullptr || *value == "gs") return init_kind::gs;
+        if (*value == "tabu") return init_kind::tabu;
+        if (*value == "kbest") return init_kind::kbest;
+        throw std::invalid_argument("paths: " + spec.kind + ": bad init value '" + *value +
+                                    "' (expected gs, tabu, or kbest)");
+    }
+
+    static const char* to_string(init_kind init) {
+        switch (init) {
+            case init_kind::gs: return "gs";
+            case init_kind::tabu: return "tabu";
+            case init_kind::kbest: return "kbest";
+        }
+        return "?";
+    }
+
+    gs_ra_path(init_kind init, std::size_t reads, double sp, double pause_us,
+               std::size_t devices, path_spec spec)
+        : schedule_(anneal::anneal_schedule::reverse(sp, pause_us)),
+          reads_(reads),
           devices_(devices),
-          spec_(std::move(spec)) {}
+          spec_(std::move(spec)) {
+        auto device = std::make_shared<const anneal::annealer_emulator>();
+        switch (init) {
+            case init_kind::gs:
+                adapter_ = std::make_shared<const hybrid::hybrid_solver_adapter>(
+                    std::make_shared<const solvers::greedy_search>(), std::move(device),
+                    schedule_, reads_);
+                break;
+            case init_kind::tabu:
+                adapter_ = std::make_shared<const hybrid::hybrid_solver_adapter>(
+                    std::make_shared<const solvers::tabu_search>(), std::move(device),
+                    schedule_, reads_);
+                break;
+            case init_kind::kbest:
+                detector_ = std::make_shared<const detect::kbest_detector>(8);
+                device_ = std::move(device);
+                break;
+        }
+    }
 
     [[nodiscard]] path_result run(const path_context& ctx) const override {
         require_qubo(ctx);
-        const auto result = adapter_->hybrid().solve(ctx.reduced->model, ctx.rng);
         path_result out;
+        if (adapter_ != nullptr) {
+            const auto result = adapter_->hybrid().solve(ctx.reduced->model, ctx.rng);
+            out.bits = result.best_bits;
+            out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
+            out.stages = {{"classical", result.classical_us}, {"quantum", result.quantum_us}};
+            return out;
+        }
+        // kbest initialiser: detect on the channel use itself (measured
+        // classical time), then seed the reverse anneal with the result.
+        const auto detected = detector_->detect(ctx.instance);
+        const solvers::fixed_initializer init(detected.bits, "KB");
+        const hybrid::hybrid_solver solver(init, *device_, schedule_, reads_);
+        const auto result = solver.solve(ctx.reduced->model, ctx.rng);
         out.bits = result.best_bits;
         out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
-        out.stages = {{"classical", result.classical_us}, {"quantum", result.quantum_us}};
+        out.stages = {{"classical", detected.elapsed_us + result.classical_us},
+                      {"quantum", result.quantum_us}};
         return out;
     }
     [[nodiscard]] std::string name() const override {
-        return devices_ > 1 ? adapter_->name() + "x" + std::to_string(devices_)
-                            : adapter_->name();
+        const std::string base = adapter_ != nullptr ? adapter_->name() : "KB+RA";
+        return devices_ > 1 ? base + "x" + std::to_string(devices_) : base;
     }
     [[nodiscard]] path_spec spec() const override { return spec_; }
     [[nodiscard]] bool needs_qubo() const noexcept override { return true; }
@@ -137,11 +195,15 @@ public:
         return {1, devices_};
     }
     [[nodiscard]] std::shared_ptr<const solvers::solver> as_solver() const override {
-        return adapter_;
+        return adapter_;  // nullptr for init=kbest: it needs the MIMO instance
     }
 
 private:
-    std::shared_ptr<const hybrid::hybrid_solver_adapter> adapter_;
+    std::shared_ptr<const hybrid::hybrid_solver_adapter> adapter_;  ///< gs / tabu
+    std::shared_ptr<const detect::kbest_detector> detector_;        ///< kbest only
+    std::shared_ptr<const anneal::annealer_emulator> device_;       ///< kbest only
+    anneal::anneal_schedule schedule_;
+    std::size_t reads_;
     std::size_t devices_;
     path_spec spec_;
 };
@@ -287,20 +349,25 @@ path_info pt_info() {
 
 path_info gsra_info() {
     return {.kind = "gsra",
-            .summary = "hybrid greedy-search initialiser + reverse anneal (the paper's design)",
+            .summary = "hybrid classical initialiser + reverse anneal (the paper's design)",
             .keys = {{"reads", "annealer reads per use (positive integer, default 80)"},
                      {"sp", "reverse-anneal switch/pause location s_p in (0,1) (default 0.29)"},
-                     {"pause_us", "pause time t_p in us (default 1)"}},
+                     {"pause_us", "pause time t_p in us (default 1)"},
+                     {"init",
+                      "classical initialiser: gs (default), tabu, or kbest "
+                      "(paper section 5; kbest has no sweep-solver form)"}},
             .factory = [](const path_spec& spec) -> std::shared_ptr<const detection_path> {
+                const auto init = gs_ra_path::parse_init(spec);
                 const std::size_t reads = spec_positive_size(spec, "reads", 80);
                 const double sp = spec_double(spec, "sp", 0.29);
                 const double pause_us = spec_double(spec, "pause_us", 1.0);
                 return std::make_shared<const gs_ra_path>(
-                    reads, sp, pause_us, 1,
+                    init, reads, sp, pause_us, 1,
                     path_spec{"gsra",
                               {{"reads", std::to_string(reads)},
                                {"sp", format_spec_value(sp)},
-                               {"pause_us", format_spec_value(pause_us)}}});
+                               {"pause_us", format_spec_value(pause_us)},
+                               {"init", gs_ra_path::to_string(init)}}});
             }};
 }
 
@@ -310,19 +377,24 @@ path_info kxra_info() {
             .keys = {{"k", "annealer devices round-robining the stream (positive, default 2)"},
                      {"reads", "annealer reads per use (positive integer, default 80)"},
                      {"sp", "reverse-anneal switch/pause location s_p in (0,1) (default 0.29)"},
-                     {"pause_us", "pause time t_p in us (default 1)"}},
+                     {"pause_us", "pause time t_p in us (default 1)"},
+                     {"init",
+                      "classical initialiser: gs (default), tabu, or kbest "
+                      "(paper section 5; kbest has no sweep-solver form)"}},
             .factory = [](const path_spec& spec) -> std::shared_ptr<const detection_path> {
+                const auto init = gs_ra_path::parse_init(spec);
                 const std::size_t devices = spec_positive_size(spec, "k", 2);
                 const std::size_t reads = spec_positive_size(spec, "reads", 80);
                 const double sp = spec_double(spec, "sp", 0.29);
                 const double pause_us = spec_double(spec, "pause_us", 1.0);
                 return std::make_shared<const gs_ra_path>(
-                    reads, sp, pause_us, devices,
+                    init, reads, sp, pause_us, devices,
                     path_spec{"kxra",
                               {{"k", std::to_string(devices)},
                                {"reads", std::to_string(reads)},
                                {"sp", format_spec_value(sp)},
-                               {"pause_us", format_spec_value(pause_us)}}});
+                               {"pause_us", format_spec_value(pause_us)},
+                               {"init", gs_ra_path::to_string(init)}}});
             }};
 }
 

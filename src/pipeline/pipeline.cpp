@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -426,7 +428,324 @@ simulation_result simulate_bounded(const std::vector<stage>& stages, std::size_t
     return result;
 }
 
+// ---------------------------------------------------------------------------
+// Closed-loop core: an event-driven simulator over the same stage vocabulary,
+// because feedback (a completed job re-entering stage 0 as a retransmission)
+// makes the stream cyclic — neither feed-forward recurrence above can express
+// a job whose arrival time depends on a later job's departure.  See the
+// header comment on simulate_closed_loop for the semantic contract.
+// ---------------------------------------------------------------------------
+
+constexpr double cl_inf = std::numeric_limits<double>::infinity();
+
+/// One attempt traversing the chain.
+struct cl_job {
+    std::size_t frame = 0;
+    std::size_t attempt = 0;
+    std::size_t inject_seq = 0;  ///< global injection index (trace cycling)
+    double offered_us = 0.0;     ///< arrival of attempt 0
+    double injected_us = 0.0;    ///< entry of THIS attempt into the chain
+    double enter_us = 0.0;       ///< admission into the current stage's buffer
+};
+
+/// Event kinds, processed at equal times in rank order: completions first
+/// (they free slots and may block), then injections (they may evict a head
+/// under drop-oldest), then service starts (they commit the head).
+enum class cl_kind { done = 0, offered = 1, start = 2 };
+
+struct cl_event {
+    double time_us = 0.0;
+    cl_kind kind = cl_kind::start;
+    std::uint64_t seq = 0;  ///< FIFO tie-break: creation order is deterministic
+    std::size_t stage = 0;
+    std::uint64_t epoch = 0;       ///< start events: stale when != stage epoch
+    std::size_t inject_seq = 0;    ///< done events: which active entry finished
+};
+
+struct cl_event_later {
+    bool operator()(const cl_event& a, const cl_event& b) const {
+        if (a.time_us != b.time_us) return a.time_us > b.time_us;
+        if (a.kind != b.kind) return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+        return a.seq > b.seq;
+    }
+};
+
+class cl_engine {
+public:
+    cl_engine(const std::vector<stage>& stages, std::size_t num_frames,
+              const arrival_process& arrivals, util::rng& rng, const sim_options& options,
+              const feedback_fn& feedback)
+        : stages_(&stages),
+          num_frames_(num_frames),
+          arrivals_(arrivals),
+          rng_(&rng),
+          options_(options),
+          feedback_(&feedback),
+          state_(stages.size()) {
+        for (std::size_t s = 0; s < stages.size(); ++s) {
+            state_[s].st = &stages[s];
+            state_[s].server_free.assign(stages[s].servers(), 0.0);
+        }
+        result_.num_jobs = 0;
+        if (options_.record_latencies) result_.latencies_us.reserve(num_frames);
+    }
+
+    simulation_result run() {
+        push_offered(0.0);
+        while (!events_.empty()) {
+            const cl_event ev = events_.top();
+            events_.pop();
+            switch (ev.kind) {
+                case cl_kind::offered: on_offered(ev); break;
+                case cl_kind::done: on_done(ev); break;
+                case cl_kind::start: on_start(ev); break;
+            }
+        }
+        std::vector<stage_accounting> acct;
+        acct.reserve(state_.size());
+        for (const auto& st : state_) acct.push_back(st.acct);
+        finalize(result_, *stages_, acct, latency_stats_, digest_, options_.record_latencies);
+        return std::move(result_);
+    }
+
+private:
+    /// A job that entered service, in start (hand-off) order.
+    struct cl_active {
+        cl_job job;
+        std::size_t server = 0;
+        double done_us = 0.0;
+        bool finished = false;
+    };
+
+    struct cl_stage_state {
+        const stage* st = nullptr;
+        std::deque<cl_job> waiting;        ///< admitted, not yet in service
+        std::vector<double> server_free;   ///< release time; cl_inf while occupied
+        std::deque<cl_active> active;      ///< in service / awaiting hand-off
+        bool head_blocked = false;         ///< active front done, downstream full
+        std::size_t served = 0;            ///< round-robin dispatch counter
+        double last_start = 0.0;           ///< in-order dispatch clamp
+        double in_clamp = 0.0;             ///< monotone admission clamp
+        std::uint64_t epoch = 0;           ///< invalidates scheduled starts
+        stage_accounting acct;
+    };
+
+    void push_event(double time_us, cl_kind kind, std::size_t stage_index, std::uint64_t epoch,
+                    std::size_t inject_seq) {
+        events_.push({time_us, kind, next_event_seq_++, stage_index, epoch, inject_seq});
+    }
+
+    void push_offered(double time_us) {
+        if (offered_ == num_frames_) return;
+        push_event(time_us, cl_kind::offered, 0, 0, 0);
+    }
+
+    void on_offered(const cl_event& ev) {
+        cl_job job;
+        job.frame = offered_++;
+        job.offered_us = ev.time_us;
+        job.inject_seq = next_inject_seq_++;
+        inject(job, ev.time_us);
+        if (offered_ < num_frames_) {
+            const double gap = arrivals_.poisson
+                                   ? -arrivals_.interarrival_us * std::log(1.0 - rng_->uniform())
+                                   : arrivals_.interarrival_us;
+            push_offered(ev.time_us + gap);
+        }
+    }
+
+    /// Injection at stage 0 — an offered frame or a fed-back retransmission.
+    void inject(cl_job job, double t) {
+        job.injected_us = t;
+        ++result_.num_jobs;
+        auto& st = state_[0];
+        if (st.waiting.size() >= options_.buffer_capacity) {
+            if (options_.policy == backpressure::block) {
+                entrance_.push_back(job);  // the source never blocks; it queues
+                return;
+            }
+            if (options_.policy == backpressure::drop_newest) {
+                ++st.acct.drops;
+                return;
+            }
+            evict_oldest(0, t);
+        }
+        enter_stage(0, job, t);
+    }
+
+    /// Hand-off arrival at an interior stage (s >= 1).  Under block the
+    /// caller verified space; under the drop policies the policy applies.
+    void handoff_arrive(std::size_t s, cl_job job, double t) {
+        auto& st = state_[s];
+        if (st.waiting.size() >= options_.buffer_capacity) {
+            if (options_.policy == backpressure::drop_newest) {
+                ++st.acct.drops;
+                return;
+            }
+            evict_oldest(s, t);
+        }
+        enter_stage(s, job, t);
+    }
+
+    void evict_oldest(std::size_t s, double t) {
+        auto& st = state_[s];
+        const cl_job victim = st.waiting.front();
+        st.waiting.pop_front();
+        ++st.acct.drops;
+        st.acct.occupancy_area_us += t - victim.enter_us;
+    }
+
+    void enter_stage(std::size_t s, cl_job job, double t) {
+        auto& st = state_[s];
+        st.in_clamp = std::max(st.in_clamp, t);
+        job.enter_us = st.in_clamp;
+        st.waiting.push_back(job);
+        st.acct.max_queue = std::max(st.acct.max_queue, st.waiting.size());
+        schedule_head(s);
+    }
+
+    /// (Re)schedules the service start of stage s's head, invalidating any
+    /// outstanding start event.  A head whose designated round-robin server
+    /// is still occupied is rescheduled when that server releases.
+    void schedule_head(std::size_t s) {
+        auto& st = state_[s];
+        ++st.epoch;
+        if (st.waiting.empty()) return;
+        const std::size_t k = st.served % st.server_free.size();
+        const double start =
+            std::max({st.waiting.front().enter_us, st.server_free[k], st.last_start});
+        if (!std::isfinite(start)) return;
+        push_event(start, cl_kind::start, s, st.epoch, 0);
+    }
+
+    void on_start(const cl_event& ev) {
+        auto& st = state_[ev.stage];
+        if (ev.epoch != st.epoch) return;  // superseded
+        cl_job job = st.waiting.front();
+        st.waiting.pop_front();
+        const std::size_t k = st.served % st.server_free.size();
+        const double start = std::max({job.enter_us, st.server_free[k], st.last_start});
+        st.last_start = start;
+        ++st.served;
+        const double service = st.st->service_us(job.inject_seq, *rng_);
+        const double done = start + service;
+        st.acct.busy_us += service;
+        st.acct.wait_us += start - job.enter_us;
+        st.acct.occupancy_area_us += start - job.enter_us;
+        ++st.acct.served;
+        st.server_free[k] = cl_inf;  // occupied until the job hands off
+        st.active.push_back({job, k, done, false});
+        push_event(done, cl_kind::done, ev.stage, 0, job.inject_seq);
+        admit_released_slot(ev.stage, start);  // the head's waiting slot freed
+        schedule_head(ev.stage);
+    }
+
+    /// A waiting slot freed at stage s at time t (its head entered service):
+    /// under block, admit the longest-waiting excluded job — the upstream
+    /// blocked hand-off, or an entrance-queued injection at stage 0.
+    void admit_released_slot(std::size_t s, double t) {
+        if (options_.policy != backpressure::block) return;
+        if (s == 0) {
+            if (entrance_.empty()) return;
+            const cl_job job = entrance_.front();
+            entrance_.pop_front();
+            enter_stage(0, job, t);
+            return;
+        }
+        auto& up = state_[s - 1];
+        if (!up.head_blocked) return;
+        up.head_blocked = false;
+        flush(s - 1, t);  // retries the delayed hand-off, now with space
+    }
+
+    void on_done(const cl_event& ev) {
+        auto& st = state_[ev.stage];
+        for (auto& entry : st.active) {
+            if (entry.job.inject_seq == ev.inject_seq) {
+                entry.finished = true;
+                break;
+            }
+        }
+        flush(ev.stage, ev.time_us);
+    }
+
+    /// Hands finished jobs downstream in service-start order (in-order
+    /// delivery).  All hand-offs happen at the current event time; a full
+    /// downstream buffer under block parks the front and holds its server.
+    void flush(std::size_t s, double now) {
+        auto& st = state_[s];
+        while (!st.active.empty() && st.active.front().finished && !st.head_blocked) {
+            if (s + 1 < state_.size() && options_.policy == backpressure::block &&
+                state_[s + 1].waiting.size() >= options_.buffer_capacity) {
+                st.head_blocked = true;
+                return;
+            }
+            const cl_active entry = st.active.front();
+            st.active.pop_front();
+            st.server_free[entry.server] = now;
+            schedule_head(s);
+            if (s + 1 < state_.size()) {
+                handoff_arrive(s + 1, entry.job, now);
+            } else {
+                complete(entry.job, now);
+            }
+        }
+    }
+
+    void complete(const cl_job& job, double t) {
+        ++result_.jobs_completed;
+        const double latency = t - job.injected_us;
+        latency_stats_.add(latency);
+        digest_.add(latency);
+        if (options_.record_latencies) result_.latencies_us.push_back(latency);
+        result_.makespan_us = std::max(result_.makespan_us, t);
+        const bool reenter =
+            *feedback_ && (*feedback_)({job.frame, job.attempt, job.offered_us,
+                                        job.injected_us, t});
+        if (reenter) {
+            cl_job retx;
+            retx.frame = job.frame;
+            retx.attempt = job.attempt + 1;
+            retx.inject_seq = next_inject_seq_++;
+            retx.offered_us = job.offered_us;
+            inject(retx, t);
+        }
+    }
+
+    const std::vector<stage>* stages_;
+    std::size_t num_frames_;
+    arrival_process arrivals_;
+    util::rng* rng_;
+    sim_options options_;
+    const feedback_fn* feedback_;
+    std::vector<cl_stage_state> state_;
+    std::deque<cl_job> entrance_;  ///< injections awaiting a first-buffer slot (block)
+    std::priority_queue<cl_event, std::vector<cl_event>, cl_event_later> events_;
+    std::uint64_t next_event_seq_ = 0;
+    std::size_t next_inject_seq_ = 0;
+    std::size_t offered_ = 0;
+    simulation_result result_;
+    metrics::latency_digest digest_;
+    metrics::running_stats latency_stats_;
+};
+
 }  // namespace
+
+simulation_result simulate_closed_loop(const std::vector<stage>& stages, std::size_t num_frames,
+                                       const arrival_process& arrivals, util::rng& rng,
+                                       const sim_options& options, const feedback_fn& feedback) {
+    if (stages.empty()) throw std::invalid_argument("simulate_closed_loop: no stages");
+    if (num_frames == 0) throw std::invalid_argument("simulate_closed_loop: no jobs");
+    if (arrivals.interarrival_us <= 0.0) {
+        throw std::invalid_argument("simulate_closed_loop: bad interarrival");
+    }
+    if (options.buffer_capacity == 0) {
+        throw std::invalid_argument(
+            "simulate_closed_loop: buffer capacity 0 can never admit work; use a capacity >= 1 "
+            "or pipeline::unbounded_capacity");
+    }
+    return cl_engine(stages, num_frames, arrivals, rng, options, feedback).run();
+}
 
 simulation_result simulate(const std::vector<stage>& stages, std::size_t num_jobs,
                            const arrival_process& arrivals, util::rng& rng,

@@ -173,6 +173,61 @@ struct simulation_result {
                                                     double programming_us = 0.0,
                                                     std::size_t quantum_devices = 1);
 
+// ---------------------------------------------------------------------------
+// Closed-loop (feedback) simulation — the ARQ re-entry extension.
+//
+// The open-loop simulate() above is a feed-forward tandem queue: a job
+// leaves the last stage and is gone.  The link layer's ARQ loop needs the
+// opposite: a frame whose attempt *failed* (wrong bits, or an answer
+// arriving past the retransmission deadline) re-enters the FIRST stage as a
+// retransmission and competes with fresh arrivals for the same bounded
+// buffers — which is when `drop_oldest` becomes the natural shedding policy.
+//
+// simulate_closed_loop() is an event-driven core (the feed-forward
+// recurrences cannot express a cycle) with the same modelling vocabulary:
+// bounded per-stage waiting buffers, block / drop-oldest / drop-newest
+// backpressure, round-robin multi-server stages (job n of a stage's served
+// stream goes to server n mod S), strict in-order hand-off between stages.
+// Semantics that differ from the feed-forward cores, explicitly:
+//   * A server is released when its job HANDS OFF to the next stage (or
+//     exits), not when service ends — under `block` a full downstream
+//     buffer therefore holds the server exactly like hold_last_server();
+//     under the drop policies hand-off is immediate, so the two coincide
+//     except while a faster sibling server waits for in-order delivery.
+//   * Offered arrivals that meet a full first buffer under `block` wait in
+//     an unbounded entrance queue (the source never blocks), exactly like
+//     the open-loop core; fed-back retransmissions join the same entrance
+//     discipline in re-entry order.  Under the drop policies a fed-back
+//     retransmission meeting a full buffer is dropped like any arrival —
+//     a lost frame, counted in stage_drops.
+//   * simulation_result::num_jobs counts every INJECTION (offered frames
+//     plus retransmissions); latency statistics are per completed
+//     traversal, measured from that attempt's injection time.
+struct completion {
+    std::size_t frame = 0;       ///< offered-frame index
+    std::size_t attempt = 0;     ///< 0 = first transmission
+    double offered_us = 0.0;     ///< arrival time of attempt 0
+    double injected_us = 0.0;    ///< entry time of THIS attempt into the chain
+    double done_us = 0.0;        ///< exit time from the last stage
+
+    /// Replayed end-to-end latency of this attempt (the ARQ deadline view).
+    [[nodiscard]] double latency_us() const noexcept { return done_us - injected_us; }
+};
+
+/// Feedback decision, invoked once per completed traversal in exit order:
+/// return true to re-enqueue the frame at stage 0 (attempt + 1) at time
+/// done_us.  The callback must eventually return false for every frame
+/// (e.g. by capping attempts) or the simulation never drains.
+using feedback_fn = std::function<bool(const completion&)>;
+
+/// Runs `num_frames` offered jobs through the stages with feedback re-entry.
+/// Validation matches simulate(); `feedback` may be empty (open loop).
+[[nodiscard]] simulation_result simulate_closed_loop(const std::vector<stage>& stages,
+                                                     std::size_t num_frames,
+                                                     const arrival_process& arrivals,
+                                                     util::rng& rng, const sim_options& options,
+                                                     const feedback_fn& feedback);
+
 }  // namespace hcq::pipeline
 
 #endif  // HCQ_PIPELINE_PIPELINE_H

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace hcq::util {
@@ -111,6 +112,12 @@ void write_json_string(std::ostream& os, const std::string& s) {
 }
 
 }  // namespace
+
+std::string json_quote(const std::string& text) {
+    std::ostringstream out;
+    write_json_string(out, text);
+    return out.str();
+}
 
 void table::print_json(std::ostream& os) const {
     os << "[\n";

@@ -12,6 +12,11 @@ namespace hcq::util {
 /// Formats a double with `precision` significant decimals, trimming noise.
 [[nodiscard]] std::string format_double(double value, int precision = 4);
 
+/// Renders `text` as a quoted JSON string literal (the same escaping
+/// table::print_json applies to cells) — for callers composing JSON objects
+/// around a table, e.g. the self-describing BENCH_*.json envelope.
+[[nodiscard]] std::string json_quote(const std::string& text);
+
 /// Simple row/column table.  Cells are strings; use `add_row` with
 /// heterogeneous convertible values via the variadic overload.
 class table {

@@ -186,7 +186,7 @@ TEST(LinkSim, PathLookupMatchesKindNameAndSpec) {
     EXPECT_EQ(&report.path("K-best"), &report.paths[0]);
     EXPECT_EQ(&report.path("kbest:width=16"), &report.paths[0]);
     EXPECT_EQ(&report.path("GS+RA"), &report.paths[1]);
-    EXPECT_EQ(report.paths[1].spec, "gsra:reads=10,sp=0.29,pause_us=1");
+    EXPECT_EQ(report.paths[1].spec, "gsra:reads=10,sp=0.29,pause_us=1,init=gs");
 }
 
 TEST(LinkSim, SameKindTwiceWithDifferentKnobsRunsSideBySide) {
@@ -284,7 +284,47 @@ TEST(LinkSim, KxraStatisticsIdenticalToGsra) {
     EXPECT_EQ(k.stage_servers, (std::vector<std::size_t>{1, 1, 1, 2}));
     EXPECT_EQ(g.stage_servers, (std::vector<std::size_t>{1, 1, 1, 1}));
     EXPECT_EQ(k.name, "GS+RAx2");
-    EXPECT_EQ(k.spec, "kxra:k=2,reads=10,sp=0.29,pause_us=1");
+    EXPECT_EQ(k.spec, "kxra:k=2,reads=10,sp=0.29,pause_us=1,init=gs");
+}
+
+TEST(LinkSim, GsraInitUnsetIsBitIdenticalToExplicitGs) {
+    // ROADMAP: the init key is golden-pinned to the default initialiser
+    // when unset — "gsra" and "gsra:init=gs" canonicalise identically and
+    // produce the same statistics (the goldens above additionally pin that
+    // this IS the pre-init-key behaviour).
+    auto config = small_config();
+    config.paths = pt::parse_spec_list("gsra:reads=10");
+    const auto unset = lk::run_link_simulation(config);
+    config.paths = pt::parse_spec_list("gsra:reads=10,init=gs");
+    const auto explicit_gs = lk::run_link_simulation(config);
+    EXPECT_EQ(unset.paths[0].spec, explicit_gs.paths[0].spec);
+    EXPECT_EQ(unset.paths[0].ber.errors(), explicit_gs.paths[0].ber.errors());
+    EXPECT_EQ(unset.paths[0].exact_frames, explicit_gs.paths[0].exact_frames);
+    EXPECT_EQ(unset.paths[0].sum_ml_cost, explicit_gs.paths[0].sum_ml_cost);
+}
+
+TEST(LinkSim, GsraInitialiserVariantsRunSideBySide) {
+    // Different init values canonicalise differently, so the three hybrid
+    // flavours are a legitimate side-by-side comparison in one stream.
+    lk::link_config config;
+    config.num_uses = 12;
+    config.num_users = 4;
+    config.mod = wl::modulation::qam16;
+    config.snr_db = 14.0;
+    config.seed = 2026;
+    config.num_threads = 1;
+    config.paths = pt::parse_spec_list(
+        "gsra:reads=8,gsra:reads=8,init=tabu,gsra:reads=8,init=kbest");
+    const auto report = lk::run_link_simulation(config);
+    ASSERT_EQ(report.paths.size(), 3u);
+    EXPECT_EQ(report.paths[0].name, "GS+RA");
+    EXPECT_EQ(report.paths[1].name, "Tabu+RA");
+    EXPECT_EQ(report.paths[2].name, "KB+RA");
+    for (const auto& path : report.paths) {
+        EXPECT_EQ(path.stage_names(),
+                  (std::vector<std::string>{"synth", "qubo", "classical", "quantum"}));
+        EXPECT_EQ(path.ber.total_bits(), 12u * 4u * 4u);
+    }
 }
 
 TEST(LinkSim, StreamBlockSizeDoesNotChangeStatistics) {

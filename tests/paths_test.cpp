@@ -161,7 +161,7 @@ TEST(Registry, KxraDeclaresItsDeviceBank) {
     // kxra is gsra served by K round-robin annealer devices (paper §5): the
     // quantum stage reports K servers, everything else matches gsra.
     const auto kxra = pt::registry::make("kxra:k=4,reads=10");
-    EXPECT_EQ(kxra->spec().to_string(), "kxra:k=4,reads=10,sp=0.29,pause_us=1");
+    EXPECT_EQ(kxra->spec().to_string(), "kxra:k=4,reads=10,sp=0.29,pause_us=1,init=gs");
     EXPECT_EQ(kxra->name(), "GS+RAx4");
     EXPECT_TRUE(kxra->needs_qubo());
     EXPECT_EQ(kxra->stage_names(), (std::vector<std::string>{"classical", "quantum"}));
@@ -179,7 +179,7 @@ TEST(Registry, KxraDeclaresItsDeviceBank) {
 
 TEST(Registry, NonDefaultSpecRoundTrips) {
     const auto path = pt::registry::make("gsra:reads=40,sp=0.35,pause_us=2");
-    EXPECT_EQ(path->spec().to_string(), "gsra:reads=40,sp=0.35,pause_us=2");
+    EXPECT_EQ(path->spec().to_string(), "gsra:reads=40,sp=0.35,pause_us=2,init=gs");
     const auto kbest = pt::registry::make("kbest:width=16");
     EXPECT_EQ(kbest->spec().to_string(), "kbest:width=16");
     // Defaults canonicalise to explicit keys, so "kbest" == "kbest:width=8".
@@ -301,6 +301,45 @@ TEST(Registry, ConventionalPathsHaveNoSolverFormAndNeedNoQubo) {
         EXPECT_TRUE(path->needs_qubo());
         EXPECT_NE(path->as_solver(), nullptr);
     }
+}
+
+TEST(Registry, GsraInitialiserKey) {
+    // The paper's §5 initialiser choice as a spec key.  Unset canonicalises
+    // to the default greedy search — the golden link statistics pin that
+    // this is byte-for-byte the historical behaviour.
+    const auto default_spec = pt::registry::make("gsra")->spec();
+    const auto* default_init = default_spec.find("init");
+    ASSERT_NE(default_init, nullptr);
+    EXPECT_EQ(*default_init, "gs");
+    EXPECT_EQ(pt::registry::make("gsra")->name(), "GS+RA");
+    EXPECT_EQ(pt::registry::make("gsra:init=gs")->spec().to_string(),
+              pt::registry::make("gsra")->spec().to_string());
+
+    EXPECT_EQ(pt::registry::make("gsra:init=tabu")->name(), "Tabu+RA");
+    EXPECT_EQ(pt::registry::make("gsra:init=kbest")->name(), "KB+RA");
+    EXPECT_EQ(pt::registry::make("kxra:init=kbest")->name(), "KB+RAx2");
+    EXPECT_EQ(pt::registry::make("kxra:k=3,init=tabu")->name(), "Tabu+RAx3");
+
+    // Initialiser variants keep the hybrid's two-stage shape.
+    const auto kb = pt::registry::make("gsra:init=kbest");
+    EXPECT_TRUE(kb->needs_qubo());
+    EXPECT_EQ(kb->stage_names(), (std::vector<std::string>{"classical", "quantum"}));
+
+    const auto bad = thrown_message([] { (void)pt::registry::make("gsra:init=warp"); });
+    EXPECT_NE(bad.find("init"), std::string::npos);
+    EXPECT_NE(bad.find("tabu"), std::string::npos);
+    EXPECT_NE(bad.find("kbest"), std::string::npos);
+
+    // The registry help advertises the key.
+    EXPECT_NE(pt::registry::help().find("init"), std::string::npos);
+}
+
+TEST(Registry, GsraInitialiserSolverForms) {
+    // tabu keeps a pure-QUBO solver form for sweeps; kbest consumes the
+    // MIMO instance and therefore has none.
+    EXPECT_EQ(pt::registry::make_solver("gsra:init=tabu")->name(), "Tabu+RA");
+    EXPECT_EQ(pt::registry::make("gsra:init=kbest")->as_solver(), nullptr);
+    EXPECT_THROW((void)pt::registry::make_solver("gsra:init=kbest"), std::invalid_argument);
 }
 
 TEST(Registry, QuboPathRejectsMissingReduction) {

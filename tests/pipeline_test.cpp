@@ -383,4 +383,142 @@ TEST(Bounded, OverloadedDropRunReportsOccupancy) {
     EXPECT_GT(result.stage_utilization[1], 0.9);
 }
 
+// ---------------------------------------------------------------------------
+// Closed-loop (feedback) simulation — the ARQ re-entry core.
+// ---------------------------------------------------------------------------
+
+TEST(ClosedLoop, NoFeedbackMatchesOpenLoopOnDeterministicStages) {
+    // With an empty feedback hook and deterministic single-server stages the
+    // event-driven core must reproduce the feed-forward recurrence exactly.
+    const std::vector<pl::stage> stages{pl::stage::constant("a", 10.0),
+                                        pl::stage::constant("b", 5.0)};
+    for (const double interarrival : {6.0, 12.0}) {
+        SCOPED_TRACE(interarrival);
+        hcq::util::rng rng_open(1);
+        const auto open = pl::simulate(stages, 100, {.interarrival_us = interarrival},
+                                       rng_open, {});
+        hcq::util::rng rng_closed(1);
+        const auto closed = pl::simulate_closed_loop(
+            stages, 100, {.interarrival_us = interarrival}, rng_closed, {}, {});
+        EXPECT_EQ(closed.num_jobs, open.num_jobs);
+        EXPECT_EQ(closed.jobs_completed, open.jobs_completed);
+        EXPECT_DOUBLE_EQ(closed.makespan_us, open.makespan_us);
+        EXPECT_DOUBLE_EQ(closed.mean_latency_us, open.mean_latency_us);
+        EXPECT_DOUBLE_EQ(closed.max_latency_us, open.max_latency_us);
+        ASSERT_EQ(closed.latencies_us.size(), open.latencies_us.size());
+        for (std::size_t j = 0; j < open.latencies_us.size(); ++j) {
+            EXPECT_DOUBLE_EQ(closed.latencies_us[j], open.latencies_us[j]);
+        }
+    }
+}
+
+TEST(ClosedLoop, FeedbackReentersAtCompletionTime) {
+    // One constant stage, one frame, one retransmission: the retransmission
+    // arrives when the first attempt completes, so it departs at 2 x service.
+    const std::vector<pl::stage> stages{pl::stage::constant("s", 10.0)};
+    hcq::util::rng rng(1);
+    std::vector<pl::completion> seen;
+    const auto result = pl::simulate_closed_loop(
+        stages, 1, {.interarrival_us = 5.0}, rng, {},
+        [&](const pl::completion& c) {
+            seen.push_back(c);
+            return c.attempt < 1;
+        });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].attempt, 0u);
+    EXPECT_DOUBLE_EQ(seen[0].done_us, 10.0);
+    EXPECT_EQ(seen[1].attempt, 1u);
+    EXPECT_DOUBLE_EQ(seen[1].injected_us, 10.0);  // re-entered at completion
+    EXPECT_DOUBLE_EQ(seen[1].done_us, 20.0);
+    EXPECT_DOUBLE_EQ(seen[1].latency_us(), 10.0);
+    EXPECT_EQ(seen[1].frame, 0u);
+    EXPECT_DOUBLE_EQ(seen[1].offered_us, 0.0);
+    EXPECT_EQ(result.num_jobs, 2u);
+    EXPECT_EQ(result.jobs_completed, 2u);
+    EXPECT_DOUBLE_EQ(result.makespan_us, 20.0);
+}
+
+TEST(ClosedLoop, RetransmissionsCompeteWithFreshArrivals) {
+    // Two frames 1 us apart, 10 us service, every frame retransmitted once:
+    // the four traversals serialise on the single server -> makespan 40.
+    const std::vector<pl::stage> stages{pl::stage::constant("s", 10.0)};
+    hcq::util::rng rng(1);
+    const auto result = pl::simulate_closed_loop(
+        stages, 2, {.interarrival_us = 1.0}, rng, {},
+        [](const pl::completion& c) { return c.attempt < 1; });
+    EXPECT_EQ(result.num_jobs, 4u);
+    EXPECT_EQ(result.jobs_completed, 4u);
+    EXPECT_DOUBLE_EQ(result.makespan_us, 40.0);
+}
+
+TEST(ClosedLoop, BlockPolicyNeverDropsUnderFeedbackOverload) {
+    const std::vector<pl::stage> stages{pl::stage::constant("a", 4.0),
+                                        pl::stage::constant("b", 8.0)};
+    hcq::util::rng rng(1);
+    const pl::sim_options options{.buffer_capacity = 1,
+                                  .policy = pl::backpressure::block,
+                                  .record_latencies = false};
+    const auto result = pl::simulate_closed_loop(
+        stages, 60, {.interarrival_us = 2.0}, rng, options,
+        [](const pl::completion& c) { return c.attempt < 2; });
+    EXPECT_EQ(result.num_jobs, 60u * 3u);
+    EXPECT_EQ(result.jobs_completed, 60u * 3u);
+    EXPECT_EQ(result.jobs_dropped, 0u);
+    for (const std::size_t d : result.stage_drops) EXPECT_EQ(d, 0u);
+    for (const std::size_t q : result.max_queue_len) EXPECT_LE(q, 1u);
+}
+
+TEST(ClosedLoop, DropOldestShedsRetransmissionOverload) {
+    // Saturating offered load plus aggressive feedback: the bounded buffer
+    // must shed, and the accounting must balance injections exactly.
+    const std::vector<pl::stage> stages{pl::stage::constant("a", 4.0),
+                                        pl::stage::constant("b", 8.0)};
+    hcq::util::rng rng(1);
+    const pl::sim_options options{.buffer_capacity = 2,
+                                  .policy = pl::backpressure::drop_oldest,
+                                  .record_latencies = false};
+    const auto result = pl::simulate_closed_loop(
+        stages, 100, {.interarrival_us = 3.0}, rng, options,
+        [](const pl::completion& c) { return c.attempt < 2; });
+    EXPECT_GT(result.jobs_dropped, 0u);
+    EXPECT_EQ(result.jobs_completed + result.jobs_dropped, result.num_jobs);
+    std::size_t stage_drop_sum = 0;
+    for (const std::size_t d : result.stage_drops) stage_drop_sum += d;
+    EXPECT_EQ(stage_drop_sum, result.jobs_dropped);
+    for (const std::size_t q : result.max_queue_len) EXPECT_LE(q, 2u);
+}
+
+TEST(ClosedLoop, MultiServerStageServesRetransmissions) {
+    // A 2-server bottleneck drains a retransmitting stream about twice as
+    // fast as one server.
+    const auto one = std::vector<pl::stage>{pl::stage::constant("q", 10.0)};
+    const auto two = std::vector<pl::stage>{pl::stage::constant("q", 10.0).with_servers(2)};
+    const auto feedback = [](const pl::completion& c) { return c.attempt < 1; };
+    hcq::util::rng rng1(1);
+    const auto serial = pl::simulate_closed_loop(one, 50, {.interarrival_us = 1.0}, rng1, {},
+                                                 feedback);
+    hcq::util::rng rng2(1);
+    const auto banked = pl::simulate_closed_loop(two, 50, {.interarrival_us = 1.0}, rng2, {},
+                                                 feedback);
+    EXPECT_EQ(serial.jobs_completed, 100u);
+    EXPECT_EQ(banked.jobs_completed, 100u);
+    EXPECT_NEAR(banked.makespan_us, serial.makespan_us / 2.0, 15.0);
+    EXPECT_GT(banked.throughput_per_us, 1.8 * serial.throughput_per_us);
+}
+
+TEST(ClosedLoop, ValidatesLikeTheOpenLoop) {
+    hcq::util::rng rng(1);
+    const std::vector<pl::stage> stages{pl::stage::constant("s", 1.0)};
+    EXPECT_THROW((void)pl::simulate_closed_loop({}, 5, {}, rng, {}, {}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)pl::simulate_closed_loop(stages, 0, {}, rng, {}, {}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)pl::simulate_closed_loop(stages, 5, {.interarrival_us = 0.0}, rng, {},
+                                                {}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)pl::simulate_closed_loop(stages, 5, {}, rng,
+                                                {.buffer_capacity = 0}, {}),
+                 std::invalid_argument);
+}
+
 }  // namespace
