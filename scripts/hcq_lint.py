@@ -1,0 +1,369 @@
+#!/usr/bin/env python3
+"""hcq_lint: repo-specific determinism and registration contracts.
+
+The repository's core invariant — per-(use, path, attempt) derived RNG
+streams whose statistics are bit-identical at any thread count — cannot be
+checked by any off-the-shelf tool, because the rules are about *which*
+primitives code is allowed to touch, not how it touches them.  This linter
+enforces those contracts at review time, token/regex + include based (no
+libclang dependency, so it runs anywhere python3 runs):
+
+  raw-rng            std::mt19937 / std::random_device / rand() / <random>
+                     may only appear in src/util/rng.{h,cpp}.  Everything
+                     else draws from util::rng derived streams; a raw engine
+                     is an unseeded, thread-schedule-dependent statistic.
+  wall-clock         std::chrono::system_clock / high_resolution_clock /
+                     time() / gettimeofday are banned everywhere (wall-clock
+                     reads make statistics irreproducible); steady_clock and
+                     #include <chrono> are allowed only in the timing
+                     modules (src/util/timer.h) that the rest of the tree
+                     measures through.
+  unordered-container std::unordered_{map,set,multimap,multiset} are banned
+                     in src/: iteration order is hash-seed dependent, and
+                     every aggregation or serialisation that walks one
+                     becomes run-to-run unstable.  Pure-lookup uses may be
+                     suppressed with a justification.
+  spec-literal       paths::path_spec{...} aggregate literals outside
+                     src/paths/: spec strings must go through
+                     path_spec::parse / parse_spec_list so key validation
+                     and canonicalisation stay uniform.
+  test-registration  every tests/*_test.cpp is listed in HCQ_TEST_SUITES in
+                     tests/CMakeLists.txt and every listed suite has a
+                     source file — an unregistered test binary silently
+                     never runs.
+
+Suppressions (always carry a reason after the directive):
+  // hcq-lint: allow(rule-id[, rule-id]) ...   this line and the next
+  // hcq-lint: allow-file(rule-id) ...         the whole file
+
+Usage:
+  scripts/hcq_lint.py [--root DIR] [--list-rules]
+
+Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories scanned for C++ sources, relative to the root.
+SCAN_DIRS = ("src", "examples", "bench", "tests")
+CPP_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+# The lint self-test fixture tree contains deliberate violations.
+EXCLUDE_PARTS = {"lint_selftest"}
+EXCLUDE_PREFIXES = ("build",)
+
+SUPPRESS_LINE_RE = re.compile(r"hcq-lint:\s*allow\(([^)]*)\)")
+SUPPRESS_FILE_RE = re.compile(r"hcq-lint:\s*allow-file\(([^)]*)\)")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Blanks comments and string/char literals, preserving length.
+
+    Keeps token scans from firing on prose (e.g. a doc comment mentioning
+    std::mt19937) or on quoted text.  Line-oriented; raw strings and line
+    continuations inside literals are out of scope for this linter.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    state = "block" if in_block_comment else "code"
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                out.append(" " * (n - i))
+                i = n
+            elif c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        else:  # char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out), state == "block"
+
+
+class SourceFile:
+    """One scanned file: raw lines, code-only lines, and suppressions."""
+
+    def __init__(self, rel: str, text: str):
+        self.rel = rel
+        self.lines = text.splitlines()
+        self.code_lines: list[str] = []
+        self.line_allows: dict[int, set[str]] = {}  # 1-based line -> rules
+        self.file_allows: set[str] = set()
+        in_block = False
+        for idx, line in enumerate(self.lines, start=1):
+            m = SUPPRESS_FILE_RE.search(line)
+            if m:
+                self.file_allows |= {r.strip() for r in m.group(1).split(",") if r.strip()}
+            m = SUPPRESS_LINE_RE.search(line)
+            if m and "allow-file" not in line:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                self.line_allows.setdefault(idx, set()).update(rules)
+                self.line_allows.setdefault(idx + 1, set()).update(rules)
+            code, in_block = strip_code(line, in_block)
+            self.code_lines.append(code)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        return rule in self.file_allows or rule in self.line_allows.get(line, set())
+
+
+def iter_sources(root: Path) -> list[SourceFile]:
+    sources = []
+    for sub in SCAN_DIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in CPP_SUFFIXES or not path.is_file():
+                continue
+            relpath = path.relative_to(root)
+            rel = relpath.as_posix()
+            if any(part in EXCLUDE_PARTS for part in relpath.parts):
+                continue
+            if rel.startswith(EXCLUDE_PREFIXES):
+                continue
+            sources.append(SourceFile(rel, path.read_text(encoding="utf-8", errors="replace")))
+    return sources
+
+
+def scan_tokens(src: SourceFile, rule: str, patterns: list[tuple[re.Pattern, str]],
+                findings: list[Finding]) -> None:
+    for idx, code in enumerate(src.code_lines, start=1):
+        for pattern, message in patterns:
+            if pattern.search(code) and not src.suppressed(rule, idx):
+                findings.append(Finding(src.rel, idx, rule, message))
+
+
+# --- raw-rng ---------------------------------------------------------------
+
+RAW_RNG_ALLOWED = {"src/util/rng.h", "src/util/rng.cpp"}
+RAW_RNG_PATTERNS = [
+    (re.compile(r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine|"
+                r"ranlux\w+|knuth_b)\b"),
+     "raw std random engine; draw from a util::rng derived stream instead"),
+    (re.compile(r"std::random_device\b"),
+     "std::random_device is nondeterministic; seed a util::rng explicitly"),
+    (re.compile(r"(?<![\w:.])s?rand\s*\("),
+     "C rand()/srand() is unseeded global state; use util::rng"),
+    (re.compile(r"#\s*include\s*<random>"),
+     "<random> outside util/rng: distributions and engines live behind util::rng"),
+]
+
+
+def rule_raw_rng(sources: list[SourceFile], findings: list[Finding]) -> None:
+    for src in sources:
+        if src.rel in RAW_RNG_ALLOWED:
+            continue
+        scan_tokens(src, "raw-rng", RAW_RNG_PATTERNS, findings)
+
+
+# --- wall-clock ------------------------------------------------------------
+
+WALL_CLOCK_TIMING_MODULES = {"src/util/timer.h"}
+WALL_CLOCK_BANNED = [
+    (re.compile(r"std::chrono::(system_clock|high_resolution_clock)\b"),
+     "wall/unspecified clock; statistics-producing code times via util::timer "
+     "(steady_clock)"),
+    (re.compile(r"(?<![\w:.])(gettimeofday|clock_gettime|timespec_get)\s*\("),
+     "raw OS clock read; time via util::timer"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "time() is a wall-clock read; statistics must not depend on it"),
+]
+WALL_CLOCK_SRC_ONLY = [
+    (re.compile(r"std::chrono::steady_clock\b"),
+     "direct steady_clock use outside the timing modules; measure through "
+     "util::timer so timing stays in one auditable place"),
+    (re.compile(r"#\s*include\s*<chrono>"),
+     "<chrono> outside the timing modules; include util/timer.h instead"),
+]
+
+
+def rule_wall_clock(sources: list[SourceFile], findings: list[Finding]) -> None:
+    for src in sources:
+        if src.rel in WALL_CLOCK_TIMING_MODULES:
+            continue
+        scan_tokens(src, "wall-clock", WALL_CLOCK_BANNED, findings)
+        if src.rel.startswith("src/"):
+            scan_tokens(src, "wall-clock", WALL_CLOCK_SRC_ONLY, findings)
+
+
+# --- unordered-container ---------------------------------------------------
+
+UNORDERED_PATTERNS = [
+    (re.compile(r"std::unordered_(map|set|multimap|multiset)\b"),
+     "hash-ordered container in src/: iteration order is not deterministic, "
+     "so aggregated statistics and serialised output built from it are not "
+     "either; use std::map/std::set, or suppress with a pure-lookup reason"),
+    (re.compile(r"#\s*include\s*<unordered_(map|set)>"),
+     "unordered container include in src/ (see unordered-container rule)"),
+]
+
+
+def rule_unordered(sources: list[SourceFile], findings: list[Finding]) -> None:
+    for src in sources:
+        if not src.rel.startswith("src/"):
+            continue
+        scan_tokens(src, "unordered-container", UNORDERED_PATTERNS, findings)
+
+
+# --- spec-literal ----------------------------------------------------------
+
+SPEC_LITERAL_PATTERNS = [
+    (re.compile(r"(?<!struct )(?<!class )\bpath_spec\s*\{"),
+     "hand-built path_spec literal; parse spec text through "
+     "paths::path_spec::parse / parse_spec_list so key validation and "
+     "canonicalisation stay uniform"),
+]
+
+
+def rule_spec_literal(sources: list[SourceFile], findings: list[Finding]) -> None:
+    for src in sources:
+        if src.rel.startswith("src/paths/"):
+            continue
+        scan_tokens(src, "spec-literal", SPEC_LITERAL_PATTERNS, findings)
+
+
+# --- test-registration -----------------------------------------------------
+
+SUITES_RE = re.compile(r"set\s*\(\s*HCQ_TEST_SUITES\s+([^)]*)\)", re.DOTALL)
+
+
+def rule_test_registration(root: Path, findings: list[Finding]) -> None:
+    cmake = root / "tests" / "CMakeLists.txt"
+    tests_dir = root / "tests"
+    if not tests_dir.is_dir():
+        return
+    on_disk = {p.stem for p in tests_dir.glob("*_test.cpp")}
+    if not cmake.is_file():
+        if on_disk:
+            findings.append(Finding("tests/CMakeLists.txt", 1, "test-registration",
+                                    "missing tests/CMakeLists.txt but *_test.cpp files exist"))
+        return
+    text = cmake.read_text(encoding="utf-8", errors="replace")
+    m = SUITES_RE.search(text)
+    if not m:
+        findings.append(Finding("tests/CMakeLists.txt", 1, "test-registration",
+                                "no set(HCQ_TEST_SUITES ...) block found"))
+        return
+    listed = set(re.findall(r"[A-Za-z0-9_]+", m.group(1)))
+    line_of = {}
+    for idx, line in enumerate(text.splitlines(), start=1):
+        for name in re.findall(r"[A-Za-z0-9_]+", line):
+            line_of.setdefault(name, idx)
+    for name in sorted(on_disk - listed):
+        findings.append(Finding(f"tests/{name}.cpp", 1, "test-registration",
+                                f"test file not listed in HCQ_TEST_SUITES — "
+                                f"'{name}' would never build or run"))
+    for name in sorted(listed - on_disk):
+        findings.append(Finding("tests/CMakeLists.txt", line_of.get(name, 1),
+                                "test-registration",
+                                f"HCQ_TEST_SUITES lists '{name}' but tests/{name}.cpp "
+                                f"does not exist"))
+
+
+# ---------------------------------------------------------------------------
+
+RULES = {
+    "raw-rng": "raw std RNG / <random> outside src/util/rng.{h,cpp}",
+    "wall-clock": "wall-clock reads; steady_clock/<chrono> outside timing modules",
+    "unordered-container": "hash-ordered containers in src/",
+    "spec-literal": "hand-built path_spec outside src/paths/",
+    "test-registration": "tests/*_test.cpp <-> HCQ_TEST_SUITES consistency",
+}
+
+
+def run_lint(root: Path) -> list[Finding]:
+    sources = iter_sources(root)
+    findings: list[Finding] = []
+    rule_raw_rng(sources, findings)
+    rule_wall_clock(sources, findings)
+    rule_unordered(sources, findings)
+    rule_spec_literal(sources, findings)
+    rule_test_registration(root, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="tree to lint (default: the repository root)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule ids and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule, summary in RULES.items():
+            print(f"{rule:20} {summary}")
+        return 0
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"hcq_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+    findings = run_lint(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"hcq_lint: {len(findings)} finding(s) in {root}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# clang-tidy gate: runs the curated .clang-tidy check set over every hcq
+# translation unit in a compile_commands.json and fails on any finding not
+# covered by the tracked suppression baseline (scripts/tidy_baseline.txt).
+#
+# Usage:  scripts/run_tidy.sh [-p BUILD_DIR] [--update-baseline] [--help]
+#   -p BUILD_DIR        build tree holding compile_commands.json (default:
+#                       build-tidy; configured automatically when missing)
+#   --update-baseline   rewrite scripts/tidy_baseline.txt from the current
+#                       findings instead of failing — review the diff and
+#                       justify every retained line before committing
+#   --help              print this help
+#
+# Findings are normalised to "path:check-name" (no line numbers), so the
+# baseline survives unrelated edits; a baselined entry suppresses every
+# instance of that check in that file, which is why fixing beats baselining.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+usage() {
+    sed -n '/^#/!q; 2,$s/^# \{0,1\}//p' "$0"
+}
+
+build_dir="build-tidy"
+update_baseline=0
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        -p) [[ $# -ge 2 ]] || { echo "-p needs a directory" >&2; exit 2; }
+            build_dir="$2"; shift 2 ;;
+        --update-baseline) update_baseline=1; shift ;;
+        --help|-h) usage; exit 0 ;;
+        *) echo "unknown argument: $1" >&2; usage >&2; exit 2 ;;
+    esac
+done
+
+tidy="${CLANG_TIDY:-}"
+if [[ -z "$tidy" ]]; then
+    for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                     clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+        if command -v "$candidate" >/dev/null 2>&1; then
+            tidy="$candidate"
+            break
+        fi
+    done
+fi
+if [[ -z "$tidy" ]]; then
+    echo "run_tidy: no clang-tidy found (set CLANG_TIDY to override)" >&2
+    exit 2
+fi
+echo "run_tidy: using $($tidy --version | head -n 1)"
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    echo "run_tidy: configuring $build_dir for compile_commands.json"
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DHCQ_BUILD_TESTS=OFF -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF \
+        >/dev/null
+fi
+
+# Library sources only: tests/examples/benches compile against gtest and CLI
+# scaffolding whose idioms (e.g. benchmark loop clones) drown the signal.
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+if [[ ${#sources[@]} -eq 0 ]]; then
+    echo "run_tidy: no sources found under src/" >&2
+    exit 2
+fi
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+# run-clang-tidy parallelises per TU when available; otherwise xargs does.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -clang-tidy-binary "$tidy" -p "$build_dir" -j "$jobs" \
+        -quiet "${sources[@]/#/^}" >"$log" 2>/dev/null || true
+else
+    printf '%s\n' "${sources[@]}" |
+        xargs -P "$jobs" -I {} "$tidy" -p "$build_dir" --quiet {} \
+            >>"$log" 2>/dev/null || true
+fi
+
+# Normalise "path:line:col: warning: msg [check]" -> "path:check".
+findings="$(sed -n -E \
+    's#^.*/?((src|tests|examples|bench)/[^:]+):[0-9]+:[0-9]+: (warning|error): .*\[([a-z0-9.,-]+)\]$#\1:\4#p' \
+    "$log" | sort -u)"
+
+baseline_file="scripts/tidy_baseline.txt"
+baseline="$(sed -e 's/[[:space:]]*#.*$//' -e '/^$/d' "$baseline_file" | sort -u)"
+
+if [[ $update_baseline -eq 1 ]]; then
+    {
+        echo "# clang-tidy suppression baseline — one \"path:check-name\" per line."
+        echo "# Every entry must carry a trailing '# reason'.  Regenerate with"
+        echo "# scripts/run_tidy.sh --update-baseline, then re-justify survivors."
+        [[ -n "$findings" ]] && echo "$findings"
+    } >"$baseline_file"
+    echo "run_tidy: baseline rewritten with $(echo -n "$findings" | grep -c . || true) entries"
+    exit 0
+fi
+
+new_findings="$(comm -23 <(echo "$findings") <(echo "$baseline"))"
+stale_baseline="$(comm -13 <(echo "$findings") <(echo "$baseline"))"
+
+if [[ -n "$stale_baseline" ]]; then
+    echo "run_tidy: stale baseline entries (finding no longer fires; remove them):"
+    echo "$stale_baseline" | sed 's/^/  /'
+fi
+if [[ -n "$new_findings" ]]; then
+    echo "run_tidy: NEW findings (fix them, or justify in $baseline_file):"
+    echo "$new_findings" | sed 's/^/  /'
+    echo
+    echo "full diagnostics:"
+    grep -E ': (warning|error): ' "$log" | sort -u | sed 's/^/  /'
+    exit 1
+fi
+echo "run_tidy: clean ($(echo -n "$findings" | grep -c . || true) baselined finding(s))"

@@ -2,7 +2,8 @@
 # Tier-1 verification: configure + build + ctest in Debug and Release with
 # warnings-as-errors, mirroring .github/workflows/ci.yml.
 #
-# Usage:  scripts/verify.sh [--tsan] [--asan] [--clean] [--help]
+# Usage:  scripts/verify.sh [--tsan] [--asan] [--lint] [--tidy] [--clean]
+#                           [--help]
 #   --tsan   additionally build the threading-sensitive suites with
 #            -fsanitize=thread and run them (proves the parallel runner,
 #            thread pool, bounded-buffer pipeline, and link simulator
@@ -10,6 +11,10 @@
 #   --asan   additionally build the detection/link/hybrid suites with
 #            -fsanitize=address,undefined and run them (mirrors the CI
 #            asan job)
+#   --lint   additionally run the repo contract linter (scripts/hcq_lint.py)
+#            and its selftest over the fixture tree
+#   --tidy   additionally run the clang-tidy gate (scripts/run_tidy.sh);
+#            requires clang-tidy on PATH or CLANG_TIDY set
 #   --clean  remove the build trees first
 #   --help   print this help
 #
@@ -30,16 +35,27 @@ usage() {
 
 run_tsan=0
 run_asan=0
+run_lint=0
+run_tidy=0
 clean=0
 for arg in "$@"; do
     case "$arg" in
         --tsan) run_tsan=1 ;;
         --asan) run_asan=1 ;;
+        --lint) run_lint=1 ;;
+        --tidy) run_tidy=1 ;;
         --clean) clean=1 ;;
         --help|-h) usage; exit 0 ;;
         *) echo "unknown argument: $arg" >&2; usage >&2; exit 2 ;;
     esac
 done
+
+# Cheap gates first: a lint finding should surface before a full rebuild.
+if [[ $run_lint -eq 1 ]]; then
+    echo "== lint: repo contract linter + selftest =="
+    python3 scripts/hcq_lint.py
+    python3 tests/lint_selftest/selftest.py
+fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
@@ -79,6 +95,11 @@ if [[ $run_asan -eq 1 ]]; then
     "$dir/tests/link_test"
     "$dir/tests/hybrid_test"
     "$dir/tests/arq_test"
+fi
+
+if [[ $run_tidy -eq 1 ]]; then
+    echo "== clang-tidy: curated check set vs scripts/tidy_baseline.txt =="
+    scripts/run_tidy.sh
 fi
 
 echo "verify: all gates passed"

@@ -38,6 +38,12 @@
 // `deadline_us` may be given as `auto`, resolving per path to the OPEN-loop
 // replay's p99 latency — the ROADMAP's "ARQ loops driven by the replay's
 // p99" made literal.
+//
+// Concurrency contract: `counters` and `replay_stats` are filled serially
+// by the link layer's in-order fold (detection domain) and the
+// single-threaded closed-loop simulator (timing domain) — no locks, no
+// shared mutable state, hence no thread-safety annotations here; see
+// docs/ARCHITECTURE.md, "The determinism contract as enforceable rules".
 #ifndef HCQ_ARQ_ARQ_H
 #define HCQ_ARQ_ARQ_H
 

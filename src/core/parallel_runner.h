@@ -7,6 +7,16 @@
 // This is the entry point for the ROADMAP's batched serving direction: a
 // detection workload is (instances x solvers) independent cells, and the
 // runner is the single place where that grid meets the hardware.
+//
+// Concurrency contract: lock-free by design.  Each cell writes a disjoint,
+// preallocated output slot and results are folded serially in cell order,
+// so there is no shared mutable state to guard and nothing here for the
+// Clang Thread Safety annotations (util/thread_annotations.h) to track —
+// the annotated locking lives inside util::thread_pool.  Do not introduce a
+// mutex in this layer; it would serialise the hot path and mask, not fix,
+// an aliasing bug.  TSan (verify.sh --tsan) and the cross-thread-count
+// equality tests enforce this contract; see docs/ARCHITECTURE.md, "The
+// determinism contract as enforceable rules".
 #ifndef HCQ_CORE_PARALLEL_RUNNER_H
 #define HCQ_CORE_PARALLEL_RUNNER_H
 

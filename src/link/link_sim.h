@@ -37,6 +37,14 @@
 // times vary run to run.  The golden-value tests in tests/link_test.cpp pin
 // these statistics to the values the pre-registry (enum-dispatch, per-cell
 // storage) implementation produced.
+//
+// Concurrency contract: lock-free by design.  Workers fill disjoint,
+// preallocated per-use slots of the current window and the fold is serial,
+// so this layer holds no mutex and carries no thread-safety annotations —
+// the only annotated locking on the path is inside util::thread_pool.
+// TSan (verify.sh --tsan) and the thread-count-invariance tests enforce
+// the contract; see docs/ARCHITECTURE.md, "The determinism contract as
+// enforceable rules".
 #ifndef HCQ_LINK_LINK_SIM_H
 #define HCQ_LINK_LINK_SIM_H
 

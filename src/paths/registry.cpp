@@ -6,6 +6,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
 namespace hcq::paths {
 
 namespace detail {
@@ -19,8 +22,10 @@ void register_builtin_paths();
 namespace {
 
 struct registry_state {
-    std::mutex mutex;
-    std::map<std::string, path_info> entries;
+    util::mutex mutex;
+    /// Ordered map on purpose: available()/entries()/help() iterate it into
+    /// user-visible listings, which must not depend on hash order.
+    std::map<std::string, path_info> entries HCQ_GUARDED_BY(mutex);
 };
 
 registry_state& state() {
@@ -60,7 +65,7 @@ void registry::register_path(path_info info) {
         throw std::invalid_argument("paths: path '" + info.kind + "' registered without a factory");
     }
     auto& st = state();
-    const std::scoped_lock lock(st.mutex);
+    const util::mutex_lock lock(st.mutex);
     const auto [it, inserted] = st.entries.emplace(info.kind, std::move(info));
     if (!inserted) {
         throw std::invalid_argument("paths: detection path '" + it->first +
@@ -71,7 +76,7 @@ void registry::register_path(path_info info) {
 std::vector<std::string> registry::available() {
     ensure_builtins();
     auto& st = state();
-    const std::scoped_lock lock(st.mutex);
+    const util::mutex_lock lock(st.mutex);
     std::vector<std::string> kinds;
     kinds.reserve(st.entries.size());
     for (const auto& [kind, info] : st.entries) kinds.push_back(kind);
@@ -81,7 +86,7 @@ std::vector<std::string> registry::available() {
 std::vector<path_info> registry::entries() {
     ensure_builtins();
     auto& st = state();
-    const std::scoped_lock lock(st.mutex);
+    const util::mutex_lock lock(st.mutex);
     std::vector<path_info> out;
     out.reserve(st.entries.size());
     for (const auto& [kind, info] : st.entries) out.push_back(info);
@@ -91,7 +96,7 @@ std::vector<path_info> registry::entries() {
 bool registry::is_registered(const std::string& kind) {
     ensure_builtins();
     auto& st = state();
-    const std::scoped_lock lock(st.mutex);
+    const util::mutex_lock lock(st.mutex);
     return st.entries.count(kind) != 0;
 }
 
@@ -116,7 +121,7 @@ std::shared_ptr<const detection_path> registry::make(const path_spec& spec) {
     path_info info;  // copied out so available() below can re-lock
     {
         auto& st = state();
-        const std::scoped_lock lock(st.mutex);
+        const util::mutex_lock lock(st.mutex);
         const auto it = st.entries.find(spec.kind);
         if (it != st.entries.end()) info = it->second;
     }

@@ -41,6 +41,14 @@
 // instead of an O(jobs) vector.  Service models may be synthetic (constant /
 // lognormal) or measured traces recorded from the real solver code paths by
 // the end-to-end link simulator (link/link_sim.h).
+//
+// Concurrency contract: simulate()/simulate_closed_loop() are
+// SINGLE-THREADED event simulators over virtual time — stage "parallelism"
+// is modelled in the event equations, not executed on threads.  There are
+// deliberately no locks and no thread-safety annotations here; a mutex in
+// this layer would signal a design error.  Callers may run many simulations
+// concurrently on disjoint inputs (the link layer does); see
+// docs/ARCHITECTURE.md, "The determinism contract as enforceable rules".
 #ifndef HCQ_PIPELINE_PIPELINE_H
 #define HCQ_PIPELINE_PIPELINE_H
 

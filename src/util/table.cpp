@@ -13,10 +13,10 @@ std::string format_double(double value, int precision) {
     if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
     char buf[64];
     if (value != 0.0 && (std::fabs(value) >= 1e6 || std::fabs(value) < 1e-4)) {
-        std::snprintf(buf, sizeof buf, "%.*e", precision, value);
+        if (std::snprintf(buf, sizeof buf, "%.*e", precision, value) < 0) return "nan";
         return buf;
     }
-    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    if (std::snprintf(buf, sizeof buf, "%.*f", precision, value) < 0) return "nan";
     std::string s = buf;
     if (s.find('.') != std::string::npos) {
         while (!s.empty() && s.back() == '0') s.pop_back();
@@ -101,8 +101,7 @@ void write_json_string(std::ostream& os, const std::string& s) {
             default:
                 if (static_cast<unsigned char>(ch) < 0x20) {
                     char buf[8];
-                    std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-                    os << buf;
+                    if (std::snprintf(buf, sizeof buf, "\\u%04x", ch) > 0) os << buf;
                 } else {
                     os << ch;
                 }

@@ -1,0 +1,79 @@
+// Clang Thread Safety Analysis annotations (-Wthread-safety), no-ops on
+// every other compiler.  Annotating a mutex-guarded structure turns its lock
+// discipline into a compile-time contract: clang rejects any access to an
+// HCQ_GUARDED_BY member without the named capability held, any double
+// acquire, and any scope that leaks a lock — *before* a race can corrupt a
+// bench baseline, which is exactly the class of bug TSan can only catch when
+// a test happens to exercise the interleaving.
+//
+// Convention for new concurrent code (see docs/ARCHITECTURE.md, "Static
+// analysis"): use util::mutex / util::mutex_lock / util::cond_var from
+// util/sync.h instead of the std primitives (libstdc++'s std::mutex carries
+// no annotations, so clang cannot check anything through it), mark every
+// member the mutex protects HCQ_GUARDED_BY(mutex_), and mark private
+// helpers that assume the lock HCQ_REQUIRES(mutex_).
+//
+// The macro set mirrors the canonical Clang/Abseil thread_annotations.h —
+// attribute names and semantics are documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html — under an HCQ_
+// prefix so it cannot collide with a vendored copy.
+#ifndef HCQ_UTIL_THREAD_ANNOTATIONS_H
+#define HCQ_UTIL_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+// NOLINTNEXTLINE(bugprone-macro-parentheses): x is an attribute spelling
+// like capability("mutex"), never an expression — parenthesising breaks it.
+#define HCQ_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HCQ_THREAD_ANNOTATION
+#define HCQ_THREAD_ANNOTATION(x)  // not clang (or too old): annotations vanish
+#endif
+
+/// Marks a type as a capability (a lockable resource); `name` appears in
+/// diagnostics, e.g. HCQ_CAPABILITY("mutex").
+#define HCQ_CAPABILITY(name) HCQ_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (util::mutex_lock).
+#define HCQ_SCOPED_CAPABILITY HCQ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define HCQ_GUARDED_BY(x) HCQ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define HCQ_PT_GUARDED_BY(x) HCQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called with the capabilities held (and does not
+/// release them).
+#define HCQ_REQUIRES(...) HCQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called with the capabilities NOT held.
+#define HCQ_EXCLUDES(...) HCQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capabilities (held on return).
+#define HCQ_ACQUIRE(...) HCQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capabilities (held on entry).
+#define HCQ_RELEASE(...) HCQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `result`.
+#define HCQ_TRY_ACQUIRE(result, ...) \
+    HCQ_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define HCQ_ASSERT_CAPABILITY(x) HCQ_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to the capability guarding its result.
+#define HCQ_RETURN_CAPABILITY(x) HCQ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define HCQ_ACQUIRED_BEFORE(...) HCQ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define HCQ_ACQUIRED_AFTER(...) HCQ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function.  Every use must
+/// carry a comment justifying why the contract cannot be expressed.
+#define HCQ_NO_THREAD_SAFETY_ANALYSIS HCQ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // HCQ_UTIL_THREAD_ANNOTATIONS_H

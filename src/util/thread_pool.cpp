@@ -29,7 +29,7 @@ thread_pool::~thread_pool() { stop(); }
 void thread_pool::stop() {
     std::vector<std::thread> workers;
     {
-        const std::scoped_lock lock(mutex_);
+        const mutex_lock lock(mutex_);
         stopping_ = true;
         workers.swap(workers_);  // claim the threads so overlapping stops can't double-join
     }
@@ -41,7 +41,7 @@ void thread_pool::stop() {
 
 void thread_pool::submit(std::function<void()> task) {
     {
-        const std::scoped_lock lock(mutex_);
+        const mutex_lock lock(mutex_);
         if (stopping_) {
             throw std::runtime_error("thread_pool::submit: pool is stopping; task rejected");
         }
@@ -51,21 +51,23 @@ void thread_pool::submit(std::function<void()> task) {
 }
 
 void thread_pool::wait_idle() {
-    std::unique_lock lock(mutex_);
-    idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
-    if (first_error_) {
-        const std::exception_ptr err = std::exchange(first_error_, nullptr);
-        lock.unlock();
-        std::rethrow_exception(err);
+    std::exception_ptr err;
+    {
+        mutex_lock lock(mutex_);
+        // Predicate in the calling scope (not a lambda) so the analysis
+        // checks the guarded reads against the held lock — see util/sync.h.
+        while (!tasks_.empty() || in_flight_ != 0) idle_.wait(lock);
+        err = std::exchange(first_error_, nullptr);
     }
+    if (err) std::rethrow_exception(err);
 }
 
 void thread_pool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lock(mutex_);
-            task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            mutex_lock lock(mutex_);
+            while (!stopping_ && tasks_.empty()) task_available_.wait(lock);
             if (tasks_.empty()) return;  // stopping_ and drained
             task = std::move(tasks_.front());
             tasks_.pop();
@@ -78,7 +80,7 @@ void thread_pool::worker_loop() {
             error = std::current_exception();
         }
         {
-            const std::scoped_lock lock(mutex_);
+            const mutex_lock lock(mutex_);
             --in_flight_;
             if (error && !first_error_) first_error_ = error;
         }

@@ -1,17 +1,23 @@
 // Minimal task-parallel execution support for parameter sweeps and
 // per-instance fan-out in benches.  Guideline CP.*: tasks over raw threads,
 // no shared mutable state beyond the internally synchronised queue.
+//
+// The queue state is annotated for Clang Thread Safety Analysis (see
+// util/thread_annotations.h): every member mutex_ protects is
+// HCQ_GUARDED_BY(mutex_), so an unlocked access is a compile error under
+// -Wthread-safety, not a latent race.
 #ifndef HCQ_UTIL_THREAD_POOL_H
 #define HCQ_UTIL_THREAD_POOL_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace hcq::util {
 
@@ -37,31 +43,33 @@ public:
     /// once shutdown has begun — a task accepted after `stop()` (or during
     /// destruction) would never run, so silently queuing it is a lost-update
     /// bug on the caller's side.
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) HCQ_EXCLUDES(mutex_);
 
     /// Blocks until every submitted task has completed.  Rethrows the first
     /// exception that escaped a task since the previous wait.
-    void wait_idle();
+    void wait_idle() HCQ_EXCLUDES(mutex_);
 
     /// Begins shutdown: drains already-queued tasks, then joins all workers.
     /// Idempotent; called by the destructor.  After stop() returns, submit()
     /// throws and size() still reports the original worker count.
-    void stop();
+    void stop() HCQ_EXCLUDES(mutex_);
 
     [[nodiscard]] std::size_t size() const noexcept { return num_workers_; }
 
 private:
-    void worker_loop();
+    void worker_loop() HCQ_EXCLUDES(mutex_);
 
-    std::vector<std::thread> workers_;
-    std::size_t num_workers_ = 0;
-    std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
-    std::condition_variable task_available_;
-    std::condition_variable idle_;
-    std::size_t in_flight_ = 0;
-    bool stopping_ = false;
-    std::exception_ptr first_error_;
+    mutex mutex_;
+    /// Joined by stop(), which claims them under the lock so overlapping
+    /// stops cannot double-join.
+    std::vector<std::thread> workers_ HCQ_GUARDED_BY(mutex_);
+    std::size_t num_workers_ = 0;  ///< immutable after construction
+    std::queue<std::function<void()>> tasks_ HCQ_GUARDED_BY(mutex_);
+    cond_var task_available_;
+    cond_var idle_;
+    std::size_t in_flight_ HCQ_GUARDED_BY(mutex_) = 0;
+    bool stopping_ HCQ_GUARDED_BY(mutex_) = false;
+    std::exception_ptr first_error_ HCQ_GUARDED_BY(mutex_);
 };
 
 /// Runs fn(i) for i in [0, n) on a transient thread_pool with `num_threads`

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/hcq_lint.py, run as a ctest case.
+
+Lints the fixture tree next to this script and asserts that every rule
+fires on its deliberate violation, that suppression comments silence the
+suppressed twins, and that the allowlisted modules (the fixture's own
+rng.h / timer.h / src/paths/) stay clean.  A rule that silently stops
+firing — or a suppression that stops suppressing — fails this test, so the
+lint gate cannot rot unnoticed.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent.parent / "scripts"))
+
+import hcq_lint  # noqa: E402  (path set up just above)
+
+# (rule, fixture file) -> exact expected finding count.
+EXPECTED = {
+    ("raw-rng", "src/bad_rng.cpp"): 4,            # engine, device, rand(), include
+    ("wall-clock", "src/bad_clock.cpp"): 4,       # system, hires, steady, include
+    ("unordered-container", "src/bad_unordered.cpp"): 2,  # use + include
+    ("spec-literal", "src/bad_spec.cpp"): 1,
+    ("test-registration", "tests/orphan_test.cpp"): 1,    # on disk, unlisted
+    ("test-registration", "tests/CMakeLists.txt"): 1,     # ghost_test listed, no file
+}
+
+# Files that must produce NO findings at all: suppressed twins, allowlisted
+# modules, and the comment/string-only decoy.
+MUST_BE_CLEAN = [
+    "src/bad_rng_suppressed.cpp",
+    "src/bad_clock_suppressed.cpp",
+    "src/bad_unordered_suppressed.cpp",
+    "src/paths/ok_spec.cpp",
+    "src/comment_only.cpp",
+    "src/util/rng.h",
+    "src/util/timer.h",
+    "tests/listed_test.cpp",
+]
+
+
+def main() -> int:
+    findings = hcq_lint.run_lint(HERE / "tree")
+    got = Counter((f.rule, f.path) for f in findings)
+    failures = []
+
+    for key, want in sorted(EXPECTED.items()):
+        if got.get(key, 0) != want:
+            failures.append(f"rule {key[0]!r} on {key[1]!r}: "
+                            f"expected {want} finding(s), got {got.get(key, 0)}")
+    for path in MUST_BE_CLEAN:
+        hits = [f for f in findings if f.path == path]
+        for f in hits:
+            failures.append(f"unexpected finding in clean/suppressed file: {f}")
+    unexpected = set(got) - set(EXPECTED)
+    for key in sorted(unexpected):
+        failures.append(f"finding outside the expectation table: {key[0]} on {key[1]}")
+
+    if failures:
+        print("hcq_lint selftest FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        print("\nall findings:")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print(f"hcq_lint selftest passed: {len(findings)} expected findings, "
+          f"{len(MUST_BE_CLEAN)} clean files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

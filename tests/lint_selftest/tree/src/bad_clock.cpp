@@ -1,0 +1,13 @@
+// Fixture: wall-clock violations — the banned clocks anywhere, and
+// steady_clock / <chrono> outside the timing modules.
+#include <chrono>
+
+double fixture_wall_clock() {
+    const auto wall = std::chrono::system_clock::now();
+    const auto hires = std::chrono::high_resolution_clock::now();
+    const auto mono = std::chrono::steady_clock::now();
+    (void)wall;
+    (void)hires;
+    (void)mono;
+    return 0.0;
+}

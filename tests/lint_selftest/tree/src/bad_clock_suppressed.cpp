@@ -1,0 +1,11 @@
+// Fixture: wall-clock suppression — file-level allow silences everything.
+// hcq-lint: allow-file(wall-clock) fixture: exercising the allow-file form
+#include <chrono>
+
+double fixture_wall_clock_suppressed() {
+    const auto wall = std::chrono::system_clock::now();
+    const auto mono = std::chrono::steady_clock::now();
+    (void)wall;
+    (void)mono;
+    return 0.0;
+}

@@ -1,0 +1,12 @@
+// Fixture: every line here must fire raw-rng (the engine, the device, the
+// C API, and the include).
+#include <random>
+
+void fixture_raw_rng() {
+    std::mt19937 engine(42);
+    std::random_device device;
+    int r = rand();
+    (void)engine;
+    (void)device;
+    (void)r;
+}

@@ -1,0 +1,10 @@
+// Fixture: the same violations with suppressions — none may fire.
+#include <random>  // hcq-lint: allow(raw-rng) fixture: suppression must silence the include
+
+void fixture_raw_rng_suppressed() {
+    // hcq-lint: allow(raw-rng) fixture: preceding-line suppression form
+    std::mt19937 engine(42);
+    std::random_device device;  // hcq-lint: allow(raw-rng) fixture: same-line form
+    (void)engine;
+    (void)device;
+}

@@ -1,0 +1,12 @@
+// Fixture: a hand-built path_spec literal outside src/paths/ fires
+// spec-literal; the parsed form does not.
+namespace hcq::paths {
+struct path_spec {
+    const char* kind;
+};
+}  // namespace hcq::paths
+
+void fixture_spec_literal() {
+    const hcq::paths::path_spec spec = hcq::paths::path_spec{"kbest"};
+    (void)spec;
+}

@@ -1,0 +1,8 @@
+// Fixture: hash-ordered containers in src/ — include and use both fire.
+#include <unordered_map>
+
+int fixture_unordered() {
+    std::unordered_map<int, int> counts;
+    counts[1] = 2;
+    return static_cast<int>(counts.size());
+}

@@ -1,0 +1,9 @@
+// Fixture: a justified pure-lookup use, suppressed line by line.
+#include <unordered_map>  // hcq-lint: allow(unordered-container) fixture: pure lookup, never iterated
+
+int fixture_unordered_suppressed() {
+    // hcq-lint: allow(unordered-container) fixture: pure lookup, never iterated
+    std::unordered_map<int, int> lookup;
+    lookup[1] = 2;
+    return lookup.at(1);
+}

@@ -1,0 +1,9 @@
+// Fixture: violations that appear ONLY in comments and string literals must
+// not fire — the scanner strips both.  For example std::mt19937,
+// std::random_device, std::chrono::system_clock, std::unordered_map, and
+// path_spec{...} are all named right here.
+/* block comment too: rand() and #include <random> */
+
+const char* fixture_comment_only() {
+    return "std::mt19937 std::chrono::system_clock std::unordered_map<int> path_spec{}";
+}

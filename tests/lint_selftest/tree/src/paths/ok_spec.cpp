@@ -1,0 +1,8 @@
+// Fixture: src/paths/ is the spec-literal allowlist — no finding here.
+namespace hcq::paths {
+struct path_spec {
+    const char* kind;
+};
+
+path_spec make_default() { return path_spec{"zf"}; }
+}  // namespace hcq::paths

@@ -1,0 +1,12 @@
+// Fixture: the rng module itself is the raw-rng allowlist — the engine and
+// <random> are legal here and must not fire.
+#ifndef FIXTURE_RNG_H
+#define FIXTURE_RNG_H
+
+#include <random>
+
+namespace fixture {
+using engine = std::mt19937_64;
+}
+
+#endif  // FIXTURE_RNG_H

@@ -1,0 +1,12 @@
+// Fixture: the timing module is the wall-clock allowlist — steady_clock and
+// <chrono> are legal here and must not fire.
+#ifndef FIXTURE_TIMER_H
+#define FIXTURE_TIMER_H
+
+#include <chrono>
+
+namespace fixture {
+using clock = std::chrono::steady_clock;
+}
+
+#endif  // FIXTURE_TIMER_H

@@ -1,0 +1,2 @@
+// Fixture: correctly registered — no finding.
+int main() { return 0; }

@@ -1,0 +1,3 @@
+// Fixture: present on disk but missing from HCQ_TEST_SUITES — fires
+// test-registration (this binary would silently never build or run).
+int main() { return 0; }
