@@ -12,7 +12,11 @@
 // e.g. zf,kbest:width=16,gsra,kxra:k=4), --buffer=<slots per replay stage;
 // 0 = unbounded>, --policy=block|drop-oldest|drop-newest, and
 // --arq deadline_us=<auto|none|us>,max_retx=<n> to close the retransmission
-// loop (adds residual-FER / retx-rate / miss-rate / goodput columns).  With
+// loop (adds residual-FER / retx-rate / miss-rate / goodput columns), and
+// --channel <spec> (wireless/channel_spec.h — e.g. jakes:doppler_hz=5 or
+// watterson:taps=2,spread_hz=1,est_err=0.05) for correlated fading /
+// imperfect CSI; unset keeps the default i.i.d. rayleigh draw bit-for-bit,
+// so the bench baselines remain valid.  With
 // --json the table is emitted inside the self-describing envelope
 // {git_sha, bench, config, rows} — the format the CI bench-smoke job
 // uploads as a BENCH_*.json artifact and the bench-regression gate diffs
@@ -41,6 +45,10 @@ int main(int argc, char** argv) {
     const bool arq_on = ctx.flags.has("arq");
     const arq::arq_config arq_config =
         arq_on ? arq::parse_arq(ctx.flags.get_string("arq", "")) : arq::arq_config{};
+    std::optional<wireless::channel_spec> channel;
+    if (ctx.flags.has("channel")) {
+        channel = wireless::channel_spec::parse(ctx.flags.get_string("channel", ""));
+    }
 
     struct scenario {
         std::size_t users;
@@ -73,6 +81,7 @@ int main(int argc, char** argv) {
         config.buffer_capacity = buffer == 0 ? pipeline::unbounded_capacity : buffer;
         config.policy = policy;
         if (arq_on) config.arq = arq_config;
+        config.channel_spec = channel;
 
         const util::timer clock;
         const auto report = link::run_link_simulation(config);

@@ -27,8 +27,16 @@
 // replay's p99):
 //     ./examples/link_sim --paths gsra,kxra:k=4 --arq deadline_us=auto,max_retx=2
 //
+// Realistic channels ride the --channel spec (wireless/channel_spec.h):
+// time-correlated Jakes/Watterson fading, imperfect CSI, and a per-spec SNR
+// override.  At low Doppler errors arrive in bursts and ARQ retransmissions
+// land inside the fade that failed them:
+//     ./examples/link_sim --channel jakes:doppler_hz=5 --arq
+//     ./examples/link_sim --channel watterson:taps=2,spread_hz=1,est_err=0.05
+//
 // Usage: ./examples/link_sim
 //   [--uses=120] [--users=4] [--mod=qam16] [--snr=16] [--noiseless]
+//   [--channel=rayleigh|random-phase|jakes:...|watterson:...]
 //   [--paths=zf,kbest,sphere,sa,gsra] [--load=0.9] [--threads=0] [--seed=1]
 //   [--buffer=256] [--policy=block|drop-oldest|drop-newest]
 //   [--arq deadline_us=<auto|none|us>,max_retx=<n>]
@@ -51,10 +59,14 @@ int main(int argc, char** argv) try {
                      "       --paths=zf,kbest,sphere,sa,gsra --load=0.9 --threads=0\n"
                      "       --seed=1 --buffer=256 (replay slots per stage, 0 = unbounded)\n"
                      "       --policy=block|drop-oldest|drop-newest --csv\n"
+                     "       --channel <spec>  realistic channel: correlated fading,\n"
+                     "         multipath, imperfect CSI (unset = the default i.i.d.\n"
+                     "         rayleigh draw, bit-for-bit)\n"
                      "       --arq deadline_us=<auto|none|us>,max_retx=<n>\n"
                      "         closes the retransmission loop: wrong frames re-solve on\n"
                      "         fresh channel uses; the trace replay feeds failures back as\n"
                      "         retransmission load (deadline_us=auto = open-loop p99)\n\n"
+                  << wireless::channel_spec::help() << "\n"
                   << paths::registry::help();
         return 0;
     }
@@ -77,6 +89,9 @@ int main(int argc, char** argv) try {
     config.snr_db = flags.get_double("snr", 16.0);
     config.noiseless = flags.get_bool("noiseless", false);
     if (config.noiseless) config.channel = wireless::channel_model::unit_gain_random_phase;
+    if (flags.has("channel")) {
+        config.channel_spec = wireless::channel_spec::parse(flags.get_string("channel", ""));
+    }
     if (flags.has("paths")) config.paths = paths::parse_spec_list(flags.get_string("paths", ""));
     config.offered_load = flags.get_double("load", 0.9);
     config.num_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
@@ -90,9 +105,13 @@ int main(int argc, char** argv) try {
     std::cout << "== end-to-end link simulation ==\n"
               << config.num_uses << " channel uses, " << config.num_users << "x"
               << config.num_users << " " << wireless::to_string(config.mod) << ", "
-              << (config.noiseless
-                      ? std::string("noiseless random-phase channel (paper corpus)")
-                      : "Rayleigh + AWGN at " + util::format_double(config.snr_db, 1) + " dB")
+              << (config.channel_spec
+                      ? "channel " + config.channel_spec->to_string() +
+                            (config.noiseless ? " (noiseless)" : "")
+                      : config.noiseless
+                          ? std::string("noiseless random-phase channel (paper corpus)")
+                          : "Rayleigh + AWGN at " + util::format_double(config.snr_db, 1) +
+                                " dB")
               << ", offered load " << util::format_double(config.offered_load, 2) << "\n"
               << "replay buffers: "
               << (config.buffer_capacity == pipeline::unbounded_capacity

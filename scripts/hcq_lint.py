@@ -27,6 +27,10 @@ libclang dependency, so it runs anywhere python3 runs):
                      src/paths/: spec strings must go through
                      path_spec::parse / parse_spec_list so key validation
                      and canonicalisation stay uniform.
+  channel-spec-literal wireless::channel_spec{...} aggregate literals outside
+                     src/wireless/: channel specs must go through
+                     channel_spec::parse so per-kind key acceptance and
+                     Doppler/tap range validation stay uniform.
   test-registration  every tests/*_test.cpp is listed in HCQ_TEST_SUITES in
                      tests/CMakeLists.txt and every listed suite has a
                      source file — an unregistered test binary silently
@@ -279,6 +283,23 @@ def rule_spec_literal(sources: list[SourceFile], findings: list[Finding]) -> Non
         scan_tokens(src, "spec-literal", SPEC_LITERAL_PATTERNS, findings)
 
 
+# --- channel-spec-literal ---------------------------------------------------
+
+CHANNEL_SPEC_LITERAL_PATTERNS = [
+    (re.compile(r"(?<!struct )(?<!class )\bchannel_spec\s*\{"),
+     "hand-built channel_spec literal; parse spec text through "
+     "wireless::channel_spec::parse so per-kind key acceptance and "
+     "Doppler/tap range validation stay uniform"),
+]
+
+
+def rule_channel_spec_literal(sources: list[SourceFile], findings: list[Finding]) -> None:
+    for src in sources:
+        if src.rel.startswith("src/wireless/"):
+            continue
+        scan_tokens(src, "channel-spec-literal", CHANNEL_SPEC_LITERAL_PATTERNS, findings)
+
+
 # --- test-registration -----------------------------------------------------
 
 SUITES_RE = re.compile(r"set\s*\(\s*HCQ_TEST_SUITES\s+([^)]*)\)", re.DOTALL)
@@ -324,6 +345,7 @@ RULES = {
     "wall-clock": "wall-clock reads; steady_clock/<chrono> outside timing modules",
     "unordered-container": "hash-ordered containers in src/",
     "spec-literal": "hand-built path_spec outside src/paths/",
+    "channel-spec-literal": "hand-built channel_spec outside src/wireless/",
     "test-registration": "tests/*_test.cpp <-> HCQ_TEST_SUITES consistency",
 }
 
@@ -335,6 +357,7 @@ def run_lint(root: Path) -> list[Finding]:
     rule_wall_clock(sources, findings)
     rule_unordered(sources, findings)
     rule_spec_literal(sources, findings)
+    rule_channel_spec_literal(sources, findings)
     rule_test_registration(root, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

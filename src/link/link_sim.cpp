@@ -30,6 +30,20 @@ constexpr std::uint64_t solve_stream_domain = 0x6c696e6b5f534c56ULL;  // "link_S
 constexpr std::uint64_t arq_synth_domain = 0x6172715f5f434855ULL;  // "arq__CHU"
 constexpr std::uint64_t arq_solve_domain = 0x6172715f5f534c56ULL;  // "arq__SLV"
 
+// Correlated-fading tap parameters (wireless/channel_spec.h) freeze from
+// this stream — disjoint from every domain above, so configuring a channel
+// spec never perturbs the synthesis/solve draws, and `--channel` unset
+// stays byte-identical to the pre-spec implementation.
+constexpr std::uint64_t fading_stream_domain = 0x6c696e6b5f464144ULL;  // "link_FAD"
+
+// An ARQ retransmission goes back on the air one channel use after the
+// attempt it repeats: attempt r of frame u sees the fading process at
+// t = u + r * retx_lag_uses.  At low Doppler (coherence time >> 1 use) a
+// frame that failed in a deep fade therefore RETRIES inside the same fade —
+// the retransmission-concentration behaviour the acceptance scenario
+// measures — while at high Doppler the retry sees a fresh channel.
+constexpr double retx_lag_uses = 1.0;
+
 void validate(const link_config& config) {
     if (config.num_uses == 0) throw std::invalid_argument("link: zero channel uses");
     if (config.num_users == 0) throw std::invalid_argument("link: zero users");
@@ -117,6 +131,11 @@ void stage_trace::add(double service_us) {
     if (index % sample_stride_ == 0 && sample_.size() < replay_sample_capacity) {
         sample_.push_back(service_us);
     }
+}
+
+double burst_stats::mean_burst_length() const noexcept {
+    if (bursts == 0) return 0.0;
+    return static_cast<double>(error_frames) / static_cast<double>(bursts);
 }
 
 std::vector<std::string> path_report::stage_names() const {
@@ -209,6 +228,21 @@ link_report run_link_simulation(const link_config& config) {
     const util::rng arq_synth_base = util::rng(config.seed).derive(arq_synth_domain);
     const util::rng arq_solve_base = util::rng(config.seed).derive(arq_solve_domain);
 
+    // Realistic-channel spec resolution: one frozen channel realisation per
+    // run (correlated taps drawn from the dedicated fading domain), plus the
+    // spec's SNR override and CSI estimation-error variance.  nullopt keeps
+    // the legacy draw_channel path — and its byte stream — untouched.
+    const double snr_db = (config.channel_spec && config.channel_spec->snr_db)
+                              ? *config.channel_spec->snr_db
+                              : config.snr_db;
+    const double csi_est_err = config.channel_spec ? config.channel_spec->est_err : 0.0;
+    std::unique_ptr<const wireless::channel_process> process;
+    if (config.channel_spec) {
+        process = wireless::make_channel_process(
+            *config.channel_spec, config.num_users, config.num_users,
+            util::rng(config.seed).derive(fading_stream_domain));
+    }
+
     // The stream is processed in fixed-size windows: workers fill one window
     // of per-use cells in parallel, then the window is folded serially in
     // use order into the constant-size aggregates above.  Peak memory is
@@ -219,6 +253,10 @@ link_report run_link_simulation(const link_config& config) {
     std::vector<double> reduce_us(block, 0.0);
     std::vector<paths::path_result> cells(block * num_paths);
     std::vector<arq_cell> arq_cells(config.arq ? block * num_paths : 0);
+
+    // Per-path length of the error run currently open in the serial fold —
+    // carried across windows so burst statistics are stream_block-invariant.
+    std::vector<std::uint64_t> error_run(num_paths, 0);
 
     // One pool for the whole stream; num_threads == 1 degrades to a serial
     // loop like util::pool_for_each.
@@ -239,9 +277,12 @@ link_report run_link_simulation(const link_config& config) {
             mimo.noise_variance =
                 config.noiseless ? 0.0
                                  : wireless::noise_variance_for_snr(config.mod, config.num_users,
-                                                                    config.snr_db);
+                                                                    snr_db);
             util::timer synth_clock;
-            const auto instance = wireless::synthesize(synth_rng, mimo);
+            const auto instance =
+                process ? wireless::synthesize_at(synth_rng, mimo, *process,
+                                                  static_cast<double>(u), csi_est_err)
+                        : wireless::synthesize(synth_rng, mimo);
             synth_us[i] = synth_clock.elapsed_us();
             tx_bits[i] = instance.tx_bits;
 
@@ -288,7 +329,18 @@ link_report run_link_simulation(const link_config& config) {
                     if (!slot) {
                         util::rng retx_synth = arq_synth_base.derive(u).derive(attempt);
                         slot.emplace();
-                        slot->instance = wireless::synthesize(retx_synth, mimo);
+                        // Under correlated fading the retransmission sees the
+                        // SAME frozen process one lag later per attempt; its
+                        // noise/bit draws still come from the (frame, attempt)
+                        // derived stream.
+                        slot->instance =
+                            process
+                                ? wireless::synthesize_at(
+                                      retx_synth, mimo, *process,
+                                      static_cast<double>(u) +
+                                          static_cast<double>(attempt) * retx_lag_uses,
+                                      csi_est_err)
+                                : wireless::synthesize(retx_synth, mimo);
                     }
                     if (needs_reduction && !slot->reduced) {
                         util::timer reduce_clock;
@@ -349,7 +401,15 @@ link_report run_link_simulation(const link_config& config) {
                                            std::to_string(solve_stages[p].size()));
                 }
                 path.ber.add_frame(tx_bits[i], cell.bits);
-                if (cell.bits == tx_bits[i]) ++path.exact_frames;
+                if (cell.bits == tx_bits[i]) {
+                    ++path.exact_frames;
+                    error_run[p] = 0;
+                } else {
+                    ++path.bursts.error_frames;
+                    if (++error_run[p] == 1) ++path.bursts.bursts;
+                    path.bursts.longest_burst =
+                        std::max(path.bursts.longest_burst, error_run[p]);
+                }
                 path.sum_ml_cost += cell.ml_cost;
 
                 path.stages[0].add(synth_us[i]);
@@ -403,7 +463,8 @@ link_report run_link_simulation(const link_config& config) {
 
 util::table summary_table(const link_report& report) {
     const bool arq_on = report.config.arq.has_value();
-    std::vector<std::string> headers{"path", "BER", "bit errs", "exact uses", "svc mean us",
+    std::vector<std::string> headers{"path", "BER", "bit errs", "exact uses", "err burst",
+                                     "svc mean us",
                                      "svc p50 us", "svc p99 us", "thrpt use/ms", "p50 lat us",
                                      "p99 lat us", "drop rate", "peak queue"};
     if (arq_on) {
@@ -424,6 +485,7 @@ util::table summary_table(const link_report& report) {
                                      util::format_double(path.ber.rate(), 5),
                                      std::to_string(path.ber.errors()),
                                      std::to_string(path.exact_frames),
+                                     std::to_string(path.bursts.longest_burst),
                                      util::format_double(path.service.mean_us()),
                                      util::format_double(path.service.p50_us()),
                                      util::format_double(path.service.p99_us()),

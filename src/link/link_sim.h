@@ -61,6 +61,7 @@
 #include "pipeline/pipeline.h"
 #include "util/table.h"
 #include "wireless/channel.h"
+#include "wireless/channel_spec.h"
 #include "wireless/modulation.h"
 
 namespace hcq::link {
@@ -76,6 +77,18 @@ struct link_config {
     wireless::channel_model channel = wireless::channel_model::rayleigh;
     bool noiseless = false;       ///< paper Section-4.2 corpus setting (no AWGN)
     double snr_db = 16.0;         ///< per-antenna SNR when AWGN is enabled
+
+    /// Realistic-channel spec (wireless/channel_spec.h) overriding `channel`
+    /// when set: time-correlated fading ("jakes:doppler_hz=5",
+    /// "watterson:taps=2,spread_hz=1"), imperfect CSI (est_err=...), and an
+    /// optional per-spec snr_db override of `snr_db`.  nullopt keeps the
+    /// legacy i.i.d. `channel` draw byte-for-byte — and so does an explicit
+    /// "rayleigh" spec with est_err unset (pinned by the golden tests).
+    /// Correlated fading draws its frozen tap parameters from a dedicated
+    /// derived stream, one realisation per run; an ARQ retransmission
+    /// attempt r of frame u sees the process at t = u + r (one use later),
+    /// so low-Doppler retries land inside the fade that failed them.
+    std::optional<wireless::channel_spec> channel_spec;
 
     /// Paths every use is detected by, in report order; resolved through
     /// paths::registry.  Two specs may share a kind (e.g. two K-best widths
@@ -157,6 +170,21 @@ private:
     std::vector<double> sample_;
 };
 
+/// Deterministic frame-error burst statistics, folded serially in use order
+/// — bit-identical at any thread count and stream_block size, like BER.  A
+/// burst is a maximal run of consecutive channel uses whose detected bits
+/// were wrong.  On an i.i.d. channel bursts stay near geometric (mean
+/// ~1/(1-FER)); under low-Doppler correlated fading errors concentrate into
+/// long runs — the regime split tests/channel_stats_test.cpp pins.
+struct burst_stats {
+    std::uint64_t error_frames = 0;   ///< uses whose detected bits were wrong
+    std::uint64_t bursts = 0;         ///< maximal error runs
+    std::uint64_t longest_burst = 0;  ///< length of the longest error run
+
+    /// Mean error-run length (0 when the stream had no errors).
+    [[nodiscard]] double mean_burst_length() const noexcept;
+};
+
 /// Per-path ARQ outcome (present on path_report when link_config::arq is
 /// set).  `counters` and `retx_service`'s count are detection-domain
 /// (bit-identical at any thread count / stream block); `replay_stats` and
@@ -180,6 +208,7 @@ struct path_report {
     metrics::ber_counter ber;        ///< detected bits vs transmitted bits
     std::size_t exact_frames = 0;    ///< uses whose detected bits match tx exactly
     double sum_ml_cost = 0.0;        ///< sum of ||y - H x_hat||^2 (deterministic)
+    burst_stats bursts;              ///< frame-error run structure (deterministic)
 
     /// Per-stage streaming service summaries, front-end first (synthesis and
     /// QUBO reduction are shared across paths; solve stages are per path —
@@ -225,7 +254,8 @@ struct link_report {
 /// buffer capacity.
 [[nodiscard]] link_report run_link_simulation(const link_config& config);
 
-/// One row per path: BER, measured mean/p50/p99 solve service, the replay's
+/// One row per path: BER, error-burst length, measured mean/p50/p99 solve
+/// service, the replay's
 /// sustained throughput and p50/p99 latency (the ARQ budget view), and the
 /// replay's drop rate and peak queue occupancy under the configured
 /// backpressure policy.  When the ARQ loop is engaged, four more columns:

@@ -1,0 +1,83 @@
+#include "wireless/fading.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hcq::wireless {
+
+fading_tap::fading_tap(util::rng& rng, fading_spectrum spectrum, double doppler_norm,
+                       std::size_t num_sinusoids, double shift_norm) {
+    if (num_sinusoids == 0) {
+        throw std::invalid_argument("fading_tap: needs at least one sinusoid");
+    }
+    if (!(doppler_norm >= 0.0) || !std::isfinite(doppler_norm)) {
+        throw std::invalid_argument("fading_tap: doppler_norm must be finite and >= 0");
+    }
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    sinusoids_.resize(num_sinusoids);
+    for (auto& s : sinusoids_) {
+        switch (spectrum) {
+            case fading_spectrum::jakes:
+                // Isotropic arrival: w = 2*pi*fd*cos(alpha), alpha ~ U[0, 2pi).
+                s.omega = two_pi * doppler_norm * std::cos(rng.angle());
+                break;
+            case fading_spectrum::gaussian:
+                // Watterson tap: Gaussian spread around the Doppler shift.
+                s.omega = two_pi * (shift_norm + doppler_norm * rng.normal());
+                break;
+        }
+        s.phase_i = rng.angle();
+        s.phase_q = rng.angle();
+    }
+    amplitude_ = 1.0 / std::sqrt(static_cast<double>(num_sinusoids));
+}
+
+linalg::cxd fading_tap::gain(double t) const noexcept {
+    double gain_i = 0.0;
+    double gain_q = 0.0;
+    for (const auto& s : sinusoids_) {
+        const double arg = s.omega * t;
+        gain_i += std::cos(arg + s.phase_i);
+        gain_q += std::cos(arg + s.phase_q);
+    }
+    return {amplitude_ * gain_i, amplitude_ * gain_q};
+}
+
+double jakes_autocorrelation(double doppler_norm, double tau) {
+    return bessel_j0(2.0 * std::numbers::pi * doppler_norm * tau);
+}
+
+double gaussian_autocorrelation(double spread_norm, double tau) {
+    const double x = std::numbers::pi * spread_norm * tau;
+    return std::exp(-2.0 * x * x);
+}
+
+double bessel_j0(double x) {
+    // Abramowitz & Stegun 9.4.1 (|x| <= 3) and 9.4.3 (|x| > 3).
+    const double ax = std::fabs(x);
+    if (ax <= 3.0) {
+        const double y = (x / 3.0) * (x / 3.0);
+        return 1.0 +
+               y * (-2.2499997 +
+                    y * (1.2656208 +
+                         y * (-0.3163866 +
+                              y * (0.0444479 + y * (-0.0039444 + y * 0.0002100)))));
+    }
+    const double y = 3.0 / ax;
+    const double f0 = 0.79788456 +
+                      y * (-0.00000077 +
+                           y * (-0.00552740 +
+                                y * (-0.00009512 +
+                                     y * (0.00137237 +
+                                          y * (-0.00072805 + y * 0.00014476)))));
+    const double theta0 = ax - 0.78539816 +
+                          y * (-0.04166397 +
+                               y * (-0.00003954 +
+                                    y * (0.00262573 +
+                                         y * (-0.00054125 +
+                                              y * (-0.00029333 + y * 0.00013558)))));
+    return f0 * std::cos(theta0) / std::sqrt(ax);
+}
+
+}  // namespace hcq::wireless

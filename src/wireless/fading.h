@@ -1,0 +1,102 @@
+// Time-correlated fading tap processes — sum-of-sinusoids models whose gain
+// is a CLOSED-FORM function of time.
+//
+// The library's determinism contract (bit-identical statistics at any thread
+// count and stream_block size) rules out the textbook recurrence-filter
+// fading simulators: a process advanced one IIR step per channel use would
+// force the stream back to sequential evaluation.  A sum-of-sinusoids
+// process sidesteps that entirely: all randomness is frozen at construction
+// (per-sinusoid arrival angles and phases drawn once from a derived
+// util::rng stream), after which the complex tap gain at time t is the pure
+// function
+//
+//     g(t) = (1/sqrt(M)) * sum_m [ cos(w_m t + phi_m) + j cos(w_m t + psi_m) ]
+//
+// so any worker can evaluate any channel use independently, in any order.
+// E[|g|^2] = 1 (unit mean-square gain, like channel_model::rayleigh), and
+// by the CLT over the M sinusoids the envelope |g| is Rayleigh.
+//
+// Two Doppler spectra, selected by the frequency law of w_m:
+//
+//  * jakes     w_m = 2*pi*f_d*cos(alpha_m), alpha_m ~ U[0, 2pi) — the
+//              Clarke/Jakes ring spectrum of isotropic scattering.  Ensemble
+//              autocorrelation E[g(t) g*(t+tau)] = J0(2*pi*f_d*tau)
+//              (jakes_autocorrelation below), the classic Bessel curve whose
+//              slow first lobe is what makes low-Doppler error BURSTS.
+//  * gaussian  w_m = 2*pi*(f_shift + sigma*z_m), z_m ~ N(0, 1) — the
+//              Watterson HF tap spectrum: a Gaussian Doppler spread sigma
+//              around a Doppler shift f_shift.  Autocorrelation magnitude
+//              exp(-2*pi^2*sigma^2*tau^2) (gaussian_autocorrelation).
+//
+// Frequencies are normalised per channel use (f_d = doppler_hz /
+// use_rate_hz); time is measured in channel uses throughout.  The
+// statistical test harness (tests/channel_stats_test.cpp) pins the envelope
+// distribution, both autocorrelation curves, and the low-Doppler burst
+// behaviour to the analytic forms above.
+#ifndef HCQ_WIRELESS_FADING_H
+#define HCQ_WIRELESS_FADING_H
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace hcq::wireless {
+
+/// Doppler spectrum of a fading tap (see the header comment).
+enum class fading_spectrum {
+    jakes,     ///< Clarke/Jakes ring spectrum; autocorrelation J0(2 pi fd tau)
+    gaussian,  ///< Watterson Gaussian spread; autocorrelation exp(-2 pi^2 s^2 tau^2)
+};
+
+/// One frozen sinusoid of a tap process.
+struct fading_sinusoid {
+    double omega = 0.0;    ///< angular frequency, radians per channel use
+    double phase_i = 0.0;  ///< in-phase component phase
+    double phase_q = 0.0;  ///< quadrature component phase
+};
+
+/// One unit-mean-square-gain fading tap: an immutable bag of sinusoids whose
+/// complex gain is evaluated closed-form at any time (in channel uses).
+/// Construction consumes 3*M draws from `rng` (angle/frequency + two
+/// phases per sinusoid); evaluation is const and thread-safe.
+class fading_tap {
+public:
+    /// Draws the tap's frozen parameters.  `doppler_norm` is the maximum
+    /// Doppler (jakes) or the Gaussian spread sigma (gaussian), normalised
+    /// per channel use; `shift_norm` adds a deterministic Doppler shift
+    /// (gaussian spectrum only — the Watterson magneto-ionic component
+    /// offset; ignored for jakes).  Throws std::invalid_argument on
+    /// num_sinusoids == 0 or a negative doppler_norm.
+    fading_tap(util::rng& rng, fading_spectrum spectrum, double doppler_norm,
+               std::size_t num_sinusoids, double shift_norm = 0.0);
+
+    /// Complex tap gain at time `t` (channel uses).  Pure function of t.
+    [[nodiscard]] linalg::cxd gain(double t) const noexcept;
+
+    [[nodiscard]] std::size_t num_sinusoids() const noexcept { return sinusoids_.size(); }
+
+private:
+    std::vector<fading_sinusoid> sinusoids_;
+    double amplitude_ = 0.0;  ///< 1/sqrt(M): normalises E[|g|^2] to 1
+};
+
+/// J0-shaped ensemble autocorrelation of a jakes tap at lag `tau` (channel
+/// uses): J0(2*pi*doppler_norm*tau).  This is the analytic curve the
+/// statistical harness matches measured autocorrelations against.
+[[nodiscard]] double jakes_autocorrelation(double doppler_norm, double tau);
+
+/// Ensemble autocorrelation magnitude of a gaussian-spectrum tap:
+/// exp(-2*pi^2*spread_norm^2*tau^2).
+[[nodiscard]] double gaussian_autocorrelation(double spread_norm, double tau);
+
+/// Bessel function of the first kind, order zero (Abramowitz & Stegun
+/// 9.4.1/9.4.3 polynomial approximations, |error| < 2e-7) — local so the
+/// statistical tests do not depend on std::cyl_bessel_j being present in
+/// the standard library implementation.
+[[nodiscard]] double bessel_j0(double x);
+
+}  // namespace hcq::wireless
+
+#endif  // HCQ_WIRELESS_FADING_H

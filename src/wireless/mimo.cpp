@@ -1,5 +1,6 @@
 #include "wireless/mimo.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace hcq::wireless {
@@ -33,6 +34,49 @@ mimo_instance synthesize(util::rng& rng, const mimo_config& config) {
     inst.y = inst.h * inst.tx_symbols;
     inst.noise_variance = config.noise_variance;
     add_awgn(rng, inst.y, config.noise_variance);
+    return inst;
+}
+
+mimo_instance synthesize_at(util::rng& rng, const mimo_config& config,
+                            const channel_process& process, double t,
+                            double csi_error_variance) {
+    if (config.num_users == 0 || config.num_antennas == 0) {
+        throw std::invalid_argument("synthesize_at: empty dimensions");
+    }
+    if (config.num_antennas < config.num_users) {
+        throw std::invalid_argument("synthesize_at: needs num_antennas >= num_users");
+    }
+    if (process.num_antennas() != config.num_antennas ||
+        process.num_users() != config.num_users) {
+        throw std::invalid_argument("synthesize_at: process dimensions mismatch config");
+    }
+    if (csi_error_variance < 0.0) {
+        throw std::invalid_argument("synthesize_at: negative csi_error_variance");
+    }
+    mimo_instance inst;
+    inst.mod = config.mod;
+    inst.num_users = config.num_users;
+    inst.num_antennas = config.num_antennas;
+    // Same per-use draw order as synthesize: channel, bits, AWGN — with the
+    // estimation-error perturbation appended strictly after, and only when
+    // active, so est_err == 0 stays byte-identical to the legacy path.
+    inst.h = process.at(t, rng);
+    inst.tx_bits = rng.bits(config.num_users * bits_per_symbol(config.mod));
+    inst.tx_symbols = modulate(config.mod, inst.tx_bits);
+    inst.y = inst.h * inst.tx_symbols;
+    inst.noise_variance = config.noise_variance;
+    add_awgn(rng, inst.y, config.noise_variance);
+    if (csi_error_variance > 0.0) {
+        inst.h_true = inst.h;
+        inst.csi_error_variance = csi_error_variance;
+        const double sigma_per_dim = std::sqrt(csi_error_variance / 2.0);
+        for (std::size_t r = 0; r < inst.h.rows(); ++r) {
+            for (std::size_t c = 0; c < inst.h.cols(); ++c) {
+                inst.h(r, c) += linalg::cxd(rng.normal(0.0, sigma_per_dim),
+                                            rng.normal(0.0, sigma_per_dim));
+            }
+        }
+    }
     return inst;
 }
 

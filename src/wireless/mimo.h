@@ -12,6 +12,7 @@
 #include "linalg/matrix.h"
 #include "util/rng.h"
 #include "wireless/channel.h"
+#include "wireless/channel_spec.h"
 #include "wireless/modulation.h"
 
 namespace hcq::wireless {
@@ -21,11 +22,22 @@ struct mimo_instance {
     modulation mod = modulation::bpsk;
     std::size_t num_users = 0;     ///< transmit streams (N_t)
     std::size_t num_antennas = 0;  ///< receive antennas (N_r)
-    linalg::cmat h;                ///< num_antennas x num_users channel
+    linalg::cmat h;                ///< channel as the DETECTOR sees it (H_est)
+    /// The channel the PHYSICS applied when imperfect CSI is in play
+    /// (H_true; `h` is then the pilot estimate).  Empty == perfect CSI,
+    /// h is the true channel.
+    linalg::cmat h_true;
     std::vector<std::uint8_t> tx_bits;  ///< ground-truth bits (natural map)
     linalg::cvec tx_symbols;       ///< ground-truth symbols
     linalg::cvec y;                ///< received vector
     double noise_variance = 0.0;   ///< AWGN variance (0 = noiseless)
+    double csi_error_variance = 0.0;  ///< per-entry variance of h - true_channel()
+
+    /// The channel that generated `y`: `h_true` under imperfect CSI, `h`
+    /// otherwise.
+    [[nodiscard]] const linalg::cmat& true_channel() const noexcept {
+        return h_true.empty() ? h : h_true;
+    }
 
     /// Number of QUBO variables this instance reduces to.
     [[nodiscard]] std::size_t num_bits() const {
@@ -50,6 +62,22 @@ struct mimo_config {
 
 /// Draws a random instance: random channel, uniform random bits, y = Hx + n.
 [[nodiscard]] mimo_instance synthesize(util::rng& rng, const mimo_config& config);
+
+/// Synthesises an instance whose channel comes from `process` evaluated at
+/// time `t` (channel uses) instead of `config.channel`, with optional
+/// imperfect CSI: when `csi_error_variance > 0`, `y` is generated through
+/// the true channel H(t) while `inst.h` becomes the pilot estimate
+/// H(t) + E, E_ij ~ CN(0, csi_error_variance) (and `h_true` records H(t)).
+///
+/// Draw-order contract (the bit-compatibility invariant link goldens pin):
+/// the per-use `rng` is consumed in the same order as `synthesize` —
+/// channel draw first (i.i.d. processes only; correlated processes leave
+/// the rng untouched), then tx bits, then AWGN — and the estimation-error
+/// draws come LAST, only when csi_error_variance > 0.  Hence an i.i.d.
+/// process with csi_error_variance == 0 is byte-identical to `synthesize`.
+[[nodiscard]] mimo_instance synthesize_at(util::rng& rng, const mimo_config& config,
+                                          const channel_process& process, double t,
+                                          double csi_error_variance);
 
 /// The exact corpus recipe of the paper: unit-gain random-phase channel,
 /// N_r = N_t = num_users, no AWGN.

@@ -339,7 +339,7 @@ TEST(LinkArq, SummaryTableGainsArqColumns) {
     const auto report = lk::run_link_simulation(config);
     const auto t = lk::summary_table(report);
     EXPECT_EQ(t.rows(), 2u);
-    EXPECT_EQ(t.columns(), 16u);  // 12 open-loop + resid FER/retx/miss/goodput
+    EXPECT_EQ(t.columns(), 17u);  // 13 open-loop + resid FER/retx/miss/goodput
 }
 
 TEST(LinkArq, ClosedReplayAccountingIsConsistent) {

@@ -1,0 +1,469 @@
+// Statistical validation harness for the realistic-channel subsystem
+// (wireless/fading.h + wireless/channel_spec.h + wireless::synthesize_at).
+//
+// A fading simulator can be subtly wrong in ways no unit test of its
+// plumbing will catch — a mis-scaled Doppler, a non-Rayleigh envelope, a
+// spectrum that decorrelates twice too fast.  This suite pins the generated
+// processes to their ANALYTIC targets, all with fixed seeds so it is
+// deterministic in Debug and Release:
+//
+//  * envelope |g| is Rayleigh: Kolmogorov–Smirnov against F(r) = 1 - e^(-r^2)
+//  * Jakes autocorrelation matches J0(2*pi*fd*tau) within 0.05 across the
+//    first correlation lobe (and past its first zero)
+//  * Gaussian/Watterson autocorrelation matches exp(-2*pi^2*s^2*tau^2)
+//  * low Doppler makes LONG deep fades (burst regime), high Doppler short
+//    ones — the level-crossing behaviour that turns FER into bursts
+//  * imperfect-CSI estimation error realises its configured variance
+//  * exact i.i.d. reductions: est_err=0 is byte-identical to the legacy
+//    synthesis path, and Doppler at J0's first zero decorrelates lag 1
+//
+// Tolerances: every sample count below gives the estimator a standard error
+// at least ~3x smaller than the asserted bound, so the fixed-seed checks sit
+// far from the boundary rather than passing by luck.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "wireless/channel_spec.h"
+#include "wireless/fading.h"
+#include "wireless/mimo.h"
+
+namespace {
+
+namespace wl = hcq::wireless;
+using hcq::util::rng;
+
+constexpr double two_pi = 2.0 * std::numbers::pi;
+
+/// Kolmogorov–Smirnov statistic of `samples` against the Rayleigh CDF with
+/// unit mean-square (sigma^2 = 1/2 per component): F(r) = 1 - exp(-r^2).
+double ks_vs_unit_rayleigh(std::vector<double> samples) {
+    std::sort(samples.begin(), samples.end());
+    const double n = static_cast<double>(samples.size());
+    double stat = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double cdf = 1.0 - std::exp(-samples[i] * samples[i]);
+        const double lo = static_cast<double>(i) / n;
+        const double hi = static_cast<double>(i + 1) / n;
+        stat = std::max({stat, std::fabs(cdf - lo), std::fabs(hi - cdf)});
+    }
+    return stat;
+}
+
+/// Ensemble autocorrelation estimate of fresh taps at lag `tau`:
+/// mean of Re[g(t0) conj(g(t0 + tau))] over `num_taps` independent taps and
+/// several well-separated base times each.
+double measured_autocorrelation(rng& seed_rng, wl::fading_spectrum spectrum,
+                                double doppler_norm, std::size_t sinusoids,
+                                std::size_t num_taps, double tau) {
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < num_taps; ++i) {
+        const wl::fading_tap tap(seed_rng, spectrum, doppler_norm, sinusoids);
+        for (int b = 0; b < 8; ++b) {
+            const double t0 = 997.0 * static_cast<double>(b);  // >> coherence time apart
+            const auto product = tap.gain(t0) * std::conj(tap.gain(t0 + tau));
+            acc += product.real();
+            ++count;
+        }
+    }
+    return acc / static_cast<double>(count);
+}
+
+/// Mean length of runs where the envelope of a low/high-Doppler tap stays
+/// below `threshold`, averaged over `num_taps` taps of `span` uses each.
+double mean_fade_duration(rng& seed_rng, double doppler_norm, double threshold,
+                          std::size_t num_taps, std::size_t span) {
+    std::uint64_t faded_uses = 0;
+    std::uint64_t fades = 0;
+    for (std::size_t i = 0; i < num_taps; ++i) {
+        const wl::fading_tap tap(seed_rng, wl::fading_spectrum::jakes, doppler_norm, 32);
+        bool in_fade = false;
+        for (std::size_t t = 0; t < span; ++t) {
+            const bool below = std::abs(tap.gain(static_cast<double>(t))) < threshold;
+            if (below) {
+                ++faded_uses;
+                if (!in_fade) ++fades;
+            }
+            in_fade = below;
+        }
+    }
+    if (fades == 0) return 0.0;
+    return static_cast<double>(faded_uses) / static_cast<double>(fades);
+}
+
+std::string thrown_message(const std::function<void()>& fn) {
+    try {
+        fn();
+    } catch (const std::invalid_argument& e) {
+        return e.what();
+    }
+    return "";
+}
+
+// ---------------------------------------------------------------------------
+// fading_tap: analytic-form pins
+// ---------------------------------------------------------------------------
+
+TEST(FadingStats, BesselJ0MatchesKnownValues) {
+    // Abramowitz & Stegun tabulated values; the approximation is |err|<2e-7,
+    // asserted at 1e-6 to stay clear of the table's own rounding.
+    EXPECT_NEAR(wl::bessel_j0(0.0), 1.0, 1e-9);
+    EXPECT_NEAR(wl::bessel_j0(1.0), 0.7651976866, 1e-6);
+    EXPECT_NEAR(wl::bessel_j0(2.4048255577), 0.0, 1e-6);  // first zero
+    EXPECT_NEAR(wl::bessel_j0(5.0), -0.1775967713, 1e-6);
+    EXPECT_NEAR(wl::bessel_j0(10.0), -0.2459357645, 1e-6);
+    EXPECT_NEAR(wl::bessel_j0(-3.0), wl::bessel_j0(3.0), 1e-12);  // even function
+}
+
+TEST(FadingStats, TapGainIsDeterministicAndFrozen) {
+    rng a(41);
+    rng b(41);
+    const wl::fading_tap tap_a(a, wl::fading_spectrum::jakes, 0.01, 16);
+    const wl::fading_tap tap_b(b, wl::fading_spectrum::jakes, 0.01, 16);
+    for (const double t : {0.0, 1.5, 317.0, 12345.25}) {
+        EXPECT_EQ(tap_a.gain(t), tap_b.gain(t)) << "t=" << t;
+    }
+    // Re-evaluation is pure: same t, same gain, in any order.
+    const auto first = tap_a.gain(100.0);
+    (void)tap_a.gain(5000.0);
+    EXPECT_EQ(tap_a.gain(100.0), first);
+}
+
+TEST(FadingStats, TapRejectsBadParameters) {
+    rng r(1);
+    EXPECT_THROW(wl::fading_tap(r, wl::fading_spectrum::jakes, 0.01, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(wl::fading_tap(r, wl::fading_spectrum::jakes, -0.5, 8),
+                 std::invalid_argument);
+}
+
+TEST(FadingStats, EnvelopeIsRayleighByKolmogorovSmirnov) {
+    // 250 taps x 8 decorrelated times = 2000 envelope samples.  KS critical
+    // value at alpha=0.01 is 1.63/sqrt(2000) ~= 0.036; 64 sinusoids keep the
+    // CLT deficit of the sum-of-sinusoids marginal well under the 0.05 bound.
+    rng seed_rng(2024);
+    std::vector<double> samples;
+    samples.reserve(2000);
+    for (int i = 0; i < 250; ++i) {
+        const wl::fading_tap tap(seed_rng, wl::fading_spectrum::jakes, 0.05, 64);
+        for (int b = 0; b < 8; ++b) {
+            samples.push_back(std::abs(tap.gain(61.0 + 149.0 * static_cast<double>(b))));
+        }
+    }
+    EXPECT_LT(ks_vs_unit_rayleigh(std::move(samples)), 0.05);
+}
+
+TEST(FadingStats, UnitMeanSquarePower) {
+    rng seed_rng(7);
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (int i = 0; i < 300; ++i) {
+        const wl::fading_tap tap(seed_rng, wl::fading_spectrum::jakes, 0.02, 32);
+        for (int b = 0; b < 8; ++b) {
+            acc += std::norm(tap.gain(311.0 * static_cast<double>(b)));
+            ++count;
+        }
+    }
+    EXPECT_NEAR(acc / static_cast<double>(count), 1.0, 0.05);
+}
+
+TEST(FadingStats, JakesAutocorrelationMatchesBesselFirstLobe) {
+    // fd = 0.05/use puts J0's first zero at tau = 2.4048/(2 pi fd) ~= 7.65
+    // uses; lags 0..10 cover the whole first lobe and cross into the first
+    // sidelobe.  600 taps x 8 base times gives the estimator a standard
+    // error ~0.01 against the 0.05 acceptance bound (ISSUE: within 5% of J0
+    // over the first correlation lobe).
+    const double fd = 0.05;
+    rng seed_rng(31337);
+    for (int lag = 0; lag <= 10; ++lag) {
+        const double tau = static_cast<double>(lag);
+        const double measured = measured_autocorrelation(
+            seed_rng, wl::fading_spectrum::jakes, fd, 32, 600, tau);
+        const double analytic = wl::jakes_autocorrelation(fd, tau);
+        EXPECT_NEAR(measured, analytic, 0.05) << "tau=" << tau;
+    }
+    // And the analytic curve itself is the Bessel J0.
+    EXPECT_DOUBLE_EQ(wl::jakes_autocorrelation(fd, 3.0), wl::bessel_j0(two_pi * fd * 3.0));
+}
+
+TEST(FadingStats, GaussianAutocorrelationMatchesAnalyticCurve) {
+    // Watterson tap, spread sigma = 0.02/use: autocorrelation
+    // exp(-2 pi^2 sigma^2 tau^2) decays to ~0.46 by tau=10 and ~0.04 by
+    // tau=20 — checked across the fall-off.
+    const double sigma = 0.02;
+    rng seed_rng(90210);
+    for (const double tau : {0.0, 2.0, 5.0, 10.0, 15.0, 20.0}) {
+        const double measured = measured_autocorrelation(
+            seed_rng, wl::fading_spectrum::gaussian, sigma, 32, 600, tau);
+        const double analytic = wl::gaussian_autocorrelation(sigma, tau);
+        EXPECT_NEAR(measured, analytic, 0.05) << "tau=" << tau;
+    }
+}
+
+TEST(FadingStats, LowDopplerFadesAreLongHighDopplerFadesAreShort) {
+    // The burst mechanism in one number: mean sojourn below half amplitude.
+    // At fd=0.002 the channel crawls (coherence ~ hundreds of uses), so a
+    // deep fade traps many consecutive uses; at fd=0.4 every use is nearly
+    // fresh and fades last ~a single use.
+    rng seed_rng(555);
+    const double slow = mean_fade_duration(seed_rng, 0.002, 0.5, 20, 4000);
+    const double fast = mean_fade_duration(seed_rng, 0.4, 0.5, 20, 4000);
+    EXPECT_GT(slow, 20.0);
+    EXPECT_LT(fast, 3.0);
+    EXPECT_GT(slow, 10.0 * fast);
+}
+
+TEST(FadingStats, FirstBesselZeroDopplerDecorrelatesLagOne) {
+    // The exact i.i.d. limit of the correlated model: at fd = 2.4048/(2 pi)
+    // ~= 0.3827/use, J0(2 pi fd) = 0 — consecutive uses are uncorrelated.
+    const double fd = 2.4048255577 / two_pi;
+    rng seed_rng(777);
+    const double measured = measured_autocorrelation(
+        seed_rng, wl::fading_spectrum::jakes, fd, 32, 600, 1.0);
+    EXPECT_NEAR(measured, 0.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// channel_process: composition, power, imperfect CSI
+// ---------------------------------------------------------------------------
+
+TEST(ChannelProcessStats, CorrelatedProcessIsFrozenAndRngNeutral) {
+    const auto spec = wl::channel_spec::parse("jakes:doppler_hz=20");
+    const rng base(99);
+    const auto process_a = wl::make_channel_process(spec, 3, 2, base);
+    const auto process_b = wl::make_channel_process(spec, 3, 2, base);
+    ASSERT_TRUE(process_a->correlated());
+
+    rng use_rng(5);
+    const double before = use_rng.uniform();
+    rng use_rng_replay(5);
+    (void)use_rng_replay.uniform();
+    const auto h = process_a->at(42.0, use_rng_replay);
+    // A correlated process never touches the per-use stream...
+    EXPECT_EQ(use_rng.uniform(), use_rng_replay.uniform());
+    (void)before;
+    // ...and the realisation is a pure function of (base rng, t).
+    rng scratch(0);
+    EXPECT_NEAR((h - process_b->at(42.0, scratch)).norm_fro(), 0.0, 0.0);
+}
+
+TEST(ChannelProcessStats, WattersonCompositeKeepsUnitPower) {
+    const auto spec = wl::channel_spec::parse("watterson:taps=3,spread_hz=15,sinusoids=32");
+    const auto process = wl::make_channel_process(spec, 4, 4, rng(3));
+    double acc = 0.0;
+    std::size_t count = 0;
+    rng scratch(0);
+    for (int s = 0; s < 400; ++s) {
+        const auto h = process->at(211.0 * static_cast<double>(s), scratch);
+        for (std::size_t r = 0; r < h.rows(); ++r) {
+            for (std::size_t c = 0; c < h.cols(); ++c) {
+                acc += std::norm(h(r, c));
+                ++count;
+            }
+        }
+    }
+    EXPECT_NEAR(acc / static_cast<double>(count), 1.0, 0.05);
+}
+
+TEST(ChannelProcessStats, MatrixElementsAreIndependentProcesses) {
+    // Distinct (antenna, user) elements ride distinct derived tap streams:
+    // their gains must not be correlated (a classic bug is every element
+    // sharing one tap).  Empirical cross-correlation over decorrelated
+    // snapshots stays near 0 while each element's own power stays near 1.
+    const auto spec = wl::channel_spec::parse("jakes:doppler_hz=50,sinusoids=32");
+    const auto process = wl::make_channel_process(spec, 2, 2, rng(17));
+    rng scratch(0);
+    hcq::linalg::cxd cross{};
+    int count = 0;
+    for (int s = 0; s < 2000; ++s) {
+        const auto h = process->at(157.0 * static_cast<double>(s), scratch);
+        cross += h(0, 0) * std::conj(h(1, 1));
+        ++count;
+    }
+    EXPECT_LT(std::abs(cross) / count, 0.06);
+}
+
+TEST(ChannelProcessStats, EstimationErrorRealisesConfiguredVariance) {
+    const auto spec = wl::channel_spec::parse("rayleigh:est_err=0.25");
+    const auto process = wl::make_channel_process(spec, 8, 8, rng(1));
+    wl::mimo_config config;
+    config.mod = wl::modulation::qpsk;
+    config.num_users = 8;
+    config.num_antennas = 8;
+    config.noise_variance = 0.5;
+    rng synth(4242);
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (int u = 0; u < 500; ++u) {
+        const auto inst =
+            wl::synthesize_at(synth, config, *process, static_cast<double>(u), spec.est_err);
+        ASSERT_FALSE(inst.h_true.empty());
+        EXPECT_DOUBLE_EQ(inst.csi_error_variance, 0.25);
+        for (std::size_t r = 0; r < 8; ++r) {
+            for (std::size_t c = 0; c < 8; ++c) {
+                acc += std::norm(inst.h(r, c) - inst.h_true(r, c));
+                ++count;
+            }
+        }
+    }
+    // 32000 complex error samples: the chi-square mean has relative standard
+    // error sqrt(1/32000) ~= 0.6%, asserted at 10%.
+    EXPECT_NEAR(acc / static_cast<double>(count), 0.25, 0.025);
+}
+
+TEST(ChannelProcessStats, PerfectCsiIsByteIdenticalToLegacySynthesis) {
+    // est_err=0 through an i.i.d. process must reproduce wireless::synthesize
+    // EXACTLY — same rng consumption, same bytes — because the link goldens
+    // pin that path.
+    const auto spec = wl::channel_spec::parse("rayleigh");
+    const auto process = wl::make_channel_process(spec, 4, 4, rng(12));
+    wl::mimo_config config;
+    config.mod = wl::modulation::qam16;
+    config.num_users = 4;
+    config.num_antennas = 4;
+    config.channel = wl::channel_model::rayleigh;
+    config.noise_variance = 0.8;
+    for (std::uint64_t seed : {1ULL, 99ULL, 123456ULL}) {
+        rng legacy_rng(seed);
+        rng process_rng(seed);
+        const auto legacy = wl::synthesize(legacy_rng, config);
+        const auto via_process = wl::synthesize_at(process_rng, config, *process, 17.0, 0.0);
+        EXPECT_EQ(legacy.tx_bits, via_process.tx_bits);
+        EXPECT_NEAR((legacy.h - via_process.h).norm_fro(), 0.0, 0.0);
+        EXPECT_NEAR((legacy.y - via_process.y).norm2(), 0.0, 0.0);
+        EXPECT_TRUE(via_process.h_true.empty());
+        // And both generators are left in the same state.
+        EXPECT_EQ(legacy_rng.uniform(), process_rng.uniform());
+    }
+}
+
+TEST(ChannelProcessStats, SynthesizeAtValidation) {
+    const auto spec = wl::channel_spec::parse("rayleigh");
+    const auto process = wl::make_channel_process(spec, 4, 4, rng(1));
+    wl::mimo_config config;
+    config.num_users = 2;  // mismatches the 4x4 process
+    config.num_antennas = 2;
+    rng r(1);
+    EXPECT_THROW((void)wl::synthesize_at(r, config, *process, 0.0, 0.0),
+                 std::invalid_argument);
+    config.num_users = 4;
+    config.num_antennas = 4;
+    EXPECT_THROW((void)wl::synthesize_at(r, config, *process, 0.0, -0.1),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)wl::make_channel_process(spec, 0, 4, rng(1)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// channel_spec: grammar, canonicalisation, self-documenting errors
+// ---------------------------------------------------------------------------
+
+TEST(ChannelSpec, DefaultsAndCanonicalForms) {
+    const auto bare = wl::channel_spec::parse("jakes");
+    EXPECT_EQ(bare.kind, "jakes");
+    EXPECT_DOUBLE_EQ(bare.doppler_hz, 50.0);
+    EXPECT_DOUBLE_EQ(bare.use_rate_hz, 1000.0);
+    EXPECT_EQ(bare.sinusoids, 16u);
+    EXPECT_TRUE(bare.correlated());
+    // Canonical form makes every accepted key explicit, so the bare kind and
+    // its spelled-out default parse identically (like detection paths).
+    EXPECT_EQ(bare.to_string(),
+              "jakes:doppler_hz=50,use_rate_hz=1000,sinusoids=16,est_err=0");
+    EXPECT_EQ(wl::channel_spec::parse(bare.to_string()).to_string(), bare.to_string());
+
+    const auto watterson = wl::channel_spec::parse("watterson");
+    EXPECT_DOUBLE_EQ(watterson.doppler_hz, 0.0);  // Doppler SHIFT defaults to 0
+    EXPECT_DOUBLE_EQ(watterson.spread_hz, 1.0);
+    EXPECT_EQ(watterson.taps, 2u);
+    EXPECT_EQ(
+        watterson.to_string(),
+        "watterson:taps=2,spread_hz=1,doppler_hz=0,use_rate_hz=1000,sinusoids=16,est_err=0");
+
+    const auto rayleigh = wl::channel_spec::parse("rayleigh");
+    EXPECT_FALSE(rayleigh.correlated());
+    EXPECT_EQ(rayleigh.to_string(), "rayleigh:est_err=0");
+}
+
+TEST(ChannelSpec, ParsesKeysAndNormalisesRates) {
+    const auto spec =
+        wl::channel_spec::parse("jakes:doppler_hz=5,use_rate_hz=500,snr_db=12,est_err=0.05");
+    EXPECT_DOUBLE_EQ(spec.doppler_hz, 5.0);
+    EXPECT_DOUBLE_EQ(spec.doppler_norm(), 0.01);
+    ASSERT_TRUE(spec.snr_db.has_value());
+    EXPECT_DOUBLE_EQ(*spec.snr_db, 12.0);
+    EXPECT_DOUBLE_EQ(spec.est_err, 0.05);
+    const auto wspec = wl::channel_spec::parse("watterson:taps=3,spread_hz=2");
+    EXPECT_EQ(wspec.taps, 3u);
+    EXPECT_DOUBLE_EQ(wspec.spread_norm(), 0.002);
+}
+
+TEST(ChannelSpec, UnknownKindListsAvailableKinds) {
+    const std::string msg =
+        thrown_message([] { (void)wl::channel_spec::parse("rician:k=3"); });
+    EXPECT_NE(msg.find("unknown channel kind 'rician'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("available:"), std::string::npos) << msg;
+    for (const auto& kind : wl::channel_spec::kinds()) {
+        EXPECT_NE(msg.find(kind), std::string::npos) << msg;
+    }
+}
+
+TEST(ChannelSpec, UnknownKeyListsAcceptedKeys) {
+    const std::string msg = thrown_message(
+        [] { (void)wl::channel_spec::parse("rayleigh:doppler_hz=10"); });
+    // An i.i.d. kind has no Doppler; the error must name the key AND the
+    // accepted alternatives.
+    EXPECT_NE(msg.find("does not accept key 'doppler_hz'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("accepted: est_err, snr_db"), std::string::npos) << msg;
+}
+
+TEST(ChannelSpec, OutOfRangeValuesNameTheirBounds) {
+    // Doppler past Nyquist of the use rate.
+    std::string msg = thrown_message(
+        [] { (void)wl::channel_spec::parse("jakes:doppler_hz=800"); });
+    EXPECT_NE(msg.find("doppler_hz must be in (0, use_rate_hz/2]"), std::string::npos) << msg;
+    // Zero Doppler is not correlated fading.
+    msg = thrown_message([] { (void)wl::channel_spec::parse("jakes:doppler_hz=0"); });
+    EXPECT_NE(msg.find("doppler_hz must be in"), std::string::npos) << msg;
+    // Tap count bounds.
+    msg = thrown_message([] { (void)wl::channel_spec::parse("watterson:taps=9"); });
+    EXPECT_NE(msg.find("taps must be in [1, 4]"), std::string::npos) << msg;
+    msg = thrown_message([] { (void)wl::channel_spec::parse("watterson:taps=0"); });
+    EXPECT_NE(msg.find("taps must be in [1, 4]"), std::string::npos) << msg;
+    // Negative estimation error.
+    msg = thrown_message([] { (void)wl::channel_spec::parse("rayleigh:est_err=-1"); });
+    EXPECT_NE(msg.find("est_err must be >= 0"), std::string::npos) << msg;
+    // Sinusoid-order bounds.
+    msg = thrown_message([] { (void)wl::channel_spec::parse("jakes:sinusoids=2"); });
+    EXPECT_NE(msg.find("sinusoids must be in [4, 4096]"), std::string::npos) << msg;
+}
+
+TEST(ChannelSpec, MalformedSpecsThrow) {
+    EXPECT_THROW((void)wl::channel_spec::parse(""), std::invalid_argument);
+    EXPECT_THROW((void)wl::channel_spec::parse("jakes:"), std::invalid_argument);
+    EXPECT_THROW((void)wl::channel_spec::parse("jakes:doppler_hz"), std::invalid_argument);
+    EXPECT_THROW((void)wl::channel_spec::parse("jakes:doppler_hz="), std::invalid_argument);
+    EXPECT_THROW((void)wl::channel_spec::parse("jakes:=5"), std::invalid_argument);
+    EXPECT_THROW((void)wl::channel_spec::parse("jakes:doppler_hz=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)wl::channel_spec::parse("jakes:doppler_hz=5,doppler_hz=9"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)wl::channel_spec::parse("kind=jakes"), std::invalid_argument);
+}
+
+TEST(ChannelSpec, HelpListsEveryKind) {
+    const std::string help = wl::channel_spec::help();
+    for (const auto& kind : wl::channel_spec::kinds()) {
+        EXPECT_NE(help.find(kind), std::string::npos) << "missing " << kind;
+    }
+    EXPECT_NE(help.find("est_err"), std::string::npos);
+    EXPECT_NE(help.find("doppler_hz"), std::string::npos);
+}
+
+}  // namespace

@@ -207,7 +207,7 @@ TEST(LinkSim, SummaryTableHasOneRowPerPath) {
     const auto report = lk::run_link_simulation(config);
     const auto t = lk::summary_table(report);
     EXPECT_EQ(t.rows(), 2u);
-    EXPECT_EQ(t.columns(), 12u);  // incl. the replay's drop rate + peak queue
+    EXPECT_EQ(t.columns(), 13u);  // incl. err burst + replay's drop rate + peak queue
 }
 
 TEST(LinkSim, StageTracePercentileSemantics) {
@@ -437,6 +437,201 @@ TEST(LinkSim, ConfigValidation) {
         config.stream_block = 0;
         EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
     }
+    {
+        // A malformed channel spec is rejected like a malformed path spec.
+        auto config = small_config();
+        // hcq-lint: allow(channel-spec-literal) hand-built to prove re-validation
+        config.channel_spec = wl::channel_spec{};
+        config.channel_spec->kind = "jakes";
+        config.channel_spec->doppler_hz = -4.0;  // hand-built, bypassing parse
+        EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Realistic channels (--channel specs): determinism, golden equivalence,
+// burst structure, imperfect CSI
+// ---------------------------------------------------------------------------
+
+TEST(LinkChannel, ExplicitRayleighSpecIsBitIdenticalToUnset) {
+    // The new golden of this PR: `--channel rayleigh` (est_err unset) must
+    // reproduce the legacy i.i.d. draw byte-for-byte, so every existing
+    // golden test and bench baseline stays valid with --channel unset.
+    auto config = small_config();
+    const auto legacy = lk::run_link_simulation(config);
+    config.channel_spec = wl::channel_spec::parse("rayleigh");
+    const auto spec_run = lk::run_link_simulation(config);
+    ASSERT_EQ(spec_run.paths.size(), legacy.paths.size());
+    for (std::size_t p = 0; p < legacy.paths.size(); ++p) {
+        SCOPED_TRACE(legacy.paths[p].name);
+        EXPECT_EQ(spec_run.paths[p].ber.errors(), legacy.paths[p].ber.errors());
+        EXPECT_EQ(spec_run.paths[p].ber.total_bits(), legacy.paths[p].ber.total_bits());
+        EXPECT_EQ(spec_run.paths[p].exact_frames, legacy.paths[p].exact_frames);
+        EXPECT_EQ(spec_run.paths[p].sum_ml_cost, legacy.paths[p].sum_ml_cost);
+        EXPECT_EQ(spec_run.paths[p].bursts.error_frames, legacy.paths[p].bursts.error_frames);
+        EXPECT_EQ(spec_run.paths[p].bursts.bursts, legacy.paths[p].bursts.bursts);
+        EXPECT_EQ(spec_run.paths[p].bursts.longest_burst,
+                  legacy.paths[p].bursts.longest_burst);
+    }
+}
+
+TEST(LinkChannel, CorrelatedFadingStatisticsBitIdenticalAcrossThreads) {
+    // The tentpole determinism claim: the frozen sum-of-sinusoids processes
+    // make correlated-channel statistics — including burst structure and
+    // ARQ counters — bit-identical at any thread count.
+    auto config = small_config();
+    config.num_uses = 48;
+    config.paths = pt::parse_spec_list("zf,gsra:reads=8");
+    config.channel_spec = wl::channel_spec::parse("jakes:doppler_hz=5,est_err=0.02");
+    config.arq = hcq::arq::parse_arq("max_retx=2");
+    config.num_threads = 1;
+    const auto serial = lk::run_link_simulation(config);
+    for (const std::size_t threads : {2UL, 8UL}) {
+        SCOPED_TRACE(std::to_string(threads) + " threads");
+        config.num_threads = threads;
+        const auto parallel = lk::run_link_simulation(config);
+        ASSERT_EQ(parallel.paths.size(), serial.paths.size());
+        for (std::size_t p = 0; p < serial.paths.size(); ++p) {
+            SCOPED_TRACE(serial.paths[p].name);
+            EXPECT_EQ(parallel.paths[p].ber.errors(), serial.paths[p].ber.errors());
+            EXPECT_EQ(parallel.paths[p].exact_frames, serial.paths[p].exact_frames);
+            EXPECT_EQ(parallel.paths[p].sum_ml_cost, serial.paths[p].sum_ml_cost);
+            EXPECT_EQ(parallel.paths[p].bursts.longest_burst,
+                      serial.paths[p].bursts.longest_burst);
+            EXPECT_EQ(parallel.paths[p].bursts.bursts, serial.paths[p].bursts.bursts);
+            const auto& serial_arq = serial.paths[p].arq->counters;
+            const auto& parallel_arq = parallel.paths[p].arq->counters;
+            EXPECT_EQ(parallel_arq.attempts, serial_arq.attempts);
+            EXPECT_EQ(parallel_arq.wrong_attempts, serial_arq.wrong_attempts);
+            EXPECT_EQ(parallel_arq.corrected_frames, serial_arq.corrected_frames);
+            EXPECT_EQ(parallel_arq.residual_errors, serial_arq.residual_errors);
+        }
+    }
+}
+
+TEST(LinkChannel, CorrelatedFadingStatisticsInvariantToStreamBlock) {
+    auto config = small_config();
+    config.num_uses = 40;
+    config.paths = pt::parse_spec_list("zf");
+    config.channel_spec = wl::channel_spec::parse("watterson:taps=2,spread_hz=3");
+    config.arq = hcq::arq::parse_arq("max_retx=1");
+    config.stream_block = 1024;
+    const auto big = lk::run_link_simulation(config);
+    for (const std::size_t block : {1UL, 3UL, 7UL}) {
+        SCOPED_TRACE("stream_block " + std::to_string(block));
+        config.stream_block = block;
+        const auto windowed = lk::run_link_simulation(config);
+        EXPECT_EQ(windowed.paths[0].ber.errors(), big.paths[0].ber.errors());
+        EXPECT_EQ(windowed.paths[0].sum_ml_cost, big.paths[0].sum_ml_cost);
+        // Burst runs span window boundaries; the carry across folds must
+        // make them block-invariant too.
+        EXPECT_EQ(windowed.paths[0].bursts.bursts, big.paths[0].bursts.bursts);
+        EXPECT_EQ(windowed.paths[0].bursts.longest_burst, big.paths[0].bursts.longest_burst);
+        EXPECT_EQ(windowed.paths[0].arq->counters.attempts, big.paths[0].arq->counters.attempts);
+        EXPECT_EQ(windowed.paths[0].arq->counters.residual_errors,
+                  big.paths[0].arq->counters.residual_errors);
+    }
+}
+
+TEST(LinkChannel, ArqRetransmissionsDrawFromFrameAttemptDomainUnderFading) {
+    // Enabling ARQ must not perturb any open-loop statistic under fading:
+    // retransmission synthesis draws live in the (frame, attempt)-derived
+    // arq domains and the fading process is evaluated closed-form, so the
+    // open-loop BER/ML-cost stream is untouched.
+    auto config = small_config();
+    config.paths = pt::parse_spec_list("zf,gsra:reads=8");
+    config.channel_spec = wl::channel_spec::parse("jakes:doppler_hz=5");
+    const auto open = lk::run_link_simulation(config);
+    config.arq = hcq::arq::parse_arq("max_retx=2");
+    const auto closed = lk::run_link_simulation(config);
+    for (std::size_t p = 0; p < open.paths.size(); ++p) {
+        SCOPED_TRACE(open.paths[p].name);
+        EXPECT_EQ(closed.paths[p].ber.errors(), open.paths[p].ber.errors());
+        EXPECT_EQ(closed.paths[p].exact_frames, open.paths[p].exact_frames);
+        EXPECT_EQ(closed.paths[p].sum_ml_cost, open.paths[p].sum_ml_cost);
+        // And the chain bookkeeping is consistent.
+        const auto& counters = closed.paths[p].arq->counters;
+        EXPECT_EQ(counters.frames, config.num_uses);
+        EXPECT_GE(counters.attempts, counters.frames);
+        EXPECT_LE(counters.attempts, counters.frames * 3);  // max_retx=2
+    }
+}
+
+TEST(LinkChannel, LowDopplerConcentratesRetransmissionFailures) {
+    // The acceptance scenario's mechanism, asserted deterministically: at
+    // doppler_hz=5 (coherence >> retx lag) a frame that failed in a fade
+    // retries INSIDE the fade, so retransmissions rescue a smaller fraction
+    // of failed frames than on the i.i.d. channel, where every retry is a
+    // fresh draw.  Compared via the residual fraction of ARQ-engaged frames:
+    // residual / (residual + corrected).
+    // 21 dB keeps the i.i.d. baseline in the retries-usually-rescue regime
+    // (stuck fraction ~0.10) while deep slow fades stay lethal (~0.44) —
+    // measured margins of ~4x against both asserted factors of 2.
+    lk::link_config config;
+    config.num_uses = 600;
+    config.num_users = 2;
+    config.mod = wl::modulation::qam16;
+    config.snr_db = 21.0;
+    config.paths = pt::parse_spec_list("zf");
+    config.seed = 7;
+    config.arq = hcq::arq::parse_arq("max_retx=1");
+
+    config.channel_spec = wl::channel_spec::parse("jakes:doppler_hz=5");
+    const auto slow = lk::run_link_simulation(config);
+    config.channel_spec = wl::channel_spec::parse("rayleigh");
+    const auto iid = lk::run_link_simulation(config);
+
+    const auto stuck_fraction = [](const hcq::arq::counters& c) {
+        const auto engaged = c.residual_errors + c.corrected_frames;
+        return engaged == 0 ? 0.0
+                            : static_cast<double>(c.residual_errors) /
+                                  static_cast<double>(engaged);
+    };
+    const auto& slow_arq = slow.paths[0].arq->counters;
+    const auto& iid_arq = iid.paths[0].arq->counters;
+    ASSERT_GT(slow_arq.residual_errors + slow_arq.corrected_frames, 20u);
+    ASSERT_GT(iid_arq.residual_errors + iid_arq.corrected_frames, 20u);
+    EXPECT_GT(stuck_fraction(slow_arq), 2.0 * stuck_fraction(iid_arq));
+    // The burst structure itself: the slow-fading error runs dwarf i.i.d.
+    EXPECT_GT(slow.paths[0].bursts.longest_burst, 2 * iid.paths[0].bursts.longest_burst);
+    EXPECT_GT(slow.paths[0].bursts.mean_burst_length(),
+              iid.paths[0].bursts.mean_burst_length());
+}
+
+TEST(LinkChannel, ImperfectCsiDegradesDetection) {
+    // Detectors solving against H_est while the channel applied H_true must
+    // do worse than with perfect CSI, monotonically in est_err.
+    lk::link_config config;
+    config.num_uses = 300;
+    config.num_users = 2;
+    config.mod = wl::modulation::qam16;
+    config.snr_db = 18.0;
+    config.paths = pt::parse_spec_list("zf");
+    config.seed = 21;
+    config.channel_spec = wl::channel_spec::parse("rayleigh");
+    const auto perfect = lk::run_link_simulation(config);
+    config.channel_spec = wl::channel_spec::parse("rayleigh:est_err=0.1");
+    const auto noisy_csi = lk::run_link_simulation(config);
+    EXPECT_GT(noisy_csi.paths[0].ber.errors(), perfect.paths[0].ber.errors());
+}
+
+TEST(LinkChannel, SpecSnrOverrideBeatsConfigSnr) {
+    // snr_db inside the spec overrides link_config::snr_db: running with a
+    // config SNR of 30 dB but a spec SNR of 30 dB must equal a plain 30 dB
+    // run, and differ from config-only 8 dB.
+    auto config = small_config();
+    config.paths = pt::parse_spec_list("zf");
+    config.snr_db = 30.0;
+    config.channel_spec = wl::channel_spec::parse("rayleigh");
+    const auto high = lk::run_link_simulation(config);
+    config.snr_db = 8.0;
+    config.channel_spec = wl::channel_spec::parse("rayleigh:snr_db=30");
+    const auto overridden = lk::run_link_simulation(config);
+    EXPECT_EQ(overridden.paths[0].ber.errors(), high.paths[0].ber.errors());
+    EXPECT_EQ(overridden.paths[0].sum_ml_cost, high.paths[0].sum_ml_cost);
+    config.channel_spec = wl::channel_spec::parse("rayleigh");
+    const auto low = lk::run_link_simulation(config);
+    EXPECT_GE(low.paths[0].ber.errors(), overridden.paths[0].ber.errors());
 }
 
 }  // namespace

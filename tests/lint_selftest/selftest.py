@@ -26,6 +26,7 @@ EXPECTED = {
     ("wall-clock", "src/bad_clock.cpp"): 4,       # system, hires, steady, include
     ("unordered-container", "src/bad_unordered.cpp"): 2,  # use + include
     ("spec-literal", "src/bad_spec.cpp"): 1,
+    ("channel-spec-literal", "src/bad_channel_spec.cpp"): 1,
     ("test-registration", "tests/orphan_test.cpp"): 1,    # on disk, unlisted
     ("test-registration", "tests/CMakeLists.txt"): 1,     # ghost_test listed, no file
 }
@@ -37,6 +38,7 @@ MUST_BE_CLEAN = [
     "src/bad_clock_suppressed.cpp",
     "src/bad_unordered_suppressed.cpp",
     "src/paths/ok_spec.cpp",
+    "src/wireless/ok_channel.cpp",
     "src/comment_only.cpp",
     "src/util/rng.h",
     "src/util/timer.h",

@@ -1,0 +1,12 @@
+// Fixture: a hand-built channel_spec literal outside src/wireless/ fires
+// channel-spec-literal; the parsed form does not.
+namespace hcq::wireless {
+struct channel_spec {
+    const char* kind;
+};
+}  // namespace hcq::wireless
+
+void fixture_channel_spec_literal() {
+    const hcq::wireless::channel_spec spec = hcq::wireless::channel_spec{"jakes"};
+    (void)spec;
+}

@@ -1,0 +1,9 @@
+// Fixture: src/wireless/ is the channel-spec-literal allowlist — no finding
+// here (the parser itself has to build the struct it returns).
+namespace hcq::wireless {
+struct channel_spec {
+    const char* kind;
+};
+
+channel_spec make_default() { return channel_spec{"rayleigh"}; }
+}  // namespace hcq::wireless

@@ -191,6 +191,63 @@ TEST(Channel, RayleighUnitMeanSquare) {
     EXPECT_NEAR(acc / (n * 10), 1.0, 0.1);
 }
 
+TEST(Channel, RayleighEnvelopeDistributionIsRayleigh) {
+    // Goodness of fit for the i.i.d. rayleigh draw itself, not just its mean
+    // power: |H_ij| ~ Rayleigh with CDF F(r) = 1 - exp(-r^2) (unit mean
+    // square).  KS critical value at alpha=0.01 for n=6000 is
+    // 1.63/sqrt(6000) ~= 0.021; fixed seed keeps the run deterministic.
+    hcq::util::rng rng(20240807);
+    const auto h = wl::draw_channel(rng, wl::channel_model::rayleigh, 100, 60);
+    std::vector<double> samples;
+    samples.reserve(6000);
+    for (std::size_t r = 0; r < 100; ++r) {
+        for (std::size_t c = 0; c < 60; ++c) samples.push_back(std::abs(h(r, c)));
+    }
+    std::sort(samples.begin(), samples.end());
+    const double n = static_cast<double>(samples.size());
+    double ks = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double cdf = 1.0 - std::exp(-samples[i] * samples[i]);
+        ks = std::max({ks, std::fabs(cdf - static_cast<double>(i) / n),
+                       std::fabs(static_cast<double>(i + 1) / n - cdf)});
+    }
+    EXPECT_LT(ks, 0.025);
+}
+
+TEST(Channel, NoiseVarianceForSnrRealisesRequestedSnr) {
+    // Round trip: synthesise y = Hx + n with noise_variance_for_snr and
+    // check the REALISED per-antenna SNR (signal power / noise power over
+    // many uses) lands on the requested value.  E[|row of Hx|^2] =
+    // users * E_s through a unit-mean-square channel, so at 10 dB the ratio
+    // must come out near 10.
+    const double snr_db = 10.0;
+    wl::mimo_config config;
+    config.mod = modulation::qam16;
+    config.num_users = 4;
+    config.num_antennas = 4;
+    config.channel = wl::channel_model::rayleigh;
+    config.noise_variance = wl::noise_variance_for_snr(config.mod, config.num_users, snr_db);
+    hcq::util::rng rng(606);
+    double signal_power = 0.0;
+    double noise_power = 0.0;
+    std::size_t count = 0;
+    for (int u = 0; u < 800; ++u) {
+        const auto inst = wl::synthesize(rng, config);
+        const auto clean = inst.h * inst.tx_symbols;
+        for (std::size_t a = 0; a < config.num_antennas; ++a) {
+            signal_power += std::norm(clean[a]);
+            noise_power += std::norm(inst.y[a] - clean[a]);
+            ++count;
+        }
+    }
+    const double realised_snr_db =
+        10.0 * std::log10(signal_power / noise_power);
+    EXPECT_NEAR(realised_snr_db, snr_db, 0.3);
+    // And the noise itself realises the configured variance.
+    EXPECT_NEAR(noise_power / static_cast<double>(count), config.noise_variance,
+                0.05 * config.noise_variance);
+}
+
 TEST(Channel, DrawRejectsEmpty) {
     hcq::util::rng rng(1);
     EXPECT_THROW((void)wl::draw_channel(rng, wl::channel_model::rayleigh, 0, 3),
