@@ -35,6 +35,12 @@ libclang dependency, so it runs anywhere python3 runs):
                      tests/CMakeLists.txt and every listed suite has a
                      source file — an unregistered test binary silently
                      never runs.
+  raw-socket         socket()/bind()/recv()/epoll_*()/poll() and the socket
+                     system headers may only appear in src/serve/socket.{h,cpp}
+                     (the wrapped-fd contract): every other module handles
+                     RAII fds and io_result values, never naked descriptors,
+                     so EINTR/EAGAIN/EPIPE and non-blocking setup stay in one
+                     audited place.
 
 Suppressions (always carry a reason after the directive):
   // hcq-lint: allow(rule-id[, rule-id]) ...   this line and the next
@@ -300,6 +306,45 @@ def rule_channel_spec_literal(sources: list[SourceFile], findings: list[Finding]
         scan_tokens(src, "channel-spec-literal", CHANNEL_SPEC_LITERAL_PATTERNS, findings)
 
 
+# --- raw-socket ------------------------------------------------------------
+
+# The wrapped-fd contract (see the header comment in src/serve/socket.h):
+# these two files are the only place allowed to touch raw socket / readiness
+# syscalls; everything else goes through serve::sock.
+RAW_SOCKET_ALLOWED = {"src/serve/socket.h", "src/serve/socket.cpp"}
+# `(?<![\w.:>])(::\s*)?` accepts a bare or explicitly global-scope call
+# (`bind(`, `::bind(`) while rejecting member calls (`cl.send(`) and
+# qualified names (`std::bind(`, `sock::read_some(`).
+RAW_SOCKET_PATTERNS = [
+    (re.compile(r"(?<![\w.:>])(::\s*)?(socket|bind|listen|accept4?|connect|"
+                r"shutdown)\s*\("),
+     "raw socket lifecycle syscall; src/serve/socket.{h,cpp} is the only "
+     "module allowed to own naked fds — use serve::sock"),
+    (re.compile(r"(?<![\w.:>])(::\s*)?(send(to|msg)?|recv(from|msg)?|read|"
+                r"write)\s*\("),
+     "raw fd I/O syscall; use serve::sock read_some/write_some/send_all/"
+     "recv_exact so EINTR/EAGAIN/EPIPE handling stays in one audited place"),
+    (re.compile(r"(?<![\w.:>])(::\s*)?(epoll_(create1?|ctl|wait)|p?poll|"
+                r"select)\s*\("),
+     "raw readiness syscall; multiplex through serve::sock::poller"),
+    (re.compile(r"(?<![\w.:>])(::\s*)?((get|set)sockopt|get(sock|peer)name|"
+                r"fcntl|pipe2?)\s*\("),
+     "raw socket/fd plumbing syscall; serve::sock wraps option, non-blocking "
+     "and wake-pipe setup"),
+    (re.compile(r"#\s*include\s*<(sys/socket\.h|sys/epoll\.h|poll\.h|"
+                r"sys/select\.h|netinet/[\w./]+|arpa/inet\.h)>"),
+     "socket-layer system header outside src/serve/socket.{h,cpp}; include "
+     "serve/socket.h and use the wrapped API"),
+]
+
+
+def rule_raw_socket(sources: list[SourceFile], findings: list[Finding]) -> None:
+    for src in sources:
+        if src.rel in RAW_SOCKET_ALLOWED:
+            continue
+        scan_tokens(src, "raw-socket", RAW_SOCKET_PATTERNS, findings)
+
+
 # --- test-registration -----------------------------------------------------
 
 SUITES_RE = re.compile(r"set\s*\(\s*HCQ_TEST_SUITES\s+([^)]*)\)", re.DOTALL)
@@ -347,6 +392,7 @@ RULES = {
     "spec-literal": "hand-built path_spec outside src/paths/",
     "channel-spec-literal": "hand-built channel_spec outside src/wireless/",
     "test-registration": "tests/*_test.cpp <-> HCQ_TEST_SUITES consistency",
+    "raw-socket": "raw socket/readiness syscalls outside src/serve/socket.{h,cpp}",
 }
 
 
@@ -358,6 +404,7 @@ def run_lint(root: Path) -> list[Finding]:
     rule_unordered(sources, findings)
     rule_spec_literal(sources, findings)
     rule_channel_spec_literal(sources, findings)
+    rule_raw_socket(sources, findings)
     rule_test_registration(root, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

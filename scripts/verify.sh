@@ -71,30 +71,33 @@ done
 if [[ $run_tsan -eq 1 ]]; then
     dir="build-verify-tsan"
     [[ $clean -eq 1 ]] && rm -rf "$dir"
-    echo "== TSan: parallel runner + thread pool + link simulator + pipeline + ARQ =="
+    echo "== TSan: parallel runner + thread pool + link simulator + pipeline + ARQ + serve =="
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHCQ_SANITIZE=thread \
         -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF
     cmake --build "$dir" -j "$jobs" --target parallel_runner_test util_test link_test \
-        paths_test pipeline_test arq_test
+        paths_test pipeline_test arq_test serve_test
     "$dir/tests/parallel_runner_test"
     "$dir/tests/util_test" --gtest_filter='ThreadPool.*:ParallelFor.*'
     "$dir/tests/link_test"
     "$dir/tests/paths_test"
     "$dir/tests/pipeline_test"
     "$dir/tests/arq_test"
+    "$dir/tests/serve_test"
 fi
 
 if [[ $run_asan -eq 1 ]]; then
     dir="build-asan"
     [[ $clean -eq 1 ]] && rm -rf "$dir"
-    echo "== ASan+UBSan: detection paths + link simulator + hybrid solver + ARQ =="
+    echo "== ASan+UBSan: detection paths + link simulator + hybrid solver + ARQ + serve =="
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHCQ_SANITIZE=address \
         -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF
-    cmake --build "$dir" -j "$jobs" --target paths_test link_test hybrid_test arq_test
+    cmake --build "$dir" -j "$jobs" --target paths_test link_test hybrid_test arq_test \
+        serve_test
     "$dir/tests/paths_test"
     "$dir/tests/link_test"
     "$dir/tests/hybrid_test"
     "$dir/tests/arq_test"
+    "$dir/tests/serve_test"
 fi
 
 if [[ $run_tidy -eq 1 ]]; then

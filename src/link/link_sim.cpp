@@ -16,25 +16,25 @@ namespace hcq::link {
 namespace {
 
 // Stream-id tags keeping channel-use synthesis draws disjoint from solver
-// draws (same scheme as parallel_runner::sweep_stream_domain).  These values
-// predate the registry redesign and must never change: the golden-value test
-// pins link statistics to the enum-dispatch implementation that used them.
-constexpr std::uint64_t synth_stream_domain = 0x6c696e6b5f434855ULL;  // "link_CHU"
-constexpr std::uint64_t solve_stream_domain = 0x6c696e6b5f534c56ULL;  // "link_SLV"
-
+// draws (same scheme as parallel_runner::sweep_stream_domain); the canonical
+// values live in link_sim.h (stream_domains) because the serving front end
+// derives from the same domains to reproduce served batches bit-for-bit.
+//
 // ARQ retransmission streams: attempt r of frame u draws from
 // derive(arq_*_domain).derive(u [* num_paths + p]).derive(r) — globally
 // indexed, so ARQ counters inherit the thread-count / stream-block
-// invariance, and disjoint from the open-loop streams above, so enabling
+// invariance, and disjoint from the open-loop streams, so enabling
 // ARQ never perturbs the golden open-loop statistics.
-constexpr std::uint64_t arq_synth_domain = 0x6172715f5f434855ULL;  // "arq__CHU"
-constexpr std::uint64_t arq_solve_domain = 0x6172715f5f534c56ULL;  // "arq__SLV"
-
-// Correlated-fading tap parameters (wireless/channel_spec.h) freeze from
-// this stream — disjoint from every domain above, so configuring a channel
+//
+// Correlated-fading tap parameters (wireless/channel_spec.h) freeze from the
+// fading stream — disjoint from every domain above, so configuring a channel
 // spec never perturbs the synthesis/solve draws, and `--channel` unset
 // stays byte-identical to the pre-spec implementation.
-constexpr std::uint64_t fading_stream_domain = 0x6c696e6b5f464144ULL;  // "link_FAD"
+constexpr std::uint64_t synth_stream_domain = stream_domains::synthesis;
+constexpr std::uint64_t solve_stream_domain = stream_domains::solve;
+constexpr std::uint64_t arq_synth_domain = stream_domains::arq_synthesis;
+constexpr std::uint64_t arq_solve_domain = stream_domains::arq_solve;
+constexpr std::uint64_t fading_stream_domain = stream_domains::fading;
 
 // An ARQ retransmission goes back on the air one channel use after the
 // attempt it repeats: attempt r of frame u sees the fading process at

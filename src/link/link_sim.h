@@ -66,6 +66,22 @@
 
 namespace hcq::link {
 
+/// Derived-RNG stream-domain tags of the link layer.  Channel-use synthesis
+/// draws come from rng(seed).derive(synthesis).derive(u) and the (use, path)
+/// solve draws from rng(seed).derive(solve).derive(u * num_paths + p); the
+/// ARQ and fading domains keep retransmission and frozen-tap draws disjoint.
+/// These values predate the registry redesign and must never change: the
+/// golden-value tests pin link statistics to the enum-dispatch implementation
+/// that used them, and the serving front end (serve/service.h) reproduces a
+/// served batch bit-for-bit by deriving from the SAME domains.
+namespace stream_domains {
+inline constexpr std::uint64_t synthesis = 0x6c696e6b5f434855ULL;       // "link_CHU"
+inline constexpr std::uint64_t solve = 0x6c696e6b5f534c56ULL;           // "link_SLV"
+inline constexpr std::uint64_t arq_synthesis = 0x6172715f5f434855ULL;   // "arq__CHU"
+inline constexpr std::uint64_t arq_solve = 0x6172715f5f534c56ULL;       // "arq__SLV"
+inline constexpr std::uint64_t fading = 0x6c696e6b5f464144ULL;          // "link_FAD"
+}  // namespace stream_domains
+
 /// Link-simulation knobs.  Defaults exercise the acceptance scenario: >= 100
 /// channel uses through wireless -> QUBO -> {linear, tree search, exact
 /// sphere, SA, hybrid}.  Per-path knobs (K-best width, SA budget, hybrid

@@ -1,0 +1,128 @@
+#include "serve/service.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "detect/transform.h"
+#include "link/link_sim.h"
+#include "metrics/ber.h"
+#include "paths/registry.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "wireless/channel_spec.h"
+#include "wireless/mimo.h"
+
+namespace hcq::serve {
+
+batch_result run_batch(const request& req) {
+    if (req.num_uses == 0 || req.num_uses > max_batch_uses) {
+        throw std::invalid_argument("serve: num_uses " + std::to_string(req.num_uses) +
+                                    " outside 1.." + std::to_string(max_batch_uses));
+    }
+    if (req.num_users == 0 || req.num_users > 64) {
+        throw std::invalid_argument("serve: num_users " + std::to_string(req.num_users) +
+                                    " outside 1..64");
+    }
+    if (req.spec.empty()) {
+        throw std::invalid_argument("serve: empty detection-path spec");
+    }
+
+    const auto path = paths::registry::make(req.spec);
+    const wireless::modulation mod = wireless::parse_modulation(req.mod);
+    std::optional<wireless::channel_spec> channel;
+    if (!req.channel.empty()) channel = wireless::channel_spec::parse(req.channel);
+
+    // Identical resolution order to link::run_link_simulation: the channel
+    // spec's snr_db override wins, est_err applies only with a spec, and the
+    // frozen correlated-fading realisation draws from the fading domain.
+    const std::uint64_t master = request_seed(req.tenant_id, req.request_seq, req.seed);
+    const double snr_db = (channel && channel->snr_db) ? *channel->snr_db : req.snr_db;
+    const double csi_est_err = channel ? channel->est_err : 0.0;
+    std::unique_ptr<const wireless::channel_process> process;
+    if (channel) {
+        process = wireless::make_channel_process(
+            *channel, req.num_users, req.num_users,
+            util::rng(master).derive(link::stream_domains::fading));
+    }
+
+    wireless::mimo_config mimo;
+    mimo.mod = mod;
+    mimo.num_users = req.num_users;
+    mimo.num_antennas = req.num_users;
+    mimo.channel = req.noiseless ? wireless::channel_model::unit_gain_random_phase
+                                 : wireless::channel_model::rayleigh;
+    mimo.noise_variance =
+        req.noiseless ? 0.0
+                      : wireless::noise_variance_for_snr(mod, req.num_users, snr_db);
+
+    const util::rng synth_base = util::rng(master).derive(link::stream_domains::synthesis);
+    const util::rng solve_base = util::rng(master).derive(link::stream_domains::solve);
+    const bool needs_qubo = path->needs_qubo();
+
+    batch_result result;
+    result.bits.resize(req.num_uses);
+    result.ml_cost.resize(req.num_uses);
+    metrics::ber_counter ber;
+
+    // Serial over the batch: the server's parallelism is ACROSS requests
+    // (the worker pool serves many sessions at once), which keeps each
+    // batch's derived-stream consumption trivially schedule-independent.
+    for (std::uint32_t u = 0; u < req.num_uses; ++u) {
+        util::rng synth_rng = synth_base.derive(u);
+        util::timer synth_clock;
+        const auto instance =
+            process ? wireless::synthesize_at(synth_rng, mimo, *process,
+                                              static_cast<double>(u), csi_est_err)
+                    : wireless::synthesize(synth_rng, mimo);
+        result.synth_us += synth_clock.elapsed_us();
+
+        detect::ml_qubo mq;
+        if (needs_qubo) {
+            util::timer reduce_clock;
+            mq = detect::ml_to_qubo(instance);
+            result.qubo_us += reduce_clock.elapsed_us();
+        }
+
+        // One path per request, so the link layer's solve-stream index
+        // u * num_paths + p is just u.
+        util::rng solve_rng = solve_base.derive(u);
+        const paths::path_context ctx{instance, needs_qubo ? &mq : nullptr, solve_rng};
+        util::timer solve_clock;
+        auto cell = path->run(ctx);
+        result.solve_us += solve_clock.elapsed_us();
+
+        ber.add_frame(instance.tx_bits, cell.bits);
+        if (cell.bits == instance.tx_bits) ++result.exact_frames;
+        result.sum_ml_cost += cell.ml_cost;
+        result.ml_cost[u] = cell.ml_cost;
+        result.bits[u] = std::move(cell.bits);
+    }
+
+    result.bits_per_use =
+        static_cast<std::size_t>(req.num_users) * wireless::bits_per_symbol(mod);
+    result.bit_errors = ber.errors();
+    result.total_bits = ber.total_bits();
+    return result;
+}
+
+response make_ok_response(const request& req, const batch_result& result) {
+    response resp;
+    resp.state = status::ok;
+    resp.tenant_id = req.tenant_id;
+    resp.request_seq = req.request_seq;
+    resp.num_uses = static_cast<std::uint32_t>(result.bits.size());
+    resp.bits_per_use = static_cast<std::uint32_t>(result.bits_per_use);
+    for (std::size_t u = 0; u < result.bits.size(); ++u) {
+        pack_bits(resp.bits, u * result.bits_per_use, result.bits[u]);
+    }
+    // A batch whose every bit is zero packs to an empty-looking buffer;
+    // size it explicitly so the wire length always matches the header.
+    resp.bits.resize((result.bits.size() * result.bits_per_use + 7) / 8, 0);
+    resp.ml_cost = result.ml_cost;
+    resp.synth_us = result.synth_us;
+    resp.qubo_us = result.qubo_us;
+    resp.solve_us = result.solve_us;
+    return resp;
+}
+
+}  // namespace hcq::serve

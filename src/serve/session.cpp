@@ -1,0 +1,68 @@
+#include "serve/session.h"
+
+#include <cstring>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace hcq::serve {
+
+session::session(std::uint64_t id, unique_fd fd) : id_(id), fd_(std::move(fd)) {}
+
+bool session::read_ready() {
+    // Compact lazily: only when the parse cursor has consumed more than half
+    // the buffer, so steady-state small frames don't memmove per read.
+    if (consumed_ > 0 && consumed_ * 2 >= in_.size()) {
+        in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    std::uint8_t chunk[16384];
+    for (;;) {
+        const io_result r = read_some(fd_.get(), chunk, sizeof(chunk));
+        if (r.again) return true;
+        if (r.closed) return false;
+        in_.insert(in_.end(), chunk, chunk + r.bytes);
+        // A short read usually means the socket is drained; go back to the
+        // poller rather than spinning on EAGAIN.
+        if (r.bytes < sizeof(chunk)) return true;
+    }
+}
+
+std::optional<std::vector<std::uint8_t>> session::next_frame() {
+    const std::size_t avail = in_.size() - consumed_;
+    if (avail < 4) return std::nullopt;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+        len |= static_cast<std::uint32_t>(in_[consumed_ + static_cast<std::size_t>(i)])
+               << (8 * i);
+    }
+    check_frame_length(len);  // throws protocol_error on 0 / oversized
+    if (avail - 4 < len) return std::nullopt;
+    std::vector<std::uint8_t> payload(in_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4),
+                                      in_.begin() +
+                                          static_cast<std::ptrdiff_t>(consumed_ + 4 + len));
+    consumed_ += 4 + static_cast<std::size_t>(len);
+    return payload;
+}
+
+void session::enqueue_output(std::vector<std::uint8_t> frame_bytes) {
+    out_.push_back(std::move(frame_bytes));
+}
+
+bool session::write_ready() {
+    while (!out_.empty()) {
+        const auto& front = out_.front();
+        const io_result r =
+            write_some(fd_.get(), front.data() + out_offset_, front.size() - out_offset_);
+        if (r.closed) return false;
+        if (r.again) return true;
+        out_offset_ += r.bytes;
+        if (out_offset_ == front.size()) {
+            out_.pop_front();
+            out_offset_ = 0;
+        }
+    }
+    return true;
+}
+
+}  // namespace hcq::serve

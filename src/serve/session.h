@@ -1,0 +1,72 @@
+// One client connection of the serving front end: incremental frame
+// reassembly on the read side, a buffered outbox with partial-write
+// resumption on the write side.
+//
+// Concurrency contract: sessions are owned and touched EXCLUSIVELY by the
+// server's IO thread — no locks, no annotations (a mutex here would signal
+// a design error, like pipeline.h).  Worker threads never see a session;
+// they hand finished response frames to the server's completion queue,
+// which the IO thread drains into enqueue_output().
+#ifndef HCQ_SERVE_SESSION_H
+#define HCQ_SERVE_SESSION_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/socket.h"
+
+namespace hcq::serve {
+
+/// Per-connection state.  `id` is a monotonically increasing session
+/// identifier, deliberately distinct from the fd: fds are reused by the
+/// kernel, so routing a completed response by fd could deliver a stale
+/// batch to a new client.  Completions route by id and are dropped when the
+/// session is gone.
+class session {
+public:
+    session(std::uint64_t id, unique_fd fd);
+
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+    [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+    /// Drains whatever the socket currently has into the input buffer.
+    /// Returns false when the peer closed or the connection broke — the
+    /// caller should process any complete buffered frames and then drop the
+    /// session.
+    [[nodiscard]] bool read_ready();
+
+    /// Extracts the next complete frame payload (length prefix stripped)
+    /// from the input buffer, or nullopt when none is complete yet.  Throws
+    /// protocol_error on an invalid length prefix (zero or oversized) —
+    /// after which the stream is unparseable and the session must close.
+    [[nodiscard]] std::optional<std::vector<std::uint8_t>> next_frame();
+
+    /// Queues an already-framed (length-prefixed) response for writing.
+    void enqueue_output(std::vector<std::uint8_t> frame_bytes);
+
+    /// Writes as much queued output as the socket accepts.  Returns false
+    /// when the connection broke (drop the session).
+    [[nodiscard]] bool write_ready();
+
+    /// True while queued output remains — drives the poller's write
+    /// interest.
+    [[nodiscard]] bool wants_write() const noexcept { return !out_.empty(); }
+
+    /// True when unparsed input bytes are buffered (e.g. frames parked
+    /// behind a full admission queue under the block policy).
+    [[nodiscard]] bool has_buffered_input() const noexcept { return in_.size() > consumed_; }
+
+private:
+    std::uint64_t id_;
+    unique_fd fd_;
+    std::vector<std::uint8_t> in_;  ///< raw unparsed bytes
+    std::size_t consumed_ = 0;      ///< parse cursor into in_ (compacted lazily)
+    std::deque<std::vector<std::uint8_t>> out_;  ///< framed responses awaiting write
+    std::size_t out_offset_ = 0;    ///< bytes of out_.front() already written
+};
+
+}  // namespace hcq::serve
+
+#endif  // HCQ_SERVE_SESSION_H

@@ -62,6 +62,15 @@ void thread_pool::wait_idle() {
     if (err) std::rethrow_exception(err);
 }
 
+thread_pool::queue_snapshot thread_pool::snapshot() const {
+    const mutex_lock lock(mutex_);
+    return {tasks_.size(), in_flight_};
+}
+
+std::size_t thread_pool::queued() const { return snapshot().queued; }
+
+std::size_t thread_pool::in_flight() const { return snapshot().in_flight; }
+
 void thread_pool::worker_loop() {
     for (;;) {
         std::function<void()> task;

@@ -56,10 +56,25 @@ public:
 
     [[nodiscard]] std::size_t size() const noexcept { return num_workers_; }
 
+    /// One consistent snapshot of the queue state (both counts read under a
+    /// single lock acquisition, so queued + in_flight never double- or
+    /// under-counts a task mid-dispatch).
+    struct queue_snapshot {
+        std::size_t queued = 0;     ///< tasks submitted but not yet started
+        std::size_t in_flight = 0;  ///< tasks currently executing on a worker
+    };
+    [[nodiscard]] queue_snapshot snapshot() const HCQ_EXCLUDES(mutex_);
+
+    /// Convenience projections of snapshot().  The two values come from
+    /// separate lock acquisitions; callers needing a consistent pair (e.g.
+    /// the serve admission control's BUSY depth report) use snapshot().
+    [[nodiscard]] std::size_t queued() const HCQ_EXCLUDES(mutex_);
+    [[nodiscard]] std::size_t in_flight() const HCQ_EXCLUDES(mutex_);
+
 private:
     void worker_loop() HCQ_EXCLUDES(mutex_);
 
-    mutex mutex_;
+    mutable mutex mutex_;
     /// Joined by stop(), which claims them under the lock so overlapping
     /// stops cannot double-join.
     std::vector<std::thread> workers_ HCQ_GUARDED_BY(mutex_);

@@ -1,8 +1,11 @@
-// Wall-clock timing helper.
+// Wall-clock timing helper — the one module allowed to touch <chrono>
+// directly (scripts/hcq_lint.py wall-clock rule); everything else measures
+// and sleeps through this header.
 #ifndef HCQ_UTIL_TIMER_H
 #define HCQ_UTIL_TIMER_H
 
 #include <chrono>
+#include <thread>
 
 namespace hcq::util {
 
@@ -28,6 +31,14 @@ private:
     using clock = std::chrono::steady_clock;
     clock::time_point start_;
 };
+
+/// Blocks the calling thread for (at least) `us` microseconds against the
+/// monotonic clock; non-positive durations return immediately.  Open-loop
+/// load generators pace arrivals through this instead of spinning.
+inline void sleep_us(double us) {
+    if (!(us > 0.0)) return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
 
 }  // namespace hcq::util
 

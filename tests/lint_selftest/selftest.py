@@ -29,12 +29,15 @@ EXPECTED = {
     ("channel-spec-literal", "src/bad_channel_spec.cpp"): 1,
     ("test-registration", "tests/orphan_test.cpp"): 1,    # on disk, unlisted
     ("test-registration", "tests/CMakeLists.txt"): 1,     # ghost_test listed, no file
+    ("raw-socket", "src/bad_socket.cpp"): 5,  # lifecycle, io, readiness, sockopt, include
 }
 
 # Files that must produce NO findings at all: suppressed twins, allowlisted
 # modules, and the comment/string-only decoy.
 MUST_BE_CLEAN = [
     "src/bad_rng_suppressed.cpp",
+    "src/bad_socket_suppressed.cpp",
+    "src/serve/socket.cpp",
     "src/bad_clock_suppressed.cpp",
     "src/bad_unordered_suppressed.cpp",
     "src/paths/ok_spec.cpp",

@@ -1,0 +1,10 @@
+// Fixture: each raw-socket pattern category fires exactly once (5 findings:
+// lifecycle, fd I/O, readiness, plumbing, include).
+#include <sys/socket.h>
+
+void bad_socket_fixture() {
+    int fd = ::socket(2, 1, 0);
+    send(fd, nullptr, 0, 0);
+    poll(nullptr, 0, 0);
+    setsockopt(fd, 0, 0, nullptr, 0);
+}

@@ -1,0 +1,12 @@
+// Fixture: the same violations as bad_socket.cpp, silenced by both
+// suppression forms — must produce zero findings.
+// hcq-lint: allow-file(raw-socket) fixture exercising the file-wide form
+#include <sys/socket.h>
+
+void bad_socket_suppressed_fixture() {
+    int fd = ::socket(2, 1, 0);
+    // hcq-lint: allow(raw-socket) line form must also hold inside allow-file
+    send(fd, nullptr, 0, 0);
+    poll(nullptr, 0, 0);
+    setsockopt(fd, 0, 0, nullptr, 0);
+}

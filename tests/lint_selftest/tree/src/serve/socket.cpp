@@ -1,0 +1,20 @@
+// Fixture: src/serve/socket.cpp is the allowlisted home of the raw socket
+// syscalls — the same tokens that fire in bad_socket.cpp must stay clean
+// here.  Also a decoy member call / qualified name per pattern category,
+// which must never match anywhere.
+#include <sys/socket.h>
+
+struct fake_client {
+    int send(int) { return 0; }
+    int connect(int) { return 0; }
+};
+
+void allowed_socket_fixture() {
+    int fd = ::socket(2, 1, 0);
+    send(fd, nullptr, 0, 0);
+    poll(nullptr, 0, 0);
+    setsockopt(fd, 0, 0, nullptr, 0);
+    fake_client cl;
+    cl.send(fd);     // member call: dot-qualified, not a syscall
+    cl.connect(fd);  // member call: dot-qualified, not a syscall
+}

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "util/cli.h"
 #include "util/rng.h"
@@ -209,6 +210,31 @@ TEST(ThreadPool, OnlyFirstOfManyTaskExceptionsSurfaces) {
     }
     EXPECT_THROW(pool.wait_idle(), std::runtime_error);
     pool.wait_idle();  // error consumed; no tasks left
+}
+
+TEST(ThreadPool, SnapshotCountsQueuedAndInFlightConsistently) {
+    hcq::util::thread_pool pool(2);
+    std::atomic<int> started{0};
+    std::atomic<bool> release{false};
+    // Park both workers so the next submissions provably sit in the queue.
+    for (int i = 0; i < 2; ++i) {
+        pool.submit([&] {
+            started.fetch_add(1);
+            while (!release.load()) std::this_thread::yield();
+        });
+    }
+    while (started.load() < 2) std::this_thread::yield();
+    for (int i = 0; i < 3; ++i) pool.submit([] {});
+    const auto snap = pool.snapshot();
+    EXPECT_EQ(snap.in_flight, 2u);
+    EXPECT_EQ(snap.queued, 3u);
+    EXPECT_EQ(pool.in_flight(), 2u);
+    EXPECT_EQ(pool.queued(), 3u);
+    release.store(true);
+    pool.wait_idle();
+    const auto idle = pool.snapshot();
+    EXPECT_EQ(idle.queued, 0u);
+    EXPECT_EQ(idle.in_flight, 0u);
 }
 
 TEST(ParallelFor, VisitsEveryIndexOnce) {
