@@ -345,6 +345,31 @@ def rule_raw_socket(sources: list[SourceFile], findings: list[Finding]) -> None:
         scan_tokens(src, "raw-socket", RAW_SOCKET_PATTERNS, findings)
 
 
+# --- hot-path-alloc --------------------------------------------------------
+
+# Opt-in marker: a file carrying this comment tag declares that its
+# steady-state code path must not acquire heap memory (the per-worker
+# workspace contract, see src/paths/workspace.h).
+HOT_PATH_TAG = "hcq-hot-path"
+HOT_PATH_ALLOC_PATTERNS = [
+    (re.compile(r"\bnew\b"),
+     "operator new in a file tagged // hcq-hot-path; steady-state uses must "
+     "reuse workspace scratch, not allocate"),
+    # An owning vector (reference/pointer binds to existing storage and is
+    # fine; that is exactly how scratch buffers are meant to be used).
+    (re.compile(r"\bstd::vector\s*<[^<>;]*(<[^<>;]*>)?[^<>;]*>(?!\s*[&*])"),
+     "owning std::vector constructed in a file tagged // hcq-hot-path; "
+     "resize/assign into reused workspace scratch instead"),
+]
+
+
+def rule_hot_path_alloc(sources: list[SourceFile], findings: list[Finding]) -> None:
+    for src in sources:
+        if not any(HOT_PATH_TAG in line for line in src.lines):
+            continue
+        scan_tokens(src, "hot-path-alloc", HOT_PATH_ALLOC_PATTERNS, findings)
+
+
 # --- test-registration -----------------------------------------------------
 
 SUITES_RE = re.compile(r"set\s*\(\s*HCQ_TEST_SUITES\s+([^)]*)\)", re.DOTALL)
@@ -393,6 +418,7 @@ RULES = {
     "channel-spec-literal": "hand-built channel_spec outside src/wireless/",
     "test-registration": "tests/*_test.cpp <-> HCQ_TEST_SUITES consistency",
     "raw-socket": "raw socket/readiness syscalls outside src/serve/socket.{h,cpp}",
+    "hot-path-alloc": "new / owning std::vector in files tagged // hcq-hot-path",
 }
 
 
@@ -405,6 +431,7 @@ def run_lint(root: Path) -> list[Finding]:
     rule_spec_literal(sources, findings)
     rule_channel_spec_literal(sources, findings)
     rule_raw_socket(sources, findings)
+    rule_hot_path_alloc(sources, findings)
     rule_test_registration(root, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

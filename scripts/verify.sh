@@ -75,7 +75,7 @@ if [[ $run_tsan -eq 1 ]]; then
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHCQ_SANITIZE=thread \
         -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF
     cmake --build "$dir" -j "$jobs" --target parallel_runner_test util_test link_test \
-        paths_test pipeline_test arq_test serve_test
+        paths_test pipeline_test arq_test serve_test workspace_test
     "$dir/tests/parallel_runner_test"
     "$dir/tests/util_test" --gtest_filter='ThreadPool.*:ParallelFor.*'
     "$dir/tests/link_test"
@@ -83,6 +83,7 @@ if [[ $run_tsan -eq 1 ]]; then
     "$dir/tests/pipeline_test"
     "$dir/tests/arq_test"
     "$dir/tests/serve_test"
+    "$dir/tests/workspace_test"
 fi
 
 if [[ $run_asan -eq 1 ]]; then
@@ -92,12 +93,13 @@ if [[ $run_asan -eq 1 ]]; then
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHCQ_SANITIZE=address \
         -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF
     cmake --build "$dir" -j "$jobs" --target paths_test link_test hybrid_test arq_test \
-        serve_test
+        serve_test workspace_test
     "$dir/tests/paths_test"
     "$dir/tests/link_test"
     "$dir/tests/hybrid_test"
     "$dir/tests/arq_test"
     "$dir/tests/serve_test"
+    "$dir/tests/workspace_test"
 fi
 
 if [[ $run_tidy -eq 1 ]]; then

@@ -67,4 +67,74 @@ initial_state greedy_search::initialize(const qubo::qubo_model& q, util::rng&) c
     return out;
 }
 
+void greedy_search::initialize_into(const qubo::qubo_model& q, util::rng&, solve_scratch& scratch,
+                                    initial_state& out) const {
+    const util::timer clock;
+    const std::size_t n = q.num_variables();
+    out.bits.assign(n, 0);
+    if (n == 0) {
+        out.energy = 0.0;
+        out.elapsed_us = clock.elapsed_us();
+        return;
+    }
+
+    std::vector<double>& h = scratch.real_a;
+    h.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto row = q.row(i);
+        double acc = row[i] / 2.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            if (k != i) acc += row[k] / 4.0;
+        }
+        h[i] = acc;
+    }
+
+    // Stable insertion sort of the rank order: any stable sort produces the
+    // identical permutation, and unlike std::stable_sort this one never
+    // touches the heap (N is a handful of bits per user).
+    std::vector<std::size_t>& rank = scratch.index_a;
+    rank.resize(n);
+    std::iota(rank.begin(), rank.end(), 0);
+    const auto precedes = [&](std::size_t a, std::size_t b) {
+        return order_ == rank_order::most_decided_first ? std::fabs(h[a]) > std::fabs(h[b])
+                                                        : std::fabs(h[a]) < std::fabs(h[b]);
+    };
+    for (std::size_t i = 1; i < n; ++i) {
+        const std::size_t key = rank[i];
+        std::size_t j = i;
+        while (j > 0 && precedes(key, rank[j - 1])) {
+            rank[j] = rank[j - 1];
+            --j;
+        }
+        rank[j] = key;
+    }
+
+    std::vector<double>& field = scratch.real_b;
+    field.resize(n);
+    for (std::size_t i = 0; i < n; ++i) field[i] = q.row(i)[i];
+    std::vector<std::uint8_t>& is_set = scratch.mask_a;
+    is_set.assign(n, 0);
+
+    for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t i = rank[step];
+        std::uint8_t value = 0;
+        if (step == 0) {
+            value = h[i] > 0.0 ? 0 : 1;
+        } else {
+            value = field[i] > 0.0 ? 0 : 1;
+        }
+        out.bits[i] = value;
+        is_set[i] = 1;
+        if (value == 1) {
+            const auto row = q.row(i);
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j != i && !is_set[j]) field[j] += row[j];
+            }
+        }
+    }
+
+    out.energy = q.energy(out.bits);
+    out.elapsed_us = clock.elapsed_us();
+}
+
 }  // namespace hcq::solvers

@@ -37,6 +37,8 @@ public:
     /// Deterministic: ignores `rng`.
     [[nodiscard]] initial_state initialize(const qubo::qubo_model& q,
                                            util::rng& rng) const override;
+    void initialize_into(const qubo::qubo_model& q, util::rng& rng, solve_scratch& scratch,
+                         initial_state& out) const override;
     [[nodiscard]] std::string name() const override { return "GS"; }
 
     [[nodiscard]] rank_order order() const noexcept { return order_; }

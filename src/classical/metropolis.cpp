@@ -1,3 +1,5 @@
+// hcq-hot-path: steady-state code in this file must not allocate — reuse
+// workspace scratch (enforced by the hot-path-alloc lint rule).
 #include "classical/metropolis.h"
 
 #include <cmath>
@@ -13,6 +15,15 @@ metropolis_engine::metropolis_engine(const qubo::qubo_model& q, qubo::bit_vector
     rebuild();
 }
 
+void metropolis_engine::reset(const qubo::qubo_model& q, std::span<const std::uint8_t> initial) {
+    if (initial.size() != q.num_variables()) {
+        throw std::invalid_argument("metropolis_engine: bit count mismatch");
+    }
+    model_ = &q;
+    bits_.assign(initial.begin(), initial.end());
+    rebuild();
+}
+
 void metropolis_engine::set_state(qubo::bit_vector bits) {
     if (bits.size() != model_->num_variables()) {
         throw std::invalid_argument("metropolis_engine::set_state: bit count mismatch");
@@ -23,40 +34,7 @@ void metropolis_engine::set_state(qubo::bit_vector bits) {
 
 void metropolis_engine::rebuild() {
     energy_ = model_->energy(bits_);
-    fields_ = model_->local_fields(bits_);
-}
-
-bool metropolis_engine::try_flip(std::size_t i, double temperature, util::rng& rng) {
-    if (temperature < 0.0) throw std::invalid_argument("metropolis: negative temperature");
-    const double delta = bits_[i] ? -fields_[i] : fields_[i];
-    bool accept = delta <= 0.0;
-    if (!accept && temperature > 0.0) {
-        accept = rng.uniform() < std::exp(-delta / temperature);
-    }
-    if (!accept) return false;
-    force_flip(i);
-    return true;
-}
-
-void metropolis_engine::force_flip(std::size_t i) {
-    const double delta = bits_[i] ? -fields_[i] : fields_[i];
-    const double step = bits_[i] ? -1.0 : 1.0;  // q_i change
-    bits_[i] ^= 1U;
-    energy_ += delta;
-    const auto row = model_->row(i);
-    const std::size_t n = bits_.size();
-    for (std::size_t j = 0; j < n; ++j) {
-        if (j != i) fields_[j] += row[j] * step;
-    }
-}
-
-std::size_t metropolis_engine::sweep(double temperature, util::rng& rng) {
-    std::size_t accepted = 0;
-    const std::size_t n = bits_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        if (try_flip(i, temperature, rng)) ++accepted;
-    }
-    return accepted;
+    model_->local_fields_into(bits_, fields_);
 }
 
 }  // namespace hcq::solvers

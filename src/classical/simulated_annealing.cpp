@@ -1,3 +1,5 @@
+// hcq-hot-path: steady-state code in this file must not allocate — reuse
+// workspace scratch (enforced by the hot-path-alloc lint rule).
 #include "classical/simulated_annealing.h"
 
 #include <cmath>
@@ -38,6 +40,39 @@ sample_set simulated_annealing::solve(const qubo::qubo_model& q, util::rng& rng)
         out.add(engine.state(), engine.energy());
     }
     return out;
+}
+
+double simulated_annealing::solve_best_into(const qubo::qubo_model& q, util::rng& rng,
+                                            solve_scratch& scratch, qubo::bit_vector& best) const {
+    // Same reads, same sweeps, same RNG draws as solve(); only the winning
+    // state is kept.  The strict < keeps the FIRST lowest-energy read, which
+    // is exactly sample_set::best()'s tie-break.
+    const double scale = q.max_abs_coefficient();
+    const double t_hot = std::max(config_.hot_fraction * scale, 1e-12);
+    const double t_cold = std::max(config_.cold_fraction * scale, 1e-15);
+    const double ratio =
+        config_.num_sweeps > 1
+            ? std::pow(t_cold / t_hot, 1.0 / static_cast<double>(config_.num_sweeps - 1))
+            : 1.0;
+
+    metropolis_engine& engine = scratch.engine;
+    double best_energy = 0.0;
+    bool has_best = false;
+    for (std::size_t read = 0; read < config_.num_reads; ++read) {
+        rng.bits_into(q.num_variables(), scratch.bits_a);
+        engine.reset(q, scratch.bits_a);
+        double temperature = t_hot;
+        for (std::size_t s = 0; s < config_.num_sweeps; ++s) {
+            engine.sweep(temperature, rng);
+            temperature *= ratio;
+        }
+        if (!has_best || engine.energy() < best_energy) {
+            has_best = true;
+            best_energy = engine.energy();
+            best.assign(engine.state().begin(), engine.state().end());
+        }
+    }
+    return best_energy;
 }
 
 }  // namespace hcq::solvers

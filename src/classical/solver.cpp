@@ -6,6 +6,19 @@
 
 namespace hcq::solvers {
 
+double solver::solve_best_into(const qubo::qubo_model& q, util::rng& rng, solve_scratch&,
+                               qubo::bit_vector& best) const {
+    const sample_set samples = solve(q, rng);
+    const sample& b = samples.best();
+    best.assign(b.bits.begin(), b.bits.end());
+    return b.energy;
+}
+
+void initializer::initialize_into(const qubo::qubo_model& q, util::rng& rng, solve_scratch&,
+                                  initial_state& out) const {
+    out = initialize(q, rng);
+}
+
 initial_state random_initializer::initialize(const qubo::qubo_model& q, util::rng& rng) const {
     const util::timer clock;
     initial_state out;
@@ -13,6 +26,14 @@ initial_state random_initializer::initialize(const qubo::qubo_model& q, util::rn
     out.energy = q.energy(out.bits);
     out.elapsed_us = clock.elapsed_us();
     return out;
+}
+
+void random_initializer::initialize_into(const qubo::qubo_model& q, util::rng& rng,
+                                         solve_scratch&, initial_state& out) const {
+    const util::timer clock;
+    rng.bits_into(q.num_variables(), out.bits);
+    out.energy = q.energy(out.bits);
+    out.elapsed_us = clock.elapsed_us();
 }
 
 fixed_initializer::fixed_initializer(qubo::bit_vector bits, std::string label)

@@ -6,24 +6,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "classical/metropolis.h"
 #include "classical/sample_set.h"
 #include "qubo/model.h"
 #include "util/rng.h"
 
 namespace hcq::solvers {
-
-/// A full classical QUBO solver: returns one or more samples.
-class solver {
-public:
-    virtual ~solver() = default;
-
-    /// Runs the solver, drawing randomness from `rng`.
-    [[nodiscard]] virtual sample_set solve(const qubo::qubo_model& q, util::rng& rng) const = 0;
-
-    /// Short identifier for bench output.
-    [[nodiscard]] virtual std::string name() const = 0;
-};
 
 /// Result of running an initialiser: the candidate state and the classical
 /// compute time spent producing it (used for end-to-end hybrid accounting).
@@ -33,6 +23,45 @@ struct initial_state {
     double elapsed_us = 0.0;
 };
 
+/// Reusable per-worker scratch for solve_best_into.  One instance serves
+/// every solver kind: each override uses the buffers it needs (the Metropolis
+/// engine and bit buffers for sweep solvers, the real/index/mask buffers for
+/// greedy construction, the initial-state slot for hybrid structures), and a
+/// warmed-up scratch makes repeated solves allocation-free.
+struct solve_scratch {
+    metropolis_engine engine;
+    qubo::bit_vector bits_a;           ///< initial / start states
+    qubo::bit_vector bits_b;           ///< best-so-far carrier
+    qubo::bit_vector bits_c;           ///< per-read carrier (annealer emulator)
+    std::vector<double> real_a;        ///< e.g. greedy Ising fields
+    std::vector<double> real_b;        ///< e.g. greedy partial local fields
+    std::vector<std::size_t> index_a;  ///< e.g. greedy rank order, tabu expiry
+    std::vector<std::uint8_t> mask_a;  ///< e.g. greedy decided-variable flags
+    initial_state init;                ///< hybrid classical-module output
+};
+
+/// A full classical QUBO solver: returns one or more samples.
+class solver {
+public:
+    virtual ~solver() = default;
+
+    /// Runs the solver, drawing randomness from `rng`.
+    [[nodiscard]] virtual sample_set solve(const qubo::qubo_model& q, util::rng& rng) const = 0;
+
+    /// Best-sample fast path: runs the same reads as solve() but keeps only
+    /// the winning state, written into `best` (reused buffer), returning its
+    /// energy.  Contract: identical RNG consumption and identical selection
+    /// to solve(q, rng).best() — the first strictly-lowest-energy read wins —
+    /// so callers that only need the best sample can switch freely.  The
+    /// default delegates to solve(); overrides reuse `scratch` to make the
+    /// warmed-up call allocation-free.
+    virtual double solve_best_into(const qubo::qubo_model& q, util::rng& rng,
+                                   solve_scratch& scratch, qubo::bit_vector& best) const;
+
+    /// Short identifier for bench output.
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
 /// The classical half of a hybrid classical-quantum structure.
 class initializer {
 public:
@@ -40,6 +69,13 @@ public:
 
     [[nodiscard]] virtual initial_state initialize(const qubo::qubo_model& q,
                                                    util::rng& rng) const = 0;
+
+    /// initialize() into reused buffers (same draws, same state); the default
+    /// delegates to initialize().  Overrides use `scratch` so a warmed-up
+    /// call performs no allocations.
+    virtual void initialize_into(const qubo::qubo_model& q, util::rng& rng,
+                                 solve_scratch& scratch, initial_state& out) const;
+
     [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -49,6 +85,8 @@ class random_initializer final : public initializer {
 public:
     [[nodiscard]] initial_state initialize(const qubo::qubo_model& q,
                                            util::rng& rng) const override;
+    void initialize_into(const qubo::qubo_model& q, util::rng& rng, solve_scratch& scratch,
+                         initial_state& out) const override;
     [[nodiscard]] std::string name() const override { return "random"; }
 };
 

@@ -22,6 +22,8 @@ public:
     explicit tabu_search(tabu_config config = {});
 
     [[nodiscard]] sample_set solve(const qubo::qubo_model& q, util::rng& rng) const override;
+    double solve_best_into(const qubo::qubo_model& q, util::rng& rng, solve_scratch& scratch,
+                           qubo::bit_vector& best) const override;
     [[nodiscard]] initial_state initialize(const qubo::qubo_model& q,
                                            util::rng& rng) const override;
     [[nodiscard]] std::string name() const override { return "Tabu"; }

@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "classical/sample_set.h"
+#include "classical/solver.h"
 #include "core/schedule.h"
 #include "core/temperature.h"
 #include "qubo/model.h"
@@ -76,6 +77,22 @@ public:
     [[nodiscard]] solvers::sample_set sample(
         const qubo::qubo_model& q, const anneal_schedule& schedule, std::size_t num_reads,
         util::rng& rng, const std::optional<qubo::bit_vector>& initial = std::nullopt) const;
+
+    /// anneal_once into a reused buffer (same RNG draws, same state);
+    /// `initial` may be nullptr for forward-start schedules.  Uses
+    /// scratch.engine and scratch.bits_a; with the default config (no control
+    /// noise) a warmed-up call performs no allocations.
+    void anneal_once_into(const qubo::qubo_model& q, const anneal_schedule& schedule,
+                          util::rng& rng, const qubo::bit_vector* initial,
+                          solvers::solve_scratch& scratch, qubo::bit_vector& out) const;
+
+    /// sample() keeping only the winning read, written into `best` (reused
+    /// buffer), returning its energy.  Identical RNG streams and identical
+    /// selection to sample(...).best() — the first strictly-lowest read wins.
+    double sample_best_into(const qubo::qubo_model& q, const anneal_schedule& schedule,
+                            std::size_t num_reads, util::rng& rng,
+                            const qubo::bit_vector* initial, solvers::solve_scratch& scratch,
+                            qubo::bit_vector& best) const;
 
     /// Number of Metropolis sweeps a schedule maps to (>= 1).
     [[nodiscard]] std::size_t sweeps_for(const anneal_schedule& schedule) const;

@@ -34,4 +34,24 @@ hybrid_result hybrid_solver::solve(const qubo::qubo_model& q, util::rng& rng) co
     return out;
 }
 
+double hybrid_solver::solve_best_into(const qubo::qubo_model& q, util::rng& rng,
+                                      solvers::solve_scratch& scratch, qubo::bit_vector& best,
+                                      timings& times) const {
+    init_->initialize_into(q, rng, scratch, scratch.init);
+    const double device_energy = device_->sample_best_into(q, schedule_, num_reads_, rng,
+                                                           &scratch.init.bits, scratch,
+                                                           scratch.bits_b);
+    times.classical_us = scratch.init.elapsed_us;
+    times.quantum_us = schedule_.duration_us() * static_cast<double>(num_reads_);
+
+    // Same winner rule as solve(): the device read must strictly beat the
+    // classical candidate.
+    if (device_energy < scratch.init.energy) {
+        best.assign(scratch.bits_b.begin(), scratch.bits_b.end());
+        return device_energy;
+    }
+    best.assign(scratch.init.bits.begin(), scratch.init.bits.end());
+    return scratch.init.energy;
+}
+
 }  // namespace hcq::hybrid

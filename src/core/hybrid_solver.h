@@ -33,6 +33,21 @@ public:
 
     [[nodiscard]] hybrid_result solve(const qubo::qubo_model& q, util::rng& rng) const;
 
+    /// Per-stage wall times of a best-only hybrid solve.
+    struct timings {
+        double classical_us = 0.0;
+        double quantum_us = 0.0;
+    };
+
+    /// Best-only fast path: identical RNG draws and winner selection to
+    /// solve(), but only the winning bits (into `best`, reused) and the
+    /// stage timings are produced; returns the best energy.  A warmed-up
+    /// scratch makes the call allocation-free under the default device
+    /// config.
+    double solve_best_into(const qubo::qubo_model& q, util::rng& rng,
+                           solvers::solve_scratch& scratch, qubo::bit_vector& best,
+                           timings& times) const;
+
     /// "<initialiser>+RA".
     [[nodiscard]] std::string name() const;
 

@@ -26,6 +26,10 @@ struct detection_result {
     double elapsed_us = 0.0;             ///< wall-clock compute time
 };
 
+/// Reusable per-worker detection scratch (detect/scratch.h): decomposition
+/// caches plus resize-in-place buffers shared by the built-in detectors.
+struct detect_scratch;
+
 /// Abstract detector.
 class detector {
 public:
@@ -33,6 +37,18 @@ public:
 
     /// Runs detection on one instance.
     [[nodiscard]] virtual detection_result detect(const wireless::mimo_instance& instance) const = 0;
+
+    /// detect() into a reused result through caller-owned scratch.  Contract:
+    /// bit-identical symbols/bits/ml_cost to detect() (elapsed_us and other
+    /// timing fields are wall time and may differ).  The default delegates to
+    /// detect(); the built-in detectors override it to reuse `scratch`'s
+    /// buffers and decomposition caches so a warmed-up call allocates
+    /// nothing.
+    virtual void detect_into(const wireless::mimo_instance& instance, detect_scratch& scratch,
+                             detection_result& out) const {
+        (void)scratch;
+        out = detect(instance);
+    }
 
     /// Short identifier used in bench output (e.g. "ZF", "SD").
     [[nodiscard]] virtual std::string name() const = 0;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "detect/real_model.h"
+#include "detect/scratch.h"
 #include "util/timer.h"
 
 namespace hcq::detect {
@@ -30,12 +31,14 @@ double babai_complete(const real_model& model, std::vector<double>& amplitudes,
     return cost;
 }
 
-/// Enumerates the top `remaining` levels exhaustively, Babai below.
+/// Enumerates the top `remaining` levels exhaustively, Babai below.  The
+/// `completed` buffer is reused across leaves (babai_complete never recurses
+/// back into enumerate, so one shared buffer suffices).
 void enumerate(const real_model& model, std::vector<double>& amplitudes, std::size_t level,
                std::size_t remaining, double partial_cost, std::vector<double>& best,
-               double& best_cost, std::size_t& nodes) {
+               double& best_cost, std::size_t& nodes, std::vector<double>& completed) {
     if (remaining == 0 || level + 1 == 0) {
-        std::vector<double> completed = amplitudes;
+        completed = amplitudes;
         const double cost = babai_complete(model, completed, level, partial_cost, nodes);
         if (cost < best_cost) {
             best_cost = cost;
@@ -59,7 +62,8 @@ void enumerate(const real_model& model, std::vector<double>& amplitudes, std::si
             }
             continue;
         }
-        enumerate(model, amplitudes, level - 1, remaining - 1, cost, best, best_cost, nodes);
+        enumerate(model, amplitudes, level - 1, remaining - 1, cost, best, best_cost, nodes,
+                  completed);
     }
 }
 
@@ -70,24 +74,32 @@ fcsd_detector::fcsd_detector(std::size_t full_levels) : full_levels_(full_levels
 std::string fcsd_detector::name() const { return "FCSD" + std::to_string(full_levels_); }
 
 detection_result fcsd_detector::detect(const wireless::mimo_instance& instance) const {
-    const util::timer clock;
-    const real_model model = make_real_model(instance);
+    detect_scratch scratch;
+    detection_result result;
+    detect_into(instance, scratch, result);
+    return result;
+}
 
-    std::vector<double> amplitudes(model.dims, 0.0);
-    std::vector<double> best(model.dims, 0.0);
+void fcsd_detector::detect_into(const wireless::mimo_instance& instance, detect_scratch& scratch,
+                                detection_result& out) const {
+    const util::timer clock;
+    lattice_scratch& lat = scratch.lattice;
+    const real_model& model = make_real_model_into(instance, lat);
+
+    lat.chosen.assign(model.dims, 0.0);
+    lat.best.assign(model.dims, 0.0);
     double best_cost = std::numeric_limits<double>::infinity();
     std::size_t nodes = 0;
 
     if (full_levels_ == 0) {
-        best_cost = babai_complete(model, best, model.dims - 1, 0.0, nodes);
+        best_cost = babai_complete(model, lat.best, model.dims - 1, 0.0, nodes);
     } else {
-        enumerate(model, amplitudes, model.dims - 1, std::min(full_levels_, model.dims), 0.0,
-                  best, best_cost, nodes);
+        enumerate(model, lat.chosen, model.dims - 1, std::min(full_levels_, model.dims), 0.0,
+                  lat.best, best_cost, nodes, lat.completed);
     }
 
-    auto result = assemble_result(instance, best, nodes);
-    result.elapsed_us = clock.elapsed_us();
-    return result;
+    assemble_result_into(instance, lat.best, nodes, scratch.residual, out);
+    out.elapsed_us = clock.elapsed_us();
 }
 
 }  // namespace hcq::detect

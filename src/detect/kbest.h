@@ -14,6 +14,8 @@ public:
     explicit kbest_detector(std::size_t k = 8);
 
     [[nodiscard]] detection_result detect(const wireless::mimo_instance& instance) const override;
+    void detect_into(const wireless::mimo_instance& instance, detect_scratch& scratch,
+                     detection_result& out) const override;
     [[nodiscard]] std::string name() const override;
 
     [[nodiscard]] std::size_t beam_width() const noexcept { return k_; }

@@ -1,5 +1,10 @@
+// hcq-hot-path: steady-state code in this file must not allocate — reuse
+// workspace scratch (enforced by the hot-path-alloc lint rule).
 #include "detect/linear.h"
 
+#include <span>
+
+#include "detect/scratch.h"
 #include "linalg/decompose.h"
 #include "util/timer.h"
 
@@ -7,44 +12,80 @@ namespace hcq::detect {
 
 namespace {
 
-detection_result slice_to_result(const wireless::mimo_instance& instance,
-                                 const linalg::cvec& soft) {
-    detection_result result;
-    result.symbols = linalg::cvec(soft.size());
+// Slices each equalised estimate to the nearest constellation point and
+// assembles the detection_result: symbols, bits, and the ML cost of the
+// sliced word.  The per-call temporaries of the historical slice_to_result
+// (fresh symbol vector, per-symbol heap bit vectors, demodulated bit vector,
+// ml_cost residual) now live in `scratch` / `out` — the arithmetic and hence
+// the outputs are unchanged.
+void slice_to_result_into(const wireless::mimo_instance& instance, const linalg::cvec& soft,
+                          detect_scratch& scratch, detection_result& out) {
+    out.symbols.resize(soft.size());
+    std::uint8_t bits[8];  // bits_per_symbol is at most 6
+    const std::size_t bps = wireless::bits_per_symbol(instance.mod);
     for (std::size_t u = 0; u < soft.size(); ++u) {
-        const auto bits = wireless::demodulate_symbol(instance.mod, soft[u]);
-        result.symbols[u] = wireless::modulate_symbol(instance.mod, bits);
+        wireless::demodulate_symbol_into(instance.mod, soft[u], bits);
+        out.symbols[u] =
+            wireless::modulate_symbol(instance.mod, std::span<const std::uint8_t>(bits, bps));
     }
-    result.bits = wireless::demodulate(instance.mod, result.symbols);
-    result.ml_cost = instance.ml_cost(result.symbols);
-    return result;
+    wireless::demodulate_into(instance.mod, out.symbols, out.bits);
+    out.ml_cost = instance.ml_cost(out.symbols, scratch.residual);
+    out.nodes_visited = 0;
 }
 
 }  // namespace
 
 detection_result zf_detector::detect(const wireless::mimo_instance& instance) const {
-    const util::timer clock;
-    const auto soft = linalg::least_squares(instance.h, instance.y);
-    auto result = slice_to_result(instance, soft);
-    result.elapsed_us = clock.elapsed_us();
+    detect_scratch scratch;
+    detection_result result;
+    detect_into(instance, scratch, result);
     return result;
 }
 
-detection_result mmse_detector::detect(const wireless::mimo_instance& instance) const {
+void zf_detector::detect_into(const wireless::mimo_instance& instance, detect_scratch& scratch,
+                              detection_result& out) const {
     const util::timer clock;
-    const auto hh = instance.h.hermitian();
-    auto gram = hh * instance.h;
-    const double load = instance.noise_variance / wireless::mean_symbol_energy(instance.mod);
-    for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += load;
+    linear_scratch& s = scratch.linear;
+    // Coherence cache: an EXACTLY repeated channel (another attempt on the
+    // same use, or a static channel) reuses the QR factors; the
+    // factorisation is a pure function of H, so hits are output-invariant.
+    if (!s.zf_valid || !linalg::exactly_equal(instance.h, s.zf_key)) {
+        linalg::householder_qr_into(instance.h, s.ls.qr, s.ls.factors);
+        s.zf_key = instance.h;
+        s.zf_valid = true;
+    }
+    linalg::herm_matvec_into(s.ls.factors.q, instance.y, s.ls.qhy);
+    linalg::solve_upper_into(s.ls.factors.r, s.ls.qhy, s.soft);
+    slice_to_result_into(instance, s.soft, scratch, out);
+    out.elapsed_us = clock.elapsed_us();
+}
 
-    const auto l = linalg::cholesky(gram);
-    const auto rhs = hh * instance.y;
-    const auto z = linalg::solve_lower(l, rhs);
-    const auto soft = linalg::solve_upper(l.hermitian(), z);
-
-    auto result = slice_to_result(instance, soft);
-    result.elapsed_us = clock.elapsed_us();
+detection_result mmse_detector::detect(const wireless::mimo_instance& instance) const {
+    detect_scratch scratch;
+    detection_result result;
+    detect_into(instance, scratch, result);
     return result;
+}
+
+void mmse_detector::detect_into(const wireless::mimo_instance& instance, detect_scratch& scratch,
+                                detection_result& out) const {
+    const util::timer clock;
+    linear_scratch& s = scratch.linear;
+    const double load = instance.noise_variance / wireless::mean_symbol_energy(instance.mod);
+    if (!s.mmse_valid || s.mmse_load != load || !linalg::exactly_equal(instance.h, s.mmse_key)) {
+        linalg::gram_into(instance.h, s.gram);
+        for (std::size_t i = 0; i < s.gram.rows(); ++i) s.gram(i, i) += load;
+        linalg::cholesky_into(s.gram, s.lfac);
+        linalg::hermitian_into(s.lfac, s.lh);
+        s.mmse_key = instance.h;
+        s.mmse_load = load;
+        s.mmse_valid = true;
+    }
+    linalg::herm_matvec_into(instance.h, instance.y, s.rhs);
+    linalg::solve_lower_into(s.lfac, s.rhs, s.z);
+    linalg::solve_upper_into(s.lh, s.z, s.soft);
+    slice_to_result_into(instance, s.soft, scratch, out);
+    out.elapsed_us = clock.elapsed_us();
 }
 
 }  // namespace hcq::detect

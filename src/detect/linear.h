@@ -8,13 +8,43 @@
 #define HCQ_DETECT_LINEAR_H
 
 #include "detect/detector.h"
+#include "linalg/decompose.h"
 
 namespace hcq::detect {
+
+/// Reusable intermediates of the linear detectors, including their
+/// decomposition caches.  A cache entry is reused only when the current
+/// channel matches the keyed copy EXACTLY (||H - H_key||_F == 0, tested
+/// elementwise by linalg::exactly_equal) — a repeated channel yields the
+/// identical factorisation, so cache hits are output-invariant by
+/// construction; any other channel recomputes from scratch.  Under
+/// correlated fading this amortises the QR / Cholesky preprocessing across
+/// the paths and retransmission attempts that share one channel use.
+struct linear_scratch {
+    // Zero-forcing: QR factors of H.
+    linalg::cmat zf_key;  ///< channel the cached `ls.factors` belong to
+    bool zf_valid = false;
+    linalg::ls_scratch<linalg::cxd> ls;
+
+    // MMSE: Cholesky factor of H^H H + load I, keyed on (H, load).
+    linalg::cmat mmse_key;
+    double mmse_load = 0.0;
+    bool mmse_valid = false;
+    linalg::cmat gram;  ///< H^H H + load I
+    linalg::cmat lfac;  ///< cached Cholesky factor L
+    linalg::cmat lh;    ///< cached L^H
+    linalg::cvec rhs;   ///< H^H y
+    linalg::cvec z;     ///< forward-substitution intermediate
+
+    linalg::cvec soft;  ///< equalised symbol estimates before slicing
+};
 
 /// Zero-forcing: x_hat = slice(H^+ y) with H^+ the least-squares pseudo-inverse.
 class zf_detector final : public detector {
 public:
     [[nodiscard]] detection_result detect(const wireless::mimo_instance& instance) const override;
+    void detect_into(const wireless::mimo_instance& instance, detect_scratch& scratch,
+                     detection_result& out) const override;
     [[nodiscard]] std::string name() const override { return "ZF"; }
 };
 
@@ -23,6 +53,8 @@ public:
 class mmse_detector final : public detector {
 public:
     [[nodiscard]] detection_result detect(const wireless::mimo_instance& instance) const override;
+    void detect_into(const wireless::mimo_instance& instance, detect_scratch& scratch,
+                     detection_result& out) const override;
     [[nodiscard]] std::string name() const override { return "MMSE"; }
 };
 

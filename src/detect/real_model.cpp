@@ -19,6 +19,55 @@ std::vector<double> pam_alphabet(std::size_t bits_per_dim) {
 
 }  // namespace
 
+namespace {
+
+/// Stacks [Re H; Im H] (the thin BPSK embedding) into `out`.
+void stack_bpsk_embedding(const linalg::cmat& h, linalg::rmat& out) {
+    out.resize(2 * h.rows(), h.cols());
+    for (std::size_t r = 0; r < h.rows(); ++r) {
+        for (std::size_t c = 0; c < h.cols(); ++c) {
+            out(r, c) = h(r, c).real();
+            out(h.rows() + r, c) = h(r, c).imag();
+        }
+    }
+}
+
+}  // namespace
+
+const real_model& make_real_model_into(const wireless::mimo_instance& instance,
+                                       lattice_scratch& scratch) {
+    real_model& model = scratch.model;
+    const bool hit = scratch.valid && scratch.key_mod == instance.mod &&
+                     linalg::exactly_equal(instance.h, scratch.h_key);
+    if (!hit) {
+        model.mod = instance.mod;
+        model.num_users = instance.num_users;
+        model.quadrature = wireless::uses_quadrature(instance.mod);
+        const std::size_t bits_per_dim = wireless::bits_per_dimension(instance.mod);
+        const double max_amp = std::pow(2.0, static_cast<double>(bits_per_dim)) - 1.0;
+        model.alphabet.clear();
+        for (double a = -max_amp; a <= max_amp; a += 2.0) model.alphabet.push_back(a);
+
+        if (model.quadrature) {
+            linalg::real_embedding_into(instance.h, scratch.a_real);
+            model.dims = 2 * instance.num_users;
+        } else {
+            stack_bpsk_embedding(instance.h, scratch.a_real);
+            model.dims = instance.num_users;
+        }
+        linalg::householder_qr_into(scratch.a_real, scratch.qr, scratch.factors);
+        model.r = scratch.factors.r;
+        scratch.q = scratch.factors.q;
+        scratch.h_key = instance.h;
+        scratch.key_mod = instance.mod;
+        scratch.valid = true;
+    }
+    // y_eff = Q^T y_real is per-use even when the factorisation is cached.
+    linalg::real_embedding_into(instance.y, scratch.y_real);
+    linalg::herm_matvec_into(scratch.q, scratch.y_real, model.y_eff);
+    return model;
+}
+
 real_model make_real_model(const wireless::mimo_instance& instance) {
     real_model model;
     model.mod = instance.mod;
@@ -53,23 +102,31 @@ real_model make_real_model(const wireless::mimo_instance& instance) {
 detection_result assemble_result(const wireless::mimo_instance& instance,
                                  const std::vector<double>& amplitudes,
                                  std::size_t nodes_visited) {
+    detection_result result;
+    linalg::cvec residual;
+    assemble_result_into(instance, amplitudes, nodes_visited, residual, result);
+    return result;
+}
+
+void assemble_result_into(const wireless::mimo_instance& instance,
+                          const std::vector<double>& amplitudes, std::size_t nodes_visited,
+                          linalg::cvec& residual_scratch, detection_result& out) {
     const bool quadrature = wireless::uses_quadrature(instance.mod);
     const std::size_t n = instance.num_users;
     const std::size_t expected = quadrature ? 2 * n : n;
     if (amplitudes.size() != expected) {
         throw std::invalid_argument("assemble_result: wrong amplitude count");
     }
-    detection_result result;
-    result.symbols = linalg::cvec(n);
+    out.symbols.resize(n);
     for (std::size_t u = 0; u < n; ++u) {
         const double re = amplitudes[u];
         const double im = quadrature ? amplitudes[n + u] : 0.0;
-        result.symbols[u] = linalg::cxd(re, im);
+        out.symbols[u] = linalg::cxd(re, im);
     }
-    result.bits = wireless::demodulate(instance.mod, result.symbols);
-    result.ml_cost = instance.ml_cost(result.symbols);
-    result.nodes_visited = nodes_visited;
-    return result;
+    wireless::demodulate_into(instance.mod, out.symbols, out.bits);
+    out.ml_cost = instance.ml_cost(out.symbols, residual_scratch);
+    out.nodes_visited = nodes_visited;
+    out.elapsed_us = 0.0;
 }
 
 double slice_amplitude(double value, const std::vector<double>& alphabet) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "detect/detector.h"
+#include "linalg/decompose.h"
 #include "linalg/matrix.h"
 #include "wireless/mimo.h"
 
@@ -27,14 +28,67 @@ struct real_model {
     bool quadrature = false;
 };
 
+/// Reusable state of the tree-search detectors: the QR-preprocessed lattice
+/// model (cached on the exact channel content, so the tree searches sharing
+/// one channel use — K-best, sphere, FCSD, a K-best initialiser — factorise
+/// it once) plus the per-search traversal buffers.  Cache hits require
+/// ||H - H_key||_F == 0 (elementwise equality); an equal channel yields the
+/// identical factorisation, so hits are output-invariant by construction.
+struct lattice_scratch {
+    // Cached model (only y_eff is per-use once the channel repeats).
+    real_model model;
+    linalg::rmat q;  ///< cached Q of the embedded channel
+    linalg::cmat h_key;
+    wireless::modulation key_mod = wireless::modulation::bpsk;
+    bool valid = false;
+
+    // Rebuild intermediates.
+    linalg::rmat a_real;
+    linalg::rvec y_real;
+    linalg::qr_scratch<double> qr;
+    linalg::qr_result<double> factors;
+
+    // K-best beams, flattened: row b of a beam occupies
+    // [b * dims, (b + 1) * dims) of beam_amps / next_amps.
+    std::vector<double> beam_amps;
+    std::vector<double> next_amps;
+    /// One candidate child of the beam expansion: enough to reconstruct the
+    /// amplitude row from its parent without copying whole paths around.
+    struct expand_node {
+        double cost = 0.0;
+        std::size_t parent = 0;
+        double amplitude = 0.0;
+    };
+    std::vector<expand_node> expanded;
+    std::vector<double> beam_costs;  ///< accumulated cost per current beam row
+
+    // Sphere / FCSD traversal state.
+    std::vector<double> chosen;
+    std::vector<double> best;
+    std::vector<double> completed;
+    std::vector<std::vector<double>> level_order;  ///< per-level SE orderings
+};
+
 /// Builds the model for one instance (QR of the embedded channel).
 [[nodiscard]] real_model make_real_model(const wireless::mimo_instance& instance);
+
+/// make_real_model through the scratch's cache: factorises only when the
+/// (channel, modulation) key changed, recomputes y_eff every call, and
+/// returns the scratch-owned model.  Bit-identical to make_real_model.
+const real_model& make_real_model_into(const wireless::mimo_instance& instance,
+                                       lattice_scratch& scratch);
 
 /// Converts per-dimension amplitudes (model ordering: all I components, then
 /// all Q components) into a full detection_result for `instance`.
 [[nodiscard]] detection_result assemble_result(const wireless::mimo_instance& instance,
                                                const std::vector<double>& amplitudes,
                                                std::size_t nodes_visited);
+
+/// assemble_result into a reused result (bit-identical fields); the residual
+/// buffer serves the ml_cost evaluation.
+void assemble_result_into(const wireless::mimo_instance& instance,
+                          const std::vector<double>& amplitudes, std::size_t nodes_visited,
+                          linalg::cvec& residual_scratch, detection_result& out);
 
 /// Slices a real value to the nearest alphabet amplitude.
 [[nodiscard]] double slice_amplitude(double value, const std::vector<double>& alphabet);

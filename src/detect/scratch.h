@@ -1,0 +1,50 @@
+// Per-worker detection scratch: one arena serving every built-in detector.
+//
+// The detection hot path used to allocate per call — QR intermediates,
+// QUBO reduction temporaries, beam copies, result vectors.  detect_scratch
+// gathers all of those into one reusable object: each detector's
+// detect_into override touches only the members it needs, every buffer is
+// resized in place (capacity-reusing), and the embedded decomposition caches
+// (linear_scratch, lattice_scratch) key on the EXACT channel content so a
+// cache hit is output-invariant by construction.  A warmed-up scratch makes
+// the built-in detectors allocation-free per use.
+//
+// Ownership: one detect_scratch per worker thread (see paths/workspace.h),
+// never shared concurrently.  Nothing in here affects detection OUTPUTS —
+// the golden link statistics are bit-identical with or without scratch
+// reuse, which tests/workspace_test.cpp pins.
+#ifndef HCQ_DETECT_SCRATCH_H
+#define HCQ_DETECT_SCRATCH_H
+
+#include <cstddef>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/linear.h"
+#include "detect/real_model.h"
+#include "detect/transform.h"
+#include "linalg/decompose.h"
+#include "linalg/matrix.h"
+
+namespace hcq::detect {
+
+struct detect_scratch {
+    qubo_scratch qubo;        ///< QuAMax reduction buffers + cached A matrix
+    linear_scratch linear;    ///< ZF / MMSE factorisation caches
+    lattice_scratch lattice;  ///< shared real-lattice model + tree buffers
+
+    // SIC per-iteration state.
+    linalg::ls_scratch<linalg::cxd> ls;  ///< least squares on the restricted channel
+    linalg::cmat h_sub;                  ///< channel restricted to remaining streams
+    linalg::cvec sic_residual;           ///< interference-cancelled observation
+    linalg::cvec soft;                   ///< equalised estimates
+    std::vector<std::size_t> remaining;  ///< undetected stream ids
+
+    linalg::cvec symbols;     ///< ml_cost_bits symbol buffer
+    linalg::cvec residual;    ///< ml_cost residual buffer
+    detection_result result;  ///< reusable carrier for the path adapters
+};
+
+}  // namespace hcq::detect
+
+#endif  // HCQ_DETECT_SCRATCH_H

@@ -14,6 +14,8 @@ namespace hcq::detect {
 class sic_detector final : public detector {
 public:
     [[nodiscard]] detection_result detect(const wireless::mimo_instance& instance) const override;
+    void detect_into(const wireless::mimo_instance& instance, detect_scratch& scratch,
+                     detection_result& out) const override;
     [[nodiscard]] std::string name() const override { return "SIC"; }
 };
 

@@ -5,17 +5,21 @@
 #include <limits>
 
 #include "detect/real_model.h"
+#include "detect/scratch.h"
 #include "util/timer.h"
 
 namespace hcq::detect {
 
 namespace {
 
-/// DFS state shared across recursion levels.
+/// DFS state shared across recursion levels.  The chosen/best/per-level
+/// order buffers live in the caller's lattice_scratch so a warmed-up search
+/// never allocates.
 struct search_state {
     const real_model* model = nullptr;
-    std::vector<double> chosen;      // amplitude per dimension
-    std::vector<double> best;        // best leaf found
+    std::vector<double>* chosen = nullptr;  // amplitude per dimension
+    std::vector<double>* best = nullptr;    // best leaf found
+    std::vector<std::vector<double>>* level_order = nullptr;
     double best_cost = std::numeric_limits<double>::infinity();
     std::size_t nodes = 0;
 };
@@ -24,17 +28,20 @@ struct search_state {
 /// accumulated from higher levels.
 void descend(search_state& state, std::size_t level, double partial_cost) {
     const auto& m = *state.model;
+    std::vector<double>& chosen = *state.chosen;
     // Unconstrained center of this level given the higher-level choices.
     double acc = m.y_eff[level];
     for (std::size_t j = level + 1; j < m.dims; ++j) {
-        acc -= m.r(level, j) * state.chosen[j];
+        acc -= m.r(level, j) * chosen[j];
     }
     const double diag = m.r(level, level);
     const double center = acc / diag;
 
     // Schnorr-Euchner: visit alphabet points by increasing distance from the
     // center, so the first leaf is the Babai point and pruning kicks in fast.
-    std::vector<double> order = m.alphabet;
+    // Each recursion level owns one reusable ordering buffer.
+    std::vector<double>& order = (*state.level_order)[level];
+    order.assign(m.alphabet.begin(), m.alphabet.end());
     std::sort(order.begin(), order.end(), [center](double a, double b) {
         return std::fabs(a - center) < std::fabs(b - center);
     });
@@ -47,10 +54,10 @@ void descend(search_state& state, std::size_t level, double partial_cost) {
             break;
         }
         ++state.nodes;
-        state.chosen[level] = amplitude;
+        chosen[level] = amplitude;
         if (level == 0) {
             state.best_cost = cost;
-            state.best = state.chosen;
+            *state.best = chosen;
         } else {
             descend(state, level - 1, cost);
         }
@@ -63,13 +70,26 @@ sphere_detector::sphere_detector(double initial_radius_sq)
     : initial_radius_sq_(initial_radius_sq) {}
 
 detection_result sphere_detector::detect(const wireless::mimo_instance& instance) const {
+    detect_scratch scratch;
+    detection_result result;
+    detect_into(instance, scratch, result);
+    return result;
+}
+
+void sphere_detector::detect_into(const wireless::mimo_instance& instance,
+                                  detect_scratch& scratch, detection_result& out) const {
     const util::timer clock;
-    const real_model model = make_real_model(instance);
+    lattice_scratch& lat = scratch.lattice;
+    const real_model& model = make_real_model_into(instance, lat);
+    if (lat.level_order.size() < model.dims) lat.level_order.resize(model.dims);
 
     search_state state;
     state.model = &model;
-    state.chosen.assign(model.dims, 0.0);
-    state.best.assign(model.dims, 0.0);
+    state.chosen = &lat.chosen;
+    state.best = &lat.best;
+    state.level_order = &lat.level_order;
+    lat.chosen.assign(model.dims, 0.0);
+    lat.best.assign(model.dims, 0.0);
     if (initial_radius_sq_ > 0.0) state.best_cost = initial_radius_sq_;
 
     descend(state, model.dims - 1, 0.0);
@@ -79,15 +99,18 @@ detection_result sphere_detector::detect(const wireless::mimo_instance& instance
         // obtained with an unbounded radius.
         search_state fallback;
         fallback.model = &model;
-        fallback.chosen.assign(model.dims, 0.0);
-        fallback.best.assign(model.dims, 0.0);
+        fallback.chosen = &lat.chosen;
+        fallback.best = &lat.best;
+        fallback.level_order = &lat.level_order;
+        lat.chosen.assign(model.dims, 0.0);
+        lat.best.assign(model.dims, 0.0);
         descend(fallback, model.dims - 1, 0.0);
-        state = std::move(fallback);
+        state.best_cost = fallback.best_cost;
+        state.nodes = fallback.nodes;
     }
 
-    auto result = assemble_result(instance, state.best, state.nodes);
-    result.elapsed_us = clock.elapsed_us();
-    return result;
+    assemble_result_into(instance, lat.best, state.nodes, scratch.residual, out);
+    out.elapsed_us = clock.elapsed_us();
 }
 
 }  // namespace hcq::detect

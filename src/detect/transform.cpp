@@ -17,6 +17,18 @@ linalg::cvec ml_qubo::symbols(std::span<const std::uint8_t> bits) const {
 }
 
 ml_qubo ml_to_qubo(const cmat& h, const cvec& y, wireless::modulation mod) {
+    qubo_scratch scratch;
+    ml_qubo out;
+    ml_to_qubo_into(h, y, mod, scratch, out);
+    return out;
+}
+
+ml_qubo ml_to_qubo(const wireless::mimo_instance& instance) {
+    return ml_to_qubo(instance.h, instance.y, instance.mod);
+}
+
+void ml_to_qubo_into(const cmat& h, const cvec& y, wireless::modulation mod,
+                     qubo_scratch& scratch, ml_qubo& out) {
     const std::size_t num_users = h.cols();
     const std::size_t num_antennas = h.rows();
     if (num_users == 0 || num_antennas == 0) throw std::invalid_argument("ml_to_qubo: empty H");
@@ -27,47 +39,52 @@ ml_qubo ml_to_qubo(const cmat& h, const cvec& y, wireless::modulation mod) {
     const std::size_t nb = num_users * bps;
 
     // A: users x bits weight matrix of the natural linear map, x = A t.
-    cmat a(num_users, nb);
-    for (std::size_t u = 0; u < num_users; ++u) {
-        for (std::size_t j = 0; j < k; ++j) {
-            const double w = std::pow(2.0, static_cast<double>(k - 1 - j));
-            a(u, u * bps + j) = cxd(w, 0.0);
-            if (wireless::uses_quadrature(mod)) {
-                a(u, u * bps + k + j) = cxd(0.0, w);
+    // It depends only on (mod, users), so rebuild only when the key changed.
+    if (!scratch.a_valid || scratch.a_mod != mod || scratch.a_users != num_users) {
+        scratch.a.resize(num_users, nb);  // zero-fills
+        for (std::size_t u = 0; u < num_users; ++u) {
+            for (std::size_t j = 0; j < k; ++j) {
+                const double w = std::pow(2.0, static_cast<double>(k - 1 - j));
+                scratch.a(u, u * bps + j) = cxd(w, 0.0);
+                if (wireless::uses_quadrature(mod)) {
+                    scratch.a(u, u * bps + k + j) = cxd(0.0, w);
+                }
             }
         }
+        scratch.a_mod = mod;
+        scratch.a_users = num_users;
+        scratch.a_valid = true;
     }
 
-    const cmat b = h * a;            // antennas x bits
-    const cmat bh = b.hermitian();   // bits x antennas
-    const cmat gram = bh * b;        // bits x bits, Hermitian
+    // B = H A, G = B^H B, c = B^H y — the into-kernels replicate the exact
+    // operation order of the matrix operators, so the coefficients are
+    // bit-identical to the temporary-based formulation.
+    linalg::multiply_into(h, scratch.a, scratch.b);
+    linalg::gram_into(scratch.b, scratch.gram);
+    linalg::herm_matvec_into(scratch.b, y, scratch.bhy);
 
-    // c_b = Re((B^H y)_b)
-    const cvec bhy = bh * y;
-
-    qubo::ising_model ising(nb);
+    scratch.ising.reset(nb);
     double offset = 0.0;
     const double yn = y.norm2();
     offset += yn * yn;
     for (std::size_t i = 0; i < nb; ++i) {
-        ising.set_field(i, -2.0 * bhy[i].real());
-        offset += gram(i, i).real();  // t_i^2 == 1
+        scratch.ising.set_field(i, -2.0 * scratch.bhy[i].real());
+        offset += scratch.gram(i, i).real();  // t_i^2 == 1
         for (std::size_t j = i + 1; j < nb; ++j) {
-            const double g = gram(i, j).real();
-            if (g != 0.0) ising.set_coupling(i, j, 2.0 * g);
+            const double g = scratch.gram(i, j).real();
+            if (g != 0.0) scratch.ising.set_coupling(i, j, 2.0 * g);
         }
     }
-    ising.set_offset(offset);
+    scratch.ising.set_offset(offset);
 
-    ml_qubo out;
-    out.model = qubo::to_qubo(ising);
+    qubo::to_qubo_into(scratch.ising, out.model);
     out.mod = mod;
     out.num_users = num_users;
-    return out;
 }
 
-ml_qubo ml_to_qubo(const wireless::mimo_instance& instance) {
-    return ml_to_qubo(instance.h, instance.y, instance.mod);
+void ml_to_qubo_into(const wireless::mimo_instance& instance, qubo_scratch& scratch,
+                     ml_qubo& out) {
+    ml_to_qubo_into(instance.h, instance.y, instance.mod, scratch, out);
 }
 
 void apply_symbol_prior(ml_qubo& mq, std::size_t user,

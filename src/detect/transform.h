@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <span>
 
+#include "qubo/ising.h"
 #include "qubo/model.h"
 #include "wireless/mimo.h"
 
@@ -39,12 +40,38 @@ struct ml_qubo {
     [[nodiscard]] linalg::cvec symbols(std::span<const std::uint8_t> bits) const;
 };
 
+/// Reusable intermediates of ml_to_qubo_into.  The bit-weight matrix A
+/// depends only on (modulation, user count), so it is cached across calls;
+/// everything else is resized in place, making a warmed-up reduction
+/// allocation-free.
+struct qubo_scratch {
+    linalg::cmat a;  ///< cached x = A t weight matrix
+    wireless::modulation a_mod = wireless::modulation::bpsk;
+    std::size_t a_users = 0;
+    bool a_valid = false;
+
+    linalg::cmat b;     ///< B = H A
+    linalg::cmat gram;  ///< B^H B
+    linalg::cvec bhy;   ///< B^H y
+    qubo::ising_model ising;
+};
+
 /// Reduces min_x ||y - H x||^2 over the given modulation to a QUBO.
 [[nodiscard]] ml_qubo ml_to_qubo(const linalg::cmat& h, const linalg::cvec& y,
                                  wireless::modulation mod);
 
 /// Convenience overload on a synthesised instance.
 [[nodiscard]] ml_qubo ml_to_qubo(const wireless::mimo_instance& instance);
+
+/// ml_to_qubo into a reused ml_qubo through caller-owned scratch.  Produces
+/// the bit-identical model (ml_to_qubo delegates here), reusing `out`'s and
+/// `scratch`'s buffers.
+void ml_to_qubo_into(const linalg::cmat& h, const linalg::cvec& y, wireless::modulation mod,
+                     qubo_scratch& scratch, ml_qubo& out);
+
+/// Instance overload of ml_to_qubo_into.
+void ml_to_qubo_into(const wireless::mimo_instance& instance, qubo_scratch& scratch,
+                     ml_qubo& out);
 
 /// Injects the Figure-4 soft-information prior for one user's symbol: the
 /// believed bit pattern receives pairwise constraint terms of the given

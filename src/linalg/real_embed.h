@@ -21,6 +21,19 @@ namespace hcq::linalg {
 /// imaginary parts; size must be even.
 [[nodiscard]] cvec complex_from_embedding(const rvec& v);
 
+// Write-into variants: same layout, same element order, but the output
+// buffer is reused (resize keeps capacity) so hot callers embed without
+// allocating after warm-up.
+
+/// real_embedding(cmat) into a reused matrix.
+void real_embedding_into(const cmat& h, rmat& out);
+
+/// real_embedding(cvec) into a reused vector.
+void real_embedding_into(const cvec& v, rvec& out);
+
+/// complex_from_embedding into a reused vector.
+void complex_from_embedding_into(const rvec& v, cvec& out);
+
 }  // namespace hcq::linalg
 
 #endif  // HCQ_LINALG_REAL_EMBED_H

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <memory>
 #include <optional>
+#include <span>
 #include <stdexcept>
 
 #include "metrics/stats.h"
 #include "paths/registry.h"
+#include "paths/workspace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "wireless/mimo.h"
@@ -243,16 +245,43 @@ link_report run_link_simulation(const link_config& config) {
             util::rng(config.seed).derive(fading_stream_domain));
     }
 
-    // The stream is processed in fixed-size windows: workers fill one window
-    // of per-use cells in parallel, then the window is folded serially in
-    // use order into the constant-size aggregates above.  Peak memory is
-    // O(stream_block x paths), independent of num_uses.
+    // The stream is processed in fixed-size windows, each in three phases
+    // with a barrier between them: (A) synthesise every use and build the
+    // shared QUBO reductions block-at-a-time, (B) run every (path, use)
+    // detection cell batched through detection_path::run_block, and (C) run
+    // the ARQ retransmission chains.  Workers fill disjoint slots in
+    // parallel, then the window is folded serially in use order into the
+    // constant-size aggregates above.  All buffers below persist across
+    // windows, so after the first window the steady state reuses their
+    // capacity; peak memory is O(stream_block x paths), independent of
+    // num_uses.
     const std::size_t block = std::min(config.stream_block, config.num_uses);
+    std::vector<wireless::mimo_instance> instances(block);
+    std::vector<detect::ml_qubo> mqs(needs_qubo ? block : 0);
     std::vector<qubo::bit_vector> tx_bits(block);
     std::vector<double> synth_us(block, 0.0);
     std::vector<double> reduce_us(block, 0.0);
-    std::vector<paths::path_result> cells(block * num_paths);
-    std::vector<arq_cell> arq_cells(config.arq ? block * num_paths : 0);
+    std::vector<paths::path_result> cells(num_paths * block);  // path-major: [p * block + i]
+    std::vector<arq_cell> arq_cells(config.arq ? num_paths * block : 0);
+
+    // One scratch arena per worker thread (paths/workspace.h), warm across
+    // windows.  With config.workspaces false every context instead carries
+    // ws == nullptr and the paths take their allocate-per-call branch —
+    // statistics are bit-identical either way (workspace_test.cpp).
+    paths::workspace_store workspaces;
+
+    const wireless::mimo_config mimo = [&] {
+        wireless::mimo_config m;
+        m.mod = config.mod;
+        m.num_users = config.num_users;
+        m.num_antennas = config.num_users;
+        m.channel = config.channel;
+        m.noise_variance = config.noiseless
+                               ? 0.0
+                               : wireless::noise_variance_for_snr(config.mod, config.num_users,
+                                                                  snr_db);
+        return m;
+    }();
 
     // Per-path length of the error run currently open in the serial fold —
     // carried across windows so burst statistics are stream_block-invariant.
@@ -263,50 +292,87 @@ link_report run_link_simulation(const link_config& config) {
     std::optional<util::thread_pool> pool;
     if (config.num_threads != 1 && block > 1) pool.emplace(config.num_threads);
 
+    // Batched detection granularity: run_block amortises per-call overhead
+    // over a chunk of uses while leaving enough tasks per window for the
+    // pool to balance.  Pure scheduling — every cell still draws from its
+    // globally-indexed stream, so the chunk size affects no statistic.
+    constexpr std::size_t run_chunk = 64;
+
+    const auto run_all = [&](std::size_t count, const auto& task) {
+        if (!pool || count < 2) {
+            for (std::size_t i = 0; i < count; ++i) task(i);
+        } else {
+            for (std::size_t i = 0; i < count; ++i) {
+                pool->submit([&task, i] { task(i); });
+            }
+            pool->wait_idle();
+        }
+    };
+
     for (std::size_t base = 0; base < config.num_uses; base += block) {
         const std::size_t window = std::min(block, config.num_uses - base);
-        const auto fill_cell = [&](std::size_t i) {
+        // Phase A: synthesise the channel uses (channel draw + modulation)
+        // and build the shared QUBO reductions (QuAMax transform)
+        // block-at-a-time.  The reduction is shared by the QUBO-based paths
+        // and skipped — trace stays zero — when only conventional detectors
+        // are configured.
+        const auto synth_cell = [&](std::size_t i) {
             const std::size_t u = base + i;
-            // Stage 1: synthesise the channel use (channel draw + modulation).
             util::rng synth_rng = synth_base.derive(u);
-            wireless::mimo_config mimo;
-            mimo.mod = config.mod;
-            mimo.num_users = config.num_users;
-            mimo.num_antennas = config.num_users;
-            mimo.channel = config.channel;
-            mimo.noise_variance =
-                config.noiseless ? 0.0
-                                 : wireless::noise_variance_for_snr(config.mod, config.num_users,
-                                                                    snr_db);
+            wireless::mimo_instance& instance = instances[i];
             util::timer synth_clock;
-            const auto instance =
-                process ? wireless::synthesize_at(synth_rng, mimo, *process,
-                                                  static_cast<double>(u), csi_est_err)
-                        : wireless::synthesize(synth_rng, mimo);
+            if (process) {
+                wireless::synthesize_at_into(synth_rng, mimo, *process, static_cast<double>(u),
+                                             csi_est_err, instance);
+            } else {
+                wireless::synthesize_into(synth_rng, mimo, instance);
+            }
             synth_us[i] = synth_clock.elapsed_us();
             tx_bits[i] = instance.tx_bits;
 
-            // Stage 2: QUBO reduction (QuAMax transform), shared by the
-            // QUBO-based paths (skipped — trace stays zero — when only
-            // conventional detectors are configured).
-            detect::ml_qubo mq;
             reduce_us[i] = 0.0;
             if (needs_qubo) {
                 util::timer reduce_clock;
-                mq = detect::ml_to_qubo(instance);
+                if (config.workspaces) {
+                    detect::ml_to_qubo_into(instance, workspaces.local().detect.qubo, mqs[i]);
+                } else {
+                    mqs[i] = detect::ml_to_qubo(instance);
+                }
                 reduce_us[i] = reduce_clock.elapsed_us();
             }
+        };
+        run_all(window, synth_cell);
 
-            // Stage 3: every configured path detects the same use, each on
-            // its own derived RNG stream (indexed by the GLOBAL use index,
-            // so statistics do not depend on the window size).
-            for (std::size_t p = 0; p < num_paths; ++p) {
-                util::rng solve_rng = solve_base.derive(u * num_paths + p);
-                const paths::path_context ctx{instance, needs_qubo ? &mq : nullptr, solve_rng};
-                cells[i * num_paths + p] = paths[p]->run(ctx);
+        // Phase B: every configured path detects every use, batched through
+        // run_block in chunks.  Each (use, path) cell draws from its own
+        // derived stream indexed by the GLOBAL use index, so statistics do
+        // not depend on the window size, the chunking, or which worker —
+        // and hence which workspace — runs a given chunk.
+        const std::size_t chunks_per_path = (window + run_chunk - 1) / run_chunk;
+        const auto detect_chunk = [&](std::size_t task) {
+            const std::size_t p = task / chunks_per_path;
+            const std::size_t c0 = (task % chunks_per_path) * run_chunk;
+            const std::size_t n = std::min(run_chunk, window - c0);
+            paths::workspace* const ws = config.workspaces ? &workspaces.local() : nullptr;
+            std::vector<util::rng> rngs;
+            rngs.reserve(n);
+            for (std::size_t j = 0; j < n; ++j) {
+                const std::size_t u = base + c0 + j;
+                rngs.push_back(solve_base.derive(u * num_paths + p));
             }
+            std::vector<paths::path_context> ctxs;
+            ctxs.reserve(n);
+            for (std::size_t j = 0; j < n; ++j) {
+                ctxs.push_back({instances[c0 + j], needs_qubo ? &mqs[c0 + j] : nullptr,
+                                rngs[j], ws});
+            }
+            paths[p]->run_block(
+                ctxs, std::span<paths::path_result>(cells).subspan(p * block + c0, n));
+        };
+        run_all(num_paths * chunks_per_path, detect_chunk);
 
-            // Stage 4 (ARQ only): run each path's retransmission chain.  A
+        if (config.arq) {
+            // Phase C (ARQ only): run each path's retransmission chain.  A
             // retransmission is a REAL re-solve on a fresh channel use; its
             // RNG streams are indexed by (frame, attempt) globally, so the
             // resulting counters are invariant to threads and window size.
@@ -315,7 +381,9 @@ link_report run_link_simulation(const link_config& config) {
             // QUBO reduction are memoised per attempt rather than redone by
             // every retransmitting path; each path's service still counts
             // the reduction time its own pipeline would spend.
-            if (config.arq) {
+            const auto arq_use = [&](std::size_t i) {
+                const std::size_t u = base + i;
+                paths::workspace* const ws = config.workspaces ? &workspaces.local() : nullptr;
                 struct retx_attempt {
                     wireless::mimo_instance instance;
                     detect::ml_qubo mq;
@@ -344,16 +412,23 @@ link_report run_link_simulation(const link_config& config) {
                     }
                     if (needs_reduction && !slot->reduced) {
                         util::timer reduce_clock;
-                        slot->mq = detect::ml_to_qubo(slot->instance);
+                        if (ws != nullptr) {
+                            detect::ml_to_qubo_into(slot->instance, ws->detect.qubo, slot->mq);
+                        } else {
+                            slot->mq = detect::ml_to_qubo(slot->instance);
+                        }
                         slot->reduce_us = reduce_clock.elapsed_us();
                         slot->reduced = true;
                     }
                     return *slot;
                 };
                 for (std::size_t p = 0; p < num_paths; ++p) {
-                    arq_cell& ac = arq_cells[i * num_paths + p];
-                    ac = arq_cell{};
-                    bool ok = cells[i * num_paths + p].bits == tx_bits[i];
+                    arq_cell& ac = arq_cells[p * block + i];
+                    ac.attempts = 1;
+                    ac.wrong = 0;
+                    ac.final_ok = true;
+                    ac.retx_service_us.clear();  // keeps capacity across windows
+                    bool ok = cells[p * block + i].bits == tx_bits[i];
                     ac.first_ok = ok;
                     if (!ok) ++ac.wrong;
                     std::size_t attempt = 0;
@@ -365,7 +440,7 @@ link_report run_link_simulation(const link_config& config) {
                         util::rng retx_solve =
                             arq_solve_base.derive(u * num_paths + p).derive(attempt);
                         const paths::path_context retx_ctx{
-                            retx.instance, wants_qubo ? &retx.mq : nullptr, retx_solve};
+                            retx.instance, wants_qubo ? &retx.mq : nullptr, retx_solve, ws};
                         const auto result = paths[p]->run(retx_ctx);
                         for (const auto& st : result.stages) service_sum += st.service_us;
                         ok = result.bits == retx.instance.tx_bits;
@@ -375,15 +450,8 @@ link_report run_link_simulation(const link_config& config) {
                     ac.attempts = attempt + 1;
                     ac.final_ok = ok;
                 }
-            }
-        };
-        if (!pool || window < 2) {
-            for (std::size_t i = 0; i < window; ++i) fill_cell(i);
-        } else {
-            for (std::size_t i = 0; i < window; ++i) {
-                pool->submit([&fill_cell, i] { fill_cell(i); });
-            }
-            pool->wait_idle();
+            };
+            run_all(window, arq_use);
         }
 
         // Serial aggregation in use order: the merged statistics never
@@ -393,7 +461,7 @@ link_report run_link_simulation(const link_config& config) {
             report.reduction.add(reduce_us[i]);
             for (std::size_t p = 0; p < num_paths; ++p) {
                 path_report& path = report.paths[p];
-                const paths::path_result& cell = cells[i * num_paths + p];
+                const paths::path_result& cell = cells[p * block + i];
                 if (cell.stages.size() != solve_stages[p].size()) {
                     throw std::logic_error("link: path '" + path.spec + "' returned " +
                                            std::to_string(cell.stages.size()) +
@@ -425,7 +493,7 @@ link_report run_link_simulation(const link_config& config) {
                 path.service.add(service_sum);
 
                 if (config.arq) {
-                    const arq_cell& ac = arq_cells[i * num_paths + p];
+                    const arq_cell& ac = arq_cells[p * block + i];
                     path.arq->counters.add_frame(ac.attempts, ac.wrong, ac.first_ok,
                                                  ac.final_ok);
                     for (const double s_us : ac.retx_service_us) {

@@ -127,6 +127,15 @@ struct link_config {
     /// O(stream_block x paths) without affecting any statistic.  0 throws.
     std::size_t stream_block = 1024;
 
+    /// Per-worker workspaces (paths/workspace.h): when true (the default),
+    /// every worker reuses scratch buffers and exact-content-keyed
+    /// decomposition caches across uses, making the warmed-up hot path
+    /// allocation-free.  Statistics are bit-identical either way — the
+    /// caches key on exact channel content, so a hit replays a pure function
+    /// of the same input — which tests/workspace_test.cpp pins.  false keeps
+    /// the allocate-per-call behaviour for that A/B comparison.
+    bool workspaces = true;
+
     /// ARQ / retransmission loop (arq/arq.h): when set, every frame whose
     /// detected bits are wrong (or every frame, when deadline_us == 0) is
     /// re-solved on fresh derived-RNG channel uses up to max_retx times in

@@ -4,6 +4,7 @@
 // detection_path interface.  Registered lazily by registry.cpp through
 // detail::register_builtin_paths() — see the registry header for why.
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -19,10 +20,25 @@
 #include "detect/sic.h"
 #include "detect/sphere.h"
 #include "paths/registry.h"
+#include "paths/workspace.h"
 #include "util/timer.h"
 
 namespace hcq::paths {
 namespace {
+
+/// Reshapes a reused result's stage list without churning its strings: the
+/// built-in stage names all fit in the small-string buffer, so re-assigning
+/// them never allocates.
+void set_stage(path_result& out, std::size_t index, const char* name, double service_us) {
+    out.stages[index].name = name;
+    out.stages[index].service_us = service_us;
+}
+
+void check_block_sizes(std::span<const path_context> ctxs, std::span<path_result> out) {
+    if (ctxs.size() != out.size()) {
+        throw std::invalid_argument("detection_path::run_block: span length mismatch");
+    }
+}
 
 /// Guard for QUBO-consuming paths: the caller promised a shared reduction
 /// whenever any configured path reports needs_qubo().
@@ -42,19 +58,35 @@ public:
         : det_(std::move(det)), name_(std::move(display_name)), spec_(std::move(spec)) {}
 
     [[nodiscard]] path_result run(const path_context& ctx) const override {
-        const util::timer clock;
-        auto detected = det_->detect(ctx.instance);
         path_result out;
-        out.bits = std::move(detected.bits);
-        out.ml_cost = detected.ml_cost;
-        out.stages = {{"detect", clock.elapsed_us()}};
+        run_cell(ctx, out);
         return out;
+    }
+    void run_block(std::span<const path_context> ctxs, std::span<path_result> out) const override {
+        check_block_sizes(ctxs, out);
+        for (std::size_t i = 0; i < ctxs.size(); ++i) run_cell(ctxs[i], out[i]);
     }
     [[nodiscard]] std::string name() const override { return name_; }
     [[nodiscard]] path_spec spec() const override { return spec_; }
     [[nodiscard]] std::vector<std::string> stage_names() const override { return {"detect"}; }
 
 private:
+    void run_cell(const path_context& ctx, path_result& out) const {
+        const util::timer clock;
+        if (ctx.ws != nullptr) {
+            detect::detection_result& detected = ctx.ws->detect.result;
+            det_->detect_into(ctx.instance, ctx.ws->detect, detected);
+            out.bits = detected.bits;  // copy-assign: reuses out's capacity
+            out.ml_cost = detected.ml_cost;
+        } else {
+            auto detected = det_->detect(ctx.instance);
+            out.bits = std::move(detected.bits);
+            out.ml_cost = detected.ml_cost;
+        }
+        out.stages.resize(1);
+        set_stage(out, 0, "detect", clock.elapsed_us());
+    }
+
     std::shared_ptr<const detect::detector> det_;
     std::string name_;
     path_spec spec_;
@@ -69,14 +101,13 @@ public:
         : solver_(std::move(solver)), spec_(std::move(spec)) {}
 
     [[nodiscard]] path_result run(const path_context& ctx) const override {
-        require_qubo(ctx);
-        const util::timer clock;
-        const auto samples = solver_->solve(ctx.reduced->model, ctx.rng);
         path_result out;
-        out.stages = {{"solve", clock.elapsed_us()}};
-        out.bits = samples.best().bits;
-        out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
+        run_cell(ctx, out);
         return out;
+    }
+    void run_block(std::span<const path_context> ctxs, std::span<path_result> out) const override {
+        check_block_sizes(ctxs, out);
+        for (std::size_t i = 0; i < ctxs.size(); ++i) run_cell(ctxs[i], out[i]);
     }
     [[nodiscard]] std::string name() const override { return solver_->name(); }
     [[nodiscard]] path_spec spec() const override { return spec_; }
@@ -87,6 +118,25 @@ public:
     }
 
 private:
+    void run_cell(const path_context& ctx, path_result& out) const {
+        require_qubo(ctx);
+        const util::timer clock;
+        double solve_us = 0.0;
+        if (ctx.ws != nullptr) {
+            solver_->solve_best_into(ctx.reduced->model, ctx.rng, ctx.ws->solve, out.bits);
+            solve_us = clock.elapsed_us();
+            out.ml_cost = ctx.instance.ml_cost_bits(out.bits, ctx.ws->detect.symbols,
+                                                    ctx.ws->detect.residual);
+        } else {
+            const auto samples = solver_->solve(ctx.reduced->model, ctx.rng);
+            solve_us = clock.elapsed_us();
+            out.bits = samples.best().bits;
+            out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
+        }
+        out.stages.resize(1);
+        set_stage(out, 0, "solve", solve_us);
+    }
+
     std::shared_ptr<const solvers::solver> solver_;
     path_spec spec_;
 };
@@ -161,26 +211,13 @@ public:
     }
 
     [[nodiscard]] path_result run(const path_context& ctx) const override {
-        require_qubo(ctx);
         path_result out;
-        if (adapter_ != nullptr) {
-            const auto result = adapter_->hybrid().solve(ctx.reduced->model, ctx.rng);
-            out.bits = result.best_bits;
-            out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
-            out.stages = {{"classical", result.classical_us}, {"quantum", result.quantum_us}};
-            return out;
-        }
-        // kbest initialiser: detect on the channel use itself (measured
-        // classical time), then seed the reverse anneal with the result.
-        const auto detected = detector_->detect(ctx.instance);
-        const solvers::fixed_initializer init(detected.bits, "KB");
-        const hybrid::hybrid_solver solver(init, *device_, schedule_, reads_);
-        const auto result = solver.solve(ctx.reduced->model, ctx.rng);
-        out.bits = result.best_bits;
-        out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
-        out.stages = {{"classical", detected.elapsed_us + result.classical_us},
-                      {"quantum", result.quantum_us}};
+        run_cell(ctx, out);
         return out;
+    }
+    void run_block(std::span<const path_context> ctxs, std::span<path_result> out) const override {
+        check_block_sizes(ctxs, out);
+        for (std::size_t i = 0; i < ctxs.size(); ++i) run_cell(ctxs[i], out[i]);
     }
     [[nodiscard]] std::string name() const override {
         const std::string base = adapter_ != nullptr ? adapter_->name() : "KB+RA";
@@ -199,6 +236,44 @@ public:
     }
 
 private:
+    void run_cell(const path_context& ctx, path_result& out) const {
+        require_qubo(ctx);
+        if (adapter_ != nullptr) {
+            if (ctx.ws != nullptr) {
+                hybrid::hybrid_solver::timings times;
+                adapter_->hybrid().solve_best_into(ctx.reduced->model, ctx.rng, ctx.ws->solve,
+                                                   out.bits, times);
+                out.ml_cost = ctx.instance.ml_cost_bits(out.bits, ctx.ws->detect.symbols,
+                                                        ctx.ws->detect.residual);
+                out.stages.resize(2);
+                set_stage(out, 0, "classical", times.classical_us);
+                set_stage(out, 1, "quantum", times.quantum_us);
+            } else {
+                const auto result = adapter_->hybrid().solve(ctx.reduced->model, ctx.rng);
+                out.bits = result.best_bits;
+                out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
+                out.stages.resize(2);
+                set_stage(out, 0, "classical", result.classical_us);
+                set_stage(out, 1, "quantum", result.quantum_us);
+            }
+            return;
+        }
+        // kbest initialiser: detect on the channel use itself (measured
+        // classical time), then seed the reverse anneal with the result.
+        // Constructing the per-use initialiser copies the seed bits, so this
+        // branch is not allocation-free — it is an application-specific
+        // variant, not one of the hot-path defaults.
+        const auto detected = detector_->detect(ctx.instance);
+        const solvers::fixed_initializer init(detected.bits, "KB");
+        const hybrid::hybrid_solver solver(init, *device_, schedule_, reads_);
+        const auto result = solver.solve(ctx.reduced->model, ctx.rng);
+        out.bits = result.best_bits;
+        out.ml_cost = ctx.instance.ml_cost_bits(out.bits);
+        out.stages.resize(2);
+        set_stage(out, 0, "classical", detected.elapsed_us + result.classical_us);
+        set_stage(out, 1, "quantum", result.quantum_us);
+    }
+
     std::shared_ptr<const hybrid::hybrid_solver_adapter> adapter_;  ///< gs / tabu
     std::shared_ptr<const detect::kbest_detector> detector_;        ///< kbest only
     std::shared_ptr<const anneal::annealer_emulator> device_;       ///< kbest only

@@ -1,53 +1,41 @@
 #include "paths/detection_path.h"
 
-#include <charconv>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/spec.h"
 
 namespace hcq::paths {
 namespace {
 
-[[noreturn]] void bad_spec(const std::string& text, const std::string& why) {
-    throw std::invalid_argument("paths: bad spec '" + text + "': " + why);
+// The paths-layer vocabulary for the shared util::spec grammar: every
+// historical error text ("paths: bad spec '<text>': empty path kind", ...)
+// is reproduced verbatim.
+const util::spec::grammar& path_grammar() {
+    static const util::spec::grammar g{"paths", "path kind"};
+    return g;
 }
 
 }  // namespace
 
-path_spec path_spec::parse(const std::string& text) {
-    path_spec spec;
-    const std::size_t colon = text.find(':');
-    spec.kind = text.substr(0, colon);
-    if (spec.kind.empty()) bad_spec(text, "empty path kind");
-    if (spec.kind.find('=') != std::string::npos) {
-        bad_spec(text, "path kind '" + spec.kind + "' contains '='");
+void detection_path::run_block(std::span<const path_context> ctxs,
+                               std::span<path_result> out) const {
+    if (ctxs.size() != out.size()) {
+        throw std::invalid_argument("detection_path::run_block: span length mismatch");
     }
-    if (colon == std::string::npos) return spec;
+    for (std::size_t i = 0; i < ctxs.size(); ++i) out[i] = run(ctxs[i]);
+}
 
-    std::istringstream rest(text.substr(colon + 1));
-    std::string item;
-    while (std::getline(rest, item, ',')) {
-        const std::size_t eq = item.find('=');
-        if (eq == std::string::npos) bad_spec(text, "argument '" + item + "' is not key=value");
-        std::string key = item.substr(0, eq);
-        std::string value = item.substr(eq + 1);
-        if (key.empty()) bad_spec(text, "empty key in '" + item + "'");
-        if (value.empty()) bad_spec(text, "empty value for key '" + key + "'");
-        if (spec.find(key) != nullptr) bad_spec(text, "duplicate key '" + key + "'");
-        spec.args.emplace_back(std::move(key), std::move(value));
-    }
-    if (spec.args.empty()) bad_spec(text, "trailing ':' without arguments");
+path_spec path_spec::parse(const std::string& text) {
+    util::spec::parsed raw = util::spec::parse(path_grammar(), text);
+    path_spec spec;
+    spec.kind = std::move(raw.kind);
+    spec.args = std::move(raw.args);
     return spec;
 }
 
 std::string path_spec::to_string() const {
-    std::string out = kind;
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        out += (i == 0 ? ':' : ',');
-        out += args[i].first;
-        out += '=';
-        out += args[i].second;
-    }
-    return out;
+    return util::spec::to_string({kind, args});
 }
 
 const std::string* path_spec::find(const std::string& key) const {
@@ -90,35 +78,27 @@ std::size_t spec_positive_size(const path_spec& spec, const std::string& key,
                                std::size_t fallback) {
     const std::string* raw = spec.find(key);
     if (raw == nullptr) return fallback;
-    std::size_t value = 0;
-    const char* end = raw->data() + raw->size();
-    const auto [ptr, ec] = std::from_chars(raw->data(), end, value);
-    if (ec != std::errc{} || ptr != end || value == 0) {
+    const auto value = util::spec::parse_size_value(*raw);
+    if (!value.has_value() || *value == 0) {
         throw std::invalid_argument("paths: " + spec.kind + ": bad value '" + *raw +
                                     "' for key '" + key + "' (expected a positive integer)");
     }
-    return value;
+    return *value;
 }
 
 double spec_double(const path_spec& spec, const std::string& key, double fallback) {
     const std::string* raw = spec.find(key);
     if (raw == nullptr) return fallback;
-    try {
-        std::size_t consumed = 0;
-        const double value = std::stod(*raw, &consumed);
-        if (consumed == raw->size()) return value;
-    } catch (const std::exception&) {
-        // fall through to the uniform error below
+    const auto value = util::spec::parse_double_value(*raw);
+    if (!value.has_value()) {
+        throw std::invalid_argument("paths: " + spec.kind + ": bad value '" + *raw +
+                                    "' for key '" + key + "' (expected a number)");
     }
-    throw std::invalid_argument("paths: " + spec.kind + ": bad value '" + *raw + "' for key '" +
-                                key + "' (expected a number)");
+    return *value;
 }
 
 std::string format_spec_value(double value) {
-    std::ostringstream os;
-    os.precision(15);
-    os << value;
-    return os.str();
+    return util::spec::format_value(value);
 }
 
 }  // namespace hcq::paths

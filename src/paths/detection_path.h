@@ -24,6 +24,7 @@
 #define HCQ_PATHS_DETECTION_PATH_H
 
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,8 @@
 #include "wireless/mimo.h"
 
 namespace hcq::paths {
+
+struct workspace;  // per-worker reusable state (paths/workspace.h)
 
 /// A parsed path specification: a registry kind plus ordered key=value
 /// arguments.  Text form: `kind` or `kind:key=value,key=value` — e.g.
@@ -75,6 +78,13 @@ struct path_context {
     /// must ignore it.
     const detect::ml_qubo* reduced = nullptr;
     util::rng& rng;  ///< per-(use, path) derived stream — the ONLY randomness source
+    /// Per-worker reusable state (scratch buffers + decomposition caches),
+    /// or nullptr for the allocate-per-call legacy behaviour.  Optional by
+    /// contract: a path must produce bit-identical bits/ml_cost either way
+    /// (only timings may differ), so `path_context{instance, reduced, rng}`
+    /// — the historical aggregate shape — keeps compiling and keeps its
+    /// meaning for out-of-tree paths.
+    workspace* ws = nullptr;
 };
 
 /// One named stage timing of a path's solve.
@@ -101,6 +111,17 @@ public:
     /// concurrently from pool workers) and must draw randomness only from
     /// `ctx.rng`.
     [[nodiscard]] virtual path_result run(const path_context& ctx) const = 0;
+
+    /// Detects a batch of channel uses, writing result i of `ctxs[i]` into
+    /// `out[i]` (reused by the caller across batches — a warmed-up result
+    /// vector plus workspace-carrying contexts make the built-in paths
+    /// allocation-free per use).  Contract: out[i] carries exactly what
+    /// run(ctxs[i]) would return (timings excepted), so callers may batch or
+    /// not freely.  The default is that loop; built-in paths override run()'s
+    /// innards rather than this, and out-of-tree paths need not override
+    /// anything.  Throws std::invalid_argument on span length mismatch.
+    virtual void run_block(std::span<const path_context> ctxs,
+                           std::span<path_result> out) const;
 
     /// Display name for tables, e.g. "ZF", "K-best", "GS+RA".
     [[nodiscard]] virtual std::string name() const = 0;

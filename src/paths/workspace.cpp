@@ -1,0 +1,34 @@
+#include "paths/workspace.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace hcq::paths {
+
+namespace {
+
+std::uint64_t next_store_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+}
+
+}  // namespace
+
+workspace_store::workspace_store() : id_(next_store_id()) {}
+
+workspace& workspace_store::local() {
+    // Fast path: this thread already resolved this store.  The id is never
+    // reused, so a stale cache entry (from a destroyed store) can only miss.
+    thread_local std::uint64_t cached_id = 0;
+    thread_local workspace* cached = nullptr;
+    if (cached_id == id_ && cached != nullptr) return *cached;
+
+    const util::mutex_lock lock(mutex_);
+    std::unique_ptr<workspace>& slot = by_thread_[std::this_thread::get_id()];
+    if (slot == nullptr) slot = std::make_unique<workspace>();
+    cached_id = id_;
+    cached = slot.get();
+    return *slot;
+}
+
+}  // namespace hcq::paths

@@ -6,6 +6,13 @@ namespace hcq::qubo {
 
 ising_model::ising_model(std::size_t n) : n_(n), h_(n, 0.0), j_(n * n, 0.0) {}
 
+void ising_model::reset(std::size_t n) {
+    n_ = n;
+    offset_ = 0.0;
+    h_.assign(n, 0.0);
+    j_.assign(n * n, 0.0);
+}
+
 void ising_model::check(std::size_t i) const {
     if (i >= n_) throw std::out_of_range("ising_model: spin index out of range");
 }
@@ -73,10 +80,16 @@ ising_model to_ising(const qubo_model& q) {
 }
 
 qubo_model to_qubo(const ising_model& ising) {
+    qubo_model out;
+    to_qubo_into(ising, out);
+    return out;
+}
+
+void to_qubo_into(const ising_model& ising, qubo_model& out) {
     // h_i s_i             = 2 h_i q_i - h_i
     // J_ij s_i s_j        = 4 J_ij q_i q_j - 2 J_ij q_i - 2 J_ij q_j + J_ij
     const std::size_t n = ising.num_spins();
-    qubo_model out(n);
+    out.reset(n);
     double offset = ising.offset();
     for (std::size_t i = 0; i < n; ++i) {
         double lin = 2.0 * ising.field(i);
@@ -92,7 +105,6 @@ qubo_model to_qubo(const ising_model& ising) {
         }
     }
     out.set_offset(offset);
-    return out;
 }
 
 spin_vector spins_from_bits(std::span<const std::uint8_t> bits) {

@@ -26,6 +26,10 @@ public:
     ising_model() = default;
     explicit ising_model(std::size_t n);
 
+    /// Re-initialises to the zero Ising model on n spins, reusing the
+    /// existing storage when large enough (hot-path model reuse).
+    void reset(std::size_t n);
+
     [[nodiscard]] std::size_t num_spins() const noexcept { return n_; }
 
     [[nodiscard]] double field(std::size_t i) const;
@@ -56,6 +60,9 @@ private:
 
 /// Inverse conversion with the same energy-preservation guarantee.
 [[nodiscard]] qubo_model to_qubo(const ising_model& ising);
+
+/// to_qubo into a reused model (bit-identical coefficients and offset).
+void to_qubo_into(const ising_model& ising, qubo_model& out);
 
 /// Bit/spin translations.
 [[nodiscard]] spin_vector spins_from_bits(std::span<const std::uint8_t> bits);

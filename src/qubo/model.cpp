@@ -8,8 +8,14 @@ namespace hcq::qubo {
 
 qubo_model::qubo_model(std::size_t n) : n_(n), sym_(n * n, 0.0) {}
 
-void qubo_model::check_index(std::size_t i) const {
-    if (i >= n_) throw std::out_of_range("qubo_model: variable index out of range");
+void qubo_model::reset(std::size_t n) {
+    n_ = n;
+    offset_ = 0.0;
+    sym_.assign(n * n, 0.0);
+}
+
+void qubo_model::throw_bad_index(std::size_t) const {
+    throw std::out_of_range("qubo_model: variable index out of range");
 }
 
 double qubo_model::linear(std::size_t i) const {
@@ -69,6 +75,13 @@ std::vector<double> qubo_model::local_fields(std::span<const std::uint8_t> bits)
     return fields;
 }
 
+void qubo_model::local_fields_into(std::span<const std::uint8_t> bits,
+                                   std::vector<double>& fields) const {
+    if (bits.size() != n_) throw std::invalid_argument("qubo_model::local_fields: wrong bit count");
+    fields.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) fields[i] = local_field(i, bits);
+}
+
 double qubo_model::flip_delta(std::size_t i, std::span<const std::uint8_t> bits) const {
     const double f = local_field(i, bits);
     return bits[i] ? -f : f;
@@ -113,11 +126,6 @@ qubo_model qubo_model::fix_variable(std::size_t i, std::uint8_t value,
     }
     if (value == 1) out.offset_ += sym_[i * n_ + i];
     return out;
-}
-
-std::span<const double> qubo_model::row(std::size_t i) const {
-    check_index(i);
-    return {sym_.data() + i * n_, n_};
 }
 
 std::size_t hamming_distance(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {

@@ -37,6 +37,10 @@ public:
     /// Zero QUBO on n variables.
     explicit qubo_model(std::size_t n);
 
+    /// Re-initialises to the zero QUBO on n variables, reusing the existing
+    /// coefficient storage when it is large enough (hot-path model reuse).
+    void reset(std::size_t n);
+
     [[nodiscard]] std::size_t num_variables() const noexcept { return n_; }
 
     /// Q_ii, the linear coefficient of variable i.
@@ -73,6 +77,9 @@ public:
     /// All local fields at once (O(N^2)).
     [[nodiscard]] std::vector<double> local_fields(std::span<const std::uint8_t> bits) const;
 
+    /// local_fields into a reused buffer (bit-identical values).
+    void local_fields_into(std::span<const std::uint8_t> bits, std::vector<double>& fields) const;
+
     /// Energy change if q_i were flipped.
     [[nodiscard]] double flip_delta(std::size_t i, std::span<const std::uint8_t> bits) const;
 
@@ -89,11 +96,21 @@ public:
 
     /// Direct read-only access to the symmetric coefficient row of variable
     /// i (length n; entry i is the linear term).  Enables O(N) field updates
-    /// in hot solver loops without per-element index arithmetic.
-    [[nodiscard]] std::span<const double> row(std::size_t i) const;
+    /// in hot solver loops without per-element index arithmetic.  Inline:
+    /// called once per accepted flip, so a cross-TU call here shows up in
+    /// every sweep-solver profile.
+    [[nodiscard]] std::span<const double> row(std::size_t i) const {
+        check_index(i);
+        return {sym_.data() + i * n_, n_};
+    }
 
 private:
-    void check_index(std::size_t i) const;
+    /// Bounds check kept inline so hot accessors reduce to compare-and-go;
+    /// the throw itself stays out-of-line (cold).
+    void check_index(std::size_t i) const {
+        if (i >= n_) throw_bad_index(i);
+    }
+    [[noreturn]] void throw_bad_index(std::size_t i) const;
 
     std::size_t n_ = 0;
     double offset_ = 0.0;

@@ -1,12 +1,14 @@
 #include "serve/service.h"
 
 #include <memory>
+#include <span>
 #include <stdexcept>
 
 #include "detect/transform.h"
 #include "link/link_sim.h"
 #include "metrics/ber.h"
 #include "paths/registry.h"
+#include "paths/workspace.h"
 #include "util/rng.h"
 #include "util/timer.h"
 #include "wireless/channel_spec.h"
@@ -67,35 +69,43 @@ batch_result run_batch(const request& req) {
     // Serial over the batch: the server's parallelism is ACROSS requests
     // (the worker pool serves many sessions at once), which keeps each
     // batch's derived-stream consumption trivially schedule-independent.
+    // One warm workspace serves the whole batch — each pool worker runs its
+    // own run_batch, so the arena is never shared.
+    paths::workspace ws;
+    wireless::mimo_instance instance;
+    detect::ml_qubo mq;
+    paths::path_result cell;
     for (std::uint32_t u = 0; u < req.num_uses; ++u) {
         util::rng synth_rng = synth_base.derive(u);
         util::timer synth_clock;
-        const auto instance =
-            process ? wireless::synthesize_at(synth_rng, mimo, *process,
-                                              static_cast<double>(u), csi_est_err)
-                    : wireless::synthesize(synth_rng, mimo);
+        if (process) {
+            wireless::synthesize_at_into(synth_rng, mimo, *process, static_cast<double>(u),
+                                         csi_est_err, instance);
+        } else {
+            wireless::synthesize_into(synth_rng, mimo, instance);
+        }
         result.synth_us += synth_clock.elapsed_us();
 
-        detect::ml_qubo mq;
         if (needs_qubo) {
             util::timer reduce_clock;
-            mq = detect::ml_to_qubo(instance);
+            detect::ml_to_qubo_into(instance, ws.detect.qubo, mq);
             result.qubo_us += reduce_clock.elapsed_us();
         }
 
         // One path per request, so the link layer's solve-stream index
         // u * num_paths + p is just u.
         util::rng solve_rng = solve_base.derive(u);
-        const paths::path_context ctx{instance, needs_qubo ? &mq : nullptr, solve_rng};
+        const paths::path_context ctx{instance, needs_qubo ? &mq : nullptr, solve_rng, &ws};
         util::timer solve_clock;
-        auto cell = path->run(ctx);
+        path->run_block(std::span<const paths::path_context>(&ctx, 1),
+                        std::span<paths::path_result>(&cell, 1));
         result.solve_us += solve_clock.elapsed_us();
 
         ber.add_frame(instance.tx_bits, cell.bits);
         if (cell.bits == instance.tx_bits) ++result.exact_frames;
         result.sum_ml_cost += cell.ml_cost;
         result.ml_cost[u] = cell.ml_cost;
-        result.bits[u] = std::move(cell.bits);
+        result.bits[u] = cell.bits;  // copy: `cell` stays warm for the next use
     }
 
     result.bits_per_use =

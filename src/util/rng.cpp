@@ -23,10 +23,6 @@ rng rng::derive(std::uint64_t stream_id) const {
     return rng(splitmix64(seed_ ^ splitmix64(stream_id + 1)));
 }
 
-double rng::uniform() {
-    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-}
-
 double rng::uniform(double lo, double hi) {
     if (!(lo <= hi)) throw std::invalid_argument("rng::uniform: lo > hi");
     return std::uniform_real_distribution<double>(lo, hi)(engine_);
@@ -40,10 +36,6 @@ std::size_t rng::uniform_index(std::size_t n) {
 std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
     if (lo > hi) throw std::invalid_argument("rng::uniform_int: lo > hi");
     return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
-}
-
-double rng::normal() {
-    return std::normal_distribution<double>(0.0, 1.0)(engine_);
 }
 
 double rng::normal(double mean, double stddev) {
@@ -64,6 +56,11 @@ std::vector<std::uint8_t> rng::bits(std::size_t n) {
     std::vector<std::uint8_t> out(n);
     for (auto& b : out) b = static_cast<std::uint8_t>(engine_() & 1ULL);
     return out;
+}
+
+void rng::bits_into(std::size_t n, std::vector<std::uint8_t>& out) {
+    out.resize(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(engine_() & 1ULL);
 }
 
 }  // namespace hcq::util

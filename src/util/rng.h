@@ -27,16 +27,22 @@ public:
     /// `stream_id`; deterministic in (seed, stream_id).
     [[nodiscard]] rng derive(std::uint64_t stream_id) const;
 
-    /// Uniform real in [0, 1).
-    [[nodiscard]] double uniform();
+    /// Uniform real in [0, 1).  Inline: this is the innermost draw of every
+    /// Metropolis accept test — a fresh distribution object over the same
+    /// engine is bit-identical to the historical out-of-line call.
+    [[nodiscard]] double uniform() {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
     /// Uniform real in [lo, hi).
     [[nodiscard]] double uniform(double lo, double hi);
     /// Uniform integer in [0, n); requires n > 0.
     [[nodiscard]] std::size_t uniform_index(std::size_t n);
     /// Uniform integer in [lo, hi] inclusive.
     [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
-    /// Standard normal draw.
-    [[nodiscard]] double normal();
+    /// Standard normal draw.  Inline for the channel-synthesis hot loop.
+    [[nodiscard]] double normal() {
+        return std::normal_distribution<double>(0.0, 1.0)(engine_);
+    }
     /// Normal with the given mean and standard deviation.
     [[nodiscard]] double normal(double mean, double stddev);
     /// Bernoulli draw with success probability p.
@@ -46,6 +52,9 @@ public:
 
     /// n independent fair bits.
     [[nodiscard]] std::vector<std::uint8_t> bits(std::size_t n);
+
+    /// n independent fair bits into a reused buffer (same draw sequence).
+    void bits_into(std::size_t n, std::vector<std::uint8_t>& out);
 
     /// Fisher-Yates shuffle.
     template <typename T>

@@ -1,0 +1,86 @@
+#include "util/spec.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace hcq::util::spec {
+
+const std::string* parsed::find(const std::string& key) const {
+    for (const auto& [k, v] : args) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+void fail(const grammar& g, const std::string& text, const std::string& why) {
+    throw std::invalid_argument(g.layer + ": bad spec '" + text + "': " + why);
+}
+
+parsed parse(const grammar& g, const std::string& text, const key_hook& on_key,
+             const kind_hook& on_kind) {
+    parsed spec;
+    const std::size_t colon = text.find(':');
+    spec.kind = text.substr(0, colon);
+    if (spec.kind.empty()) fail(g, text, "empty " + g.noun);
+    if (spec.kind.find('=') != std::string::npos) {
+        fail(g, text, g.noun + " '" + spec.kind + "' contains '='");
+    }
+    if (on_kind) on_kind(spec.kind);
+    if (colon == std::string::npos) return spec;
+
+    std::istringstream rest(text.substr(colon + 1));
+    std::string item;
+    while (std::getline(rest, item, ',')) {
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) fail(g, text, "argument '" + item + "' is not key=value");
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        if (key.empty()) fail(g, text, "empty key in '" + item + "'");
+        if (value.empty()) fail(g, text, "empty value for key '" + key + "'");
+        if (spec.find(key) != nullptr) fail(g, text, "duplicate key '" + key + "'");
+        if (on_key) on_key(key, value);
+        spec.args.emplace_back(std::move(key), std::move(value));
+    }
+    if (spec.args.empty()) fail(g, text, "trailing ':' without arguments");
+    return spec;
+}
+
+std::string to_string(const parsed& p) {
+    std::string out = p.kind;
+    for (std::size_t i = 0; i < p.args.size(); ++i) {
+        out += (i == 0 ? ':' : ',');
+        out += p.args[i].first;
+        out += '=';
+        out += p.args[i].second;
+    }
+    return out;
+}
+
+std::optional<std::size_t> parse_size_value(const std::string& raw) {
+    std::size_t value = 0;
+    const char* end = raw.data() + raw.size();
+    const auto [ptr, ec] = std::from_chars(raw.data(), end, value);
+    if (ec != std::errc{} || ptr != end) return std::nullopt;
+    return value;
+}
+
+std::optional<double> parse_double_value(const std::string& raw) {
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(raw, &consumed);
+        if (consumed == raw.size()) return value;
+    } catch (const std::exception&) {
+        // fall through: uniform nullopt on any parse failure
+    }
+    return std::nullopt;
+}
+
+std::string format_value(double value) {
+    std::ostringstream os;
+    os.precision(15);
+    os << value;
+    return os.str();
+}
+
+}  // namespace hcq::util::spec

@@ -15,10 +15,17 @@ const char* to_string(channel_model model) noexcept {
 
 linalg::cmat draw_channel(util::rng& rng, channel_model model, std::size_t num_antennas,
                           std::size_t num_users) {
+    linalg::cmat h;
+    draw_channel_into(rng, model, num_antennas, num_users, h);
+    return h;
+}
+
+void draw_channel_into(util::rng& rng, channel_model model, std::size_t num_antennas,
+                       std::size_t num_users, linalg::cmat& h) {
     if (num_antennas == 0 || num_users == 0) {
         throw std::invalid_argument("draw_channel: empty dimensions");
     }
-    linalg::cmat h(num_antennas, num_users);
+    h.resize(num_antennas, num_users);
     for (std::size_t r = 0; r < num_antennas; ++r) {
         for (std::size_t c = 0; c < num_users; ++c) {
             switch (model) {
@@ -35,7 +42,6 @@ linalg::cmat draw_channel(util::rng& rng, channel_model model, std::size_t num_a
             }
         }
     }
-    return h;
 }
 
 void add_awgn(util::rng& rng, linalg::cvec& y, double noise_variance) {

@@ -26,6 +26,10 @@ enum class channel_model {
 [[nodiscard]] linalg::cmat draw_channel(util::rng& rng, channel_model model,
                                         std::size_t num_antennas, std::size_t num_users);
 
+/// draw_channel into a reused matrix (same draws, same elements).
+void draw_channel_into(util::rng& rng, channel_model model, std::size_t num_antennas,
+                       std::size_t num_users, linalg::cmat& h);
+
 /// Adds circularly-symmetric complex Gaussian noise of total variance
 /// `noise_variance` per receive dimension (i.e. CN(0, noise_variance)).
 void add_awgn(util::rng& rng, linalg::cvec& y, double noise_variance);

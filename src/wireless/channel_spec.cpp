@@ -1,15 +1,23 @@
 #include "wireless/channel_spec.h"
 
 #include <algorithm>
-#include <charconv>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/spec.h"
 #include "wireless/fading.h"
 
 namespace hcq::wireless {
 namespace {
+
+// The channels-layer vocabulary for the shared util::spec grammar: every
+// historical error text ("channels: bad spec '<text>': ...") is reproduced
+// verbatim.
+const util::spec::grammar& channel_grammar() {
+    static const util::spec::grammar g{"channels", "channel kind"};
+    return g;
+}
 
 /// Accepted keys per kind; the source of truth for validation, canonical
 /// to_string output, and error messages.
@@ -59,36 +67,26 @@ const kind_info& info_for(const std::string& kind, const std::string& text) {
 }
 
 [[noreturn]] void bad_spec(const std::string& text, const std::string& why) {
-    throw std::invalid_argument("channels: bad spec '" + text + "': " + why);
+    util::spec::fail(channel_grammar(), text, why);
 }
 
 double parse_double(const std::string& text, const std::string& key, const std::string& raw) {
-    try {
-        std::size_t consumed = 0;
-        const double value = std::stod(raw, &consumed);
-        if (consumed == raw.size() && std::isfinite(value)) return value;
-    } catch (const std::exception&) {
-        // fall through to the uniform error below
-    }
+    const auto value = util::spec::parse_double_value(raw);
+    if (value.has_value() && std::isfinite(*value)) return *value;
     bad_spec(text, "bad value '" + raw + "' for key '" + key + "' (expected a finite number)");
 }
 
 std::size_t parse_size(const std::string& text, const std::string& key, const std::string& raw) {
-    std::size_t value = 0;
-    const char* end = raw.data() + raw.size();
-    const auto [ptr, ec] = std::from_chars(raw.data(), end, value);
-    if (ec != std::errc{} || ptr != end) {
+    const auto value = util::spec::parse_size_value(raw);
+    if (!value.has_value()) {
         bad_spec(text, "bad value '" + raw + "' for key '" + key +
                            "' (expected a non-negative integer)");
     }
-    return value;
+    return *value;
 }
 
 std::string format_value(double value) {
-    std::ostringstream os;
-    os.precision(15);
-    os << value;
-    return os.str();
+    return util::spec::format_value(value);
 }
 
 /// i.i.d. process: reproduces draw_channel byte-for-byte from the per-use rng.
@@ -99,6 +97,9 @@ public:
 
     [[nodiscard]] linalg::cmat at(double /*t*/, util::rng& use_rng) const override {
         return draw_channel(use_rng, model_, num_antennas_, num_users_);
+    }
+    void at_into(double /*t*/, util::rng& use_rng, linalg::cmat& out) const override {
+        draw_channel_into(use_rng, model_, num_antennas_, num_users_, out);
     }
     [[nodiscard]] bool correlated() const noexcept override { return false; }
     [[nodiscard]] std::size_t num_antennas() const noexcept override { return num_antennas_; }
@@ -140,22 +141,59 @@ public:
                 }
             }
         }
+        // Flatten the sinusoid banks into contiguous parallel arrays so the
+        // hot evaluation reads straight-line memory instead of chasing one
+        // heap vector per tap.  Order is preserved exactly — (element, tap,
+        // sinusoid) — so the flattened sums accumulate in the identical
+        // floating-point order as fading_tap::gain.
+        sinusoids_per_tap_ = spec.sinusoids;
+        sinusoid_amplitude_ = taps_.front().amplitude();
+        const std::size_t total = taps_.size() * sinusoids_per_tap_;
+        omega_.reserve(total);
+        phase_i_.reserve(total);
+        phase_q_.reserve(total);
+        for (const auto& tap : taps_) {
+            for (const auto& s : tap.sinusoids()) {
+                omega_.push_back(s.omega);
+                phase_i_.push_back(s.phase_i);
+                phase_q_.push_back(s.phase_q);
+            }
+        }
     }
 
-    [[nodiscard]] linalg::cmat at(double t, util::rng& /*use_rng*/) const override {
-        linalg::cmat h(num_antennas_, num_users_);
-        std::size_t tap = 0;
+    [[nodiscard]] linalg::cmat at(double t, util::rng& use_rng) const override {
+        linalg::cmat h;
+        at_into(t, use_rng, h);
+        return h;
+    }
+
+    void at_into(double t, util::rng& /*use_rng*/, linalg::cmat& h) const override {
+        h.resize(num_antennas_, num_users_);
+        const double* om = omega_.data();
+        const double* pi = phase_i_.data();
+        const double* pq = phase_q_.data();
+        const std::size_t m = sinusoids_per_tap_;
+        std::size_t idx = 0;
         for (std::size_t r = 0; r < num_antennas_; ++r) {
             for (std::size_t c = 0; c < num_users_; ++c) {
                 linalg::cxd sum{};
                 for (std::size_t k = 0; k < taps_per_element_; ++k) {
-                    sum += taps_[tap++].gain(t);
+                    double gain_i = 0.0;
+                    double gain_q = 0.0;
+                    for (std::size_t s = 0; s < m; ++s) {
+                        const double arg = om[idx + s] * t;
+                        gain_i += std::cos(arg + pi[idx + s]);
+                        gain_q += std::cos(arg + pq[idx + s]);
+                    }
+                    idx += m;
+                    sum += linalg::cxd(sinusoid_amplitude_ * gain_i,
+                                       sinusoid_amplitude_ * gain_q);
                 }
                 h(r, c) = tap_amplitude_ * sum;
             }
         }
-        return h;
     }
+
     [[nodiscard]] bool correlated() const noexcept override { return true; }
     [[nodiscard]] std::size_t num_antennas() const noexcept override { return num_antennas_; }
     [[nodiscard]] std::size_t num_users() const noexcept override { return num_users_; }
@@ -166,44 +204,32 @@ private:
     std::size_t taps_per_element_ = 1;
     double tap_amplitude_ = 1.0;
     std::vector<fading_tap> taps_;
+    // Flattened (element, tap, sinusoid)-ordered sinusoid banks.
+    std::size_t sinusoids_per_tap_ = 0;
+    double sinusoid_amplitude_ = 0.0;
+    std::vector<double> omega_;
+    std::vector<double> phase_i_;
+    std::vector<double> phase_q_;
 };
 
 }  // namespace
 
 channel_spec channel_spec::parse(const std::string& text) {
     channel_spec spec;
-    const std::size_t colon = text.find(':');
-    spec.kind = text.substr(0, colon);
-    if (spec.kind.empty()) bad_spec(text, "empty channel kind");
-    if (spec.kind.find('=') != std::string::npos) {
-        bad_spec(text, "channel kind '" + spec.kind + "' contains '='");
-    }
-    const kind_info& info = info_for(spec.kind, text);
-    if (spec.kind == "watterson") spec.doppler_hz = 0.0;  // Doppler SHIFT default
-
-    std::vector<std::string> seen;
-    if (colon != std::string::npos) {
-        std::istringstream rest(text.substr(colon + 1));
-        std::string item;
-        while (std::getline(rest, item, ',')) {
-            const std::size_t eq = item.find('=');
-            if (eq == std::string::npos) {
-                bad_spec(text, "argument '" + item + "' is not key=value");
-            }
-            const std::string key = item.substr(0, eq);
-            const std::string value = item.substr(eq + 1);
-            if (key.empty()) bad_spec(text, "empty key in '" + item + "'");
-            if (value.empty()) bad_spec(text, "empty value for key '" + key + "'");
-            if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
-                bad_spec(text, "duplicate key '" + key + "'");
-            }
-            seen.push_back(key);
+    const kind_info* info = nullptr;
+    // The shared grammar owns the kind / key=value / duplicate checks; the
+    // hooks layer the channel-specific validation in at the exact points the
+    // hand-rolled loop used to: unknown kind before any argument, unknown or
+    // ill-valued keys in scan order.
+    (void)util::spec::parse(
+        channel_grammar(), text,
+        [&](const std::string& key, const std::string& value) {
             const bool accepted =
-                std::any_of(info.keys.begin(), info.keys.end(),
+                std::any_of(info->keys.begin(), info->keys.end(),
                             [&](const char* k) { return key == k; });
             if (!accepted) {
                 bad_spec(text, "channel kind '" + spec.kind + "' does not accept key '" + key +
-                                   "' (accepted: " + join(info.keys) + ")");
+                                   "' (accepted: " + join(info->keys) + ")");
             }
             if (key == "doppler_hz") {
                 spec.doppler_hz = parse_double(text, key, value);
@@ -220,15 +246,18 @@ channel_spec channel_spec::parse(const std::string& text) {
             } else if (key == "snr_db") {
                 spec.snr_db = parse_double(text, key, value);
             }
-        }
-        if (seen.empty()) bad_spec(text, "trailing ':' without arguments");
-    }
+        },
+        [&](const std::string& kind) {
+            spec.kind = kind;
+            info = &info_for(kind, text);
+            if (kind == "watterson") spec.doppler_hz = 0.0;  // Doppler SHIFT default
+        });
 
     // Range validation, each error naming the key and the accepted range.
     if (spec.est_err < 0.0) {
         bad_spec(text, "est_err must be >= 0 (got " + format_value(spec.est_err) + ")");
     }
-    if (info.correlated) {
+    if (info->correlated) {
         if (!(spec.use_rate_hz > 0.0)) {
             bad_spec(text,
                      "use_rate_hz must be > 0 (got " + format_value(spec.use_rate_hz) + ")");

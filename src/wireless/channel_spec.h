@@ -99,6 +99,15 @@ public:
     /// per-use stream).
     [[nodiscard]] virtual linalg::cmat at(double t, util::rng& use_rng) const = 0;
 
+    /// at() into a reused matrix — identical draws and element values; the
+    /// built-in kinds override this to make warmed-up evaluation
+    /// allocation-free (the correlated kinds additionally evaluate their
+    /// sinusoid banks out of flattened contiguous storage).  The default
+    /// delegates to at().
+    virtual void at_into(double t, util::rng& use_rng, linalg::cmat& out) const {
+        out = at(t, use_rng);
+    }
+
     /// True when consecutive uses are correlated (jakes/watterson).
     [[nodiscard]] virtual bool correlated() const noexcept = 0;
 

@@ -77,6 +77,15 @@ public:
 
     [[nodiscard]] std::size_t num_sinusoids() const noexcept { return sinusoids_.size(); }
 
+    /// The frozen sinusoid bank — lets hot evaluation paths flatten taps
+    /// into contiguous storage instead of calling gain() per tap.
+    [[nodiscard]] const std::vector<fading_sinusoid>& sinusoids() const noexcept {
+        return sinusoids_;
+    }
+
+    /// 1/sqrt(M) normalisation applied to the sinusoid sums.
+    [[nodiscard]] double amplitude() const noexcept { return amplitude_; }
+
 private:
     std::vector<fading_sinusoid> sinusoids_;
     double amplitude_ = 0.0;  ///< 1/sqrt(M): normalises E[|g|^2] to 1

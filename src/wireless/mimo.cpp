@@ -13,33 +13,66 @@ double mimo_instance::ml_cost(const linalg::cvec& x) const {
     return n * n;
 }
 
+double mimo_instance::ml_cost(const linalg::cvec& x, linalg::cvec& residual_scratch) const {
+    if (x.size() != num_users) throw std::invalid_argument("ml_cost: wrong symbol count");
+    // residual = y - H x via the into-kernel: identical arithmetic to
+    // `residual = y; residual -= h * x;` without the matvec temporary.
+    linalg::matvec_into(h, x, residual_scratch);
+    for (std::size_t i = 0; i < residual_scratch.size(); ++i) {
+        residual_scratch[i] = y[i] - residual_scratch[i];
+    }
+    const double n = residual_scratch.norm2();
+    return n * n;
+}
+
 double mimo_instance::ml_cost_bits(std::span<const std::uint8_t> bits) const {
     return ml_cost(modulate(mod, bits));
 }
 
+double mimo_instance::ml_cost_bits(std::span<const std::uint8_t> bits,
+                                   linalg::cvec& symbol_scratch,
+                                   linalg::cvec& residual_scratch) const {
+    modulate_into(mod, bits, symbol_scratch);
+    return ml_cost(symbol_scratch, residual_scratch);
+}
+
 mimo_instance synthesize(util::rng& rng, const mimo_config& config) {
+    mimo_instance inst;
+    synthesize_into(rng, config, inst);
+    return inst;
+}
+
+void synthesize_into(util::rng& rng, const mimo_config& config, mimo_instance& inst) {
     if (config.num_users == 0 || config.num_antennas == 0) {
         throw std::invalid_argument("synthesize: empty dimensions");
     }
     if (config.num_antennas < config.num_users) {
         throw std::invalid_argument("synthesize: needs num_antennas >= num_users");
     }
-    mimo_instance inst;
     inst.mod = config.mod;
     inst.num_users = config.num_users;
     inst.num_antennas = config.num_antennas;
-    inst.h = draw_channel(rng, config.channel, config.num_antennas, config.num_users);
-    inst.tx_bits = rng.bits(config.num_users * bits_per_symbol(config.mod));
-    inst.tx_symbols = modulate(config.mod, inst.tx_bits);
-    inst.y = inst.h * inst.tx_symbols;
+    draw_channel_into(rng, config.channel, config.num_antennas, config.num_users, inst.h);
+    inst.h_true.resize(0, 0);  // perfect CSI: true_channel() is h
+    inst.csi_error_variance = 0.0;
+    rng.bits_into(config.num_users * bits_per_symbol(config.mod), inst.tx_bits);
+    modulate_into(config.mod, inst.tx_bits, inst.tx_symbols);
+    linalg::matvec_into(inst.h, inst.tx_symbols, inst.y);
     inst.noise_variance = config.noise_variance;
     add_awgn(rng, inst.y, config.noise_variance);
-    return inst;
 }
 
 mimo_instance synthesize_at(util::rng& rng, const mimo_config& config,
                             const channel_process& process, double t,
                             double csi_error_variance) {
+    mimo_instance inst;
+    synthesize_at_into(rng, config, process, t, csi_error_variance, inst);
+    return inst;
+}
+
+void synthesize_at_into(util::rng& rng, const mimo_config& config,
+                        const channel_process& process, double t, double csi_error_variance,
+                        mimo_instance& inst) {
     if (config.num_users == 0 || config.num_antennas == 0) {
         throw std::invalid_argument("synthesize_at: empty dimensions");
     }
@@ -53,21 +86,22 @@ mimo_instance synthesize_at(util::rng& rng, const mimo_config& config,
     if (csi_error_variance < 0.0) {
         throw std::invalid_argument("synthesize_at: negative csi_error_variance");
     }
-    mimo_instance inst;
     inst.mod = config.mod;
     inst.num_users = config.num_users;
     inst.num_antennas = config.num_antennas;
     // Same per-use draw order as synthesize: channel, bits, AWGN — with the
     // estimation-error perturbation appended strictly after, and only when
     // active, so est_err == 0 stays byte-identical to the legacy path.
-    inst.h = process.at(t, rng);
-    inst.tx_bits = rng.bits(config.num_users * bits_per_symbol(config.mod));
-    inst.tx_symbols = modulate(config.mod, inst.tx_bits);
-    inst.y = inst.h * inst.tx_symbols;
+    process.at_into(t, rng, inst.h);
+    inst.h_true.resize(0, 0);
+    inst.csi_error_variance = 0.0;
+    rng.bits_into(config.num_users * bits_per_symbol(config.mod), inst.tx_bits);
+    modulate_into(config.mod, inst.tx_bits, inst.tx_symbols);
+    linalg::matvec_into(inst.h, inst.tx_symbols, inst.y);
     inst.noise_variance = config.noise_variance;
     add_awgn(rng, inst.y, config.noise_variance);
     if (csi_error_variance > 0.0) {
-        inst.h_true = inst.h;
+        inst.h_true = inst.h;  // vector copy-assign: reuses capacity
         inst.csi_error_variance = csi_error_variance;
         const double sigma_per_dim = std::sqrt(csi_error_variance / 2.0);
         for (std::size_t r = 0; r < inst.h.rows(); ++r) {
@@ -77,7 +111,6 @@ mimo_instance synthesize_at(util::rng& rng, const mimo_config& config,
             }
         }
     }
-    return inst;
 }
 
 mimo_instance noiseless_paper_instance(util::rng& rng, std::size_t num_users, modulation mod) {

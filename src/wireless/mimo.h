@@ -47,8 +47,16 @@ struct mimo_instance {
     /// Maximum-likelihood cost ||y - H x||^2 of a candidate symbol vector.
     [[nodiscard]] double ml_cost(const linalg::cvec& x) const;
 
+    /// ml_cost with a caller-owned residual buffer — bit-identical value,
+    /// no allocation after warm-up.
+    double ml_cost(const linalg::cvec& x, linalg::cvec& residual_scratch) const;
+
     /// ML cost of a candidate bit string (natural map).
     [[nodiscard]] double ml_cost_bits(std::span<const std::uint8_t> bits) const;
+
+    /// ml_cost_bits with caller-owned symbol and residual buffers.
+    double ml_cost_bits(std::span<const std::uint8_t> bits, linalg::cvec& symbol_scratch,
+                        linalg::cvec& residual_scratch) const;
 };
 
 /// Parameters for instance synthesis.
@@ -62,6 +70,10 @@ struct mimo_config {
 
 /// Draws a random instance: random channel, uniform random bits, y = Hx + n.
 [[nodiscard]] mimo_instance synthesize(util::rng& rng, const mimo_config& config);
+
+/// synthesize into a reused instance (same draws, same fields); a warmed-up
+/// instance makes repeated synthesis allocation-free.
+void synthesize_into(util::rng& rng, const mimo_config& config, mimo_instance& inst);
 
 /// Synthesises an instance whose channel comes from `process` evaluated at
 /// time `t` (channel uses) instead of `config.channel`, with optional
@@ -78,6 +90,11 @@ struct mimo_config {
 [[nodiscard]] mimo_instance synthesize_at(util::rng& rng, const mimo_config& config,
                                           const channel_process& process, double t,
                                           double csi_error_variance);
+
+/// synthesize_at into a reused instance (same draws, same fields).
+void synthesize_at_into(util::rng& rng, const mimo_config& config,
+                        const channel_process& process, double t, double csi_error_variance,
+                        mimo_instance& inst);
 
 /// The exact corpus recipe of the paper: unit-gain random-phase channel,
 /// N_r = N_t = num_users, no AWGN.

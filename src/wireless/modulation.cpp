@@ -150,6 +150,43 @@ std::vector<std::uint8_t> demodulate(modulation mod, const linalg::cvec& symbols
     return bits;
 }
 
+void pam_bits_into(double value, std::size_t k, std::uint8_t* out) {
+    if (k == 0 || k > 16) throw std::invalid_argument("pam_bits: bad dimension size");
+    const double max_amp = std::pow(2.0, static_cast<double>(k)) - 1.0;
+    double sliced = 2.0 * std::round((value - 1.0) / 2.0) + 1.0;
+    sliced = std::clamp(sliced, -max_amp, max_amp);
+    const auto level = static_cast<std::uint32_t>((sliced + max_amp) / 2.0);
+    for (std::size_t j = 0; j < k; ++j) {
+        out[j] = static_cast<std::uint8_t>((level >> (k - 1 - j)) & 1U);
+    }
+}
+
+void demodulate_symbol_into(modulation mod, cxd symbol, std::uint8_t* out) {
+    const std::size_t k = bits_per_dimension(mod);
+    pam_bits_into(symbol.real(), k, out);
+    if (uses_quadrature(mod)) pam_bits_into(symbol.imag(), k, out + k);
+}
+
+void modulate_into(modulation mod, std::span<const std::uint8_t> bits, linalg::cvec& out) {
+    const std::size_t per = bits_per_symbol(mod);
+    if (bits.size() % per != 0) {
+        throw std::invalid_argument("modulate: bit count not a multiple of bits/symbol");
+    }
+    const std::size_t n = bits.size() / per;
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = modulate_symbol(mod, bits.subspan(i * per, per));
+    }
+}
+
+void demodulate_into(modulation mod, const linalg::cvec& symbols, std::vector<std::uint8_t>& out) {
+    const std::size_t per = bits_per_symbol(mod);
+    out.resize(symbols.size() * per);
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+        demodulate_symbol_into(mod, symbols[i], out.data() + i * per);
+    }
+}
+
 std::uint32_t gray_encode(std::uint32_t value) noexcept { return value ^ (value >> 1); }
 
 std::uint32_t gray_decode(std::uint32_t value) noexcept {

@@ -73,6 +73,22 @@ enum class modulation { bpsk, qpsk, qam16, qam64 };
 /// Hard-demaps a symbol vector to bits.
 [[nodiscard]] std::vector<std::uint8_t> demodulate(modulation mod, const linalg::cvec& symbols);
 
+// Write-into variants for the detection hot path: identical slicing and bit
+// maps, but bits land in caller-owned storage so repeated calls allocate
+// nothing after warm-up.
+
+/// pam_bits written to out[0..k): same slicing, no vector.
+void pam_bits_into(double value, std::size_t k, std::uint8_t* out);
+
+/// demodulate_symbol written to out[0..bits_per_symbol(mod)).
+void demodulate_symbol_into(modulation mod, cxd symbol, std::uint8_t* out);
+
+/// modulate into a reused symbol vector.
+void modulate_into(modulation mod, std::span<const std::uint8_t> bits, linalg::cvec& out);
+
+/// demodulate into a reused bit vector.
+void demodulate_into(modulation mod, const linalg::cvec& symbols, std::vector<std::uint8_t>& out);
+
 /// Gray code utilities (for BER-oriented labelling experiments; the QUBO
 /// transform itself uses the natural map above).
 [[nodiscard]] std::uint32_t gray_encode(std::uint32_t value) noexcept;

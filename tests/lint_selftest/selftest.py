@@ -30,11 +30,14 @@ EXPECTED = {
     ("test-registration", "tests/orphan_test.cpp"): 1,    # on disk, unlisted
     ("test-registration", "tests/CMakeLists.txt"): 1,     # ghost_test listed, no file
     ("raw-socket", "src/bad_socket.cpp"): 5,  # lifecycle, io, readiness, sockopt, include
+    ("hot-path-alloc", "src/bad_hot_path.cpp"): 2,        # new + owning vector
 }
 
 # Files that must produce NO findings at all: suppressed twins, allowlisted
 # modules, and the comment/string-only decoy.
 MUST_BE_CLEAN = [
+    "src/bad_hot_path_suppressed.cpp",
+    "src/ok_untagged_alloc.cpp",
     "src/bad_rng_suppressed.cpp",
     "src/bad_socket_suppressed.cpp",
     "src/serve/socket.cpp",

@@ -1,0 +1,10 @@
+// Fixture: a file tagged hot-path must not allocate.  // hcq-hot-path
+#include <vector>
+
+void violates() {
+    int* leak = new int(7);            // finding: operator new
+    std::vector<double> owned(16);     // finding: owning vector
+    std::vector<double>& alias = owned;  // clean: reference binds, no allocation
+    alias[0] = static_cast<double>(*leak);
+    delete leak;
+}

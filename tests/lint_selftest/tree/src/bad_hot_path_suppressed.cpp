@@ -1,0 +1,11 @@
+// Fixture: the same violations, silenced per line.  // hcq-hot-path
+#include <vector>
+
+void suppressed() {
+    // hcq-lint: allow(hot-path-alloc) cold path: one-time setup
+    int* once = new int(7);
+    // hcq-lint: allow(hot-path-alloc) cold path: warm-up sizing
+    std::vector<double> owned(16);
+    owned[0] = static_cast<double>(*once);
+    delete once;  // hcq-lint: allow(hot-path-alloc) teardown
+}

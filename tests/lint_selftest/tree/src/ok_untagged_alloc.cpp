@@ -1,0 +1,9 @@
+// Fixture: allocation is fine in a file NOT tagged hot-path.
+#include <vector>
+
+void allocates_freely() {
+    int* p = new int(7);
+    std::vector<double> v(16);
+    v[0] = static_cast<double>(*p);
+    delete p;
+}

@@ -1,0 +1,124 @@
+// Golden bit-identity suite for the per-worker workspace hot path.
+//
+// The redesigned detection path (paths/workspace.h: reusable scratch arenas,
+// block-batched run_block, exact-content-keyed decomposition caches) must be
+// a pure performance change: every statistic the link simulator reports in
+// the detection domain — BER counters, exact frames, summed ML cost, ARQ
+// attempt chains — must be bit-identical to the allocate-per-call legacy
+// path (link_config::workspaces = false), at every thread count and stream
+// block, under i.i.d. Rayleigh, correlated Jakes fading, and imperfect CSI.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "arq/arq.h"
+#include "link/link_sim.h"
+#include "paths/registry.h"
+#include "wireless/channel_spec.h"
+
+namespace {
+
+namespace lk = hcq::link;
+namespace pt = hcq::paths;
+namespace wl = hcq::wireless;
+
+// Covers every hot-path family: cached linear (zf, mmse), cached tree search
+// (kbest), QUBO sweep solvers (sa), and the hybrid (gsra).
+lk::link_config base_config() {
+    lk::link_config config;
+    config.num_uses = 48;
+    config.num_users = 2;
+    config.mod = wl::modulation::qam16;
+    config.snr_db = 14.0;
+    config.paths = pt::parse_spec_list("zf,mmse,kbest,sa:reads=4,sweeps=40,gsra:reads=4");
+    config.seed = 77;
+    return config;
+}
+
+/// The channel variations the workspace caches must stay invisible under.
+struct channel_case {
+    const char* label;
+    const char* spec;  // nullptr = legacy i.i.d. Rayleigh draw
+};
+
+constexpr channel_case kChannels[] = {
+    {"rayleigh", nullptr},
+    {"jakes", "jakes:doppler_hz=30"},
+    {"imperfect-csi", "rayleigh:est_err=0.05"},
+};
+
+void apply_channel(lk::link_config& config, const channel_case& c) {
+    if (c.spec != nullptr) {
+        config.channel_spec = wl::channel_spec::parse(c.spec);
+    } else {
+        config.channel_spec = std::nullopt;
+    }
+}
+
+/// Every detection-domain statistic must match exactly — not approximately:
+/// identical inputs through identical operation order.
+void expect_identical(const lk::link_report& got, const lk::link_report& want,
+                      const std::string& trace) {
+    ASSERT_EQ(got.paths.size(), want.paths.size());
+    for (std::size_t p = 0; p < want.paths.size(); ++p) {
+        SCOPED_TRACE(trace + " / " + want.paths[p].name);
+        const auto& a = got.paths[p];
+        const auto& b = want.paths[p];
+        EXPECT_EQ(a.ber.errors(), b.ber.errors());
+        EXPECT_EQ(a.ber.total_bits(), b.ber.total_bits());
+        EXPECT_EQ(a.exact_frames, b.exact_frames);
+        EXPECT_EQ(a.sum_ml_cost, b.sum_ml_cost);
+        ASSERT_EQ(a.arq.has_value(), b.arq.has_value());
+        if (a.arq) {
+            EXPECT_EQ(a.arq->counters.frames, b.arq->counters.frames);
+            EXPECT_EQ(a.arq->counters.attempts, b.arq->counters.attempts);
+            EXPECT_EQ(a.arq->counters.wrong_attempts, b.arq->counters.wrong_attempts);
+            EXPECT_EQ(a.arq->counters.corrected_frames, b.arq->counters.corrected_frames);
+            EXPECT_EQ(a.arq->counters.residual_errors, b.arq->counters.residual_errors);
+        }
+    }
+}
+
+void run_matrix(lk::link_config config, const char* trace_prefix) {
+    for (const auto& channel : kChannels) {
+        apply_channel(config, channel);
+
+        // Reference: the legacy allocate-per-call path, serial, small block.
+        config.workspaces = false;
+        config.num_threads = 1;
+        config.stream_block = 64;
+        const auto reference = lk::run_link_simulation(config);
+
+        for (const bool workspaces : {false, true}) {
+            for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+                for (const std::size_t block : {64UL, 4096UL}) {
+                    config.workspaces = workspaces;
+                    config.num_threads = threads;
+                    config.stream_block = block;
+                    const auto got = lk::run_link_simulation(config);
+                    expect_identical(
+                        got, reference,
+                        std::string(trace_prefix) + channel.label +
+                            (workspaces ? " ws=on" : " ws=off") + " threads=" +
+                            std::to_string(threads) + " block=" + std::to_string(block));
+                }
+            }
+        }
+    }
+}
+
+TEST(Workspace, OpenLoopStatisticsMatchLegacyPath) { run_matrix(base_config(), "open/"); }
+
+TEST(Workspace, ArqChainsMatchLegacyPath) {
+    auto config = base_config();
+    config.num_uses = 32;
+    hcq::arq::arq_config arq;
+    arq.deadline_auto = true;
+    arq.max_retx = 2;
+    config.arq = arq;
+    run_matrix(config, "arq/");
+}
+
+}  // namespace
