@@ -16,15 +16,21 @@
 // --channel <spec> (wireless/channel_spec.h — e.g. jakes:doppler_hz=5 or
 // watterson:taps=2,spread_hz=1,est_err=0.05) for correlated fading /
 // imperfect CSI; unset keeps the default i.i.d. rayleigh draw bit-for-bit,
-// so the bench baselines remain valid.  With
-// --json the table is emitted inside the self-describing envelope
+// so the bench baselines remain valid.  --fec <spec> (fec/code_spec.h —
+// e.g. k7 or k5:interleave=8x8) closes the coded link: paths emit per-bit
+// LLRs, soft Viterbi decodes interleaved frames (adds coded-FER / coded-BER
+// columns; uses are rounded down to whole coded frames per scenario), and
+// with --arq the retransmission loop chase-combines LLRs across attempts.
+// With --json the table is emitted inside the self-describing envelope
 // {git_sha, bench, config, rows} — the format the CI bench-smoke job
 // uploads as a BENCH_*.json artifact and the bench-regression gate diffs
 // against bench/baselines/.
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "fec/code_spec.h"
 #include "link/link_sim.h"
 #include "paths/registry.h"
 
@@ -49,6 +55,13 @@ int main(int argc, char** argv) {
     if (ctx.flags.has("channel")) {
         channel = wireless::channel_spec::parse(ctx.flags.get_string("channel", ""));
     }
+    std::optional<fec::code_spec> fec_spec;
+    if (ctx.flags.has("fec")) {
+        // A bare `--fec` parses to "true" (util::flag_set); it selects the
+        // default k7 code, same idiom as a bare `--arq`.
+        const std::string spec = ctx.flags.get_string("fec", "k7");
+        fec_spec = fec::code_spec::parse(spec.empty() || spec == "true" ? "k7" : spec);
+    }
 
     struct scenario {
         std::size_t users;
@@ -64,6 +77,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> headers{"users", "mod", "path", "BER", "exact uses",
                                      "svc mean us", "thrpt use/ms", "p50 lat us",
                                      "p99 lat us", "drop rate", "wall s"};
+    if (fec_spec) headers.insert(headers.end(), {"coded FER", "coded BER"});
     if (arq_on) {
         headers.insert(headers.end(),
                        {"resid FER", "retx rate", "miss rate", "goodput use/ms"});
@@ -74,6 +88,15 @@ int main(int argc, char** argv) {
         config.num_uses = uses;
         config.num_users = s.users;
         config.mod = s.mod;
+        if (fec_spec) {
+            // The coded link wants whole frames; round the scenario's use
+            // count down to the frame multiple (at least one frame).
+            const std::size_t bits_per_use = s.users * wireless::bits_per_symbol(s.mod);
+            const std::size_t uses_per_frame =
+                (fec_spec->coded_bits() + bits_per_use - 1) / bits_per_use;
+            config.num_uses = std::max(uses_per_frame, uses - uses % uses_per_frame);
+            config.fec = fec_spec;
+        }
         config.paths = path_specs;
         config.offered_load = load;
         config.num_threads = threads;
@@ -101,6 +124,11 @@ int main(int argc, char** argv) {
                                          util::format_double(path.replay.p99_latency_us),
                                          util::format_double(path.replay.drop_rate, 5),
                                          util::format_double(wall_s, 2)};
+            if (fec_spec) {
+                const auto& fr = *path.fec;
+                row.push_back(util::format_double(fr.coded_fer(), 5));
+                row.push_back(util::format_double(fr.info_ber.rate(), 5));
+            }
             if (arq_on) {
                 const auto& ar = *path.arq;
                 row.push_back(util::format_double(ar.counters.residual_fer(), 5));

@@ -13,6 +13,7 @@
 //     solving the constrained QUBO,
 // using LLR-derived priors on the most confident symbols — the best case
 // for the scheme.
+#include <span>
 #include <vector>
 
 #include "bench_common.h"
@@ -21,6 +22,7 @@
 #include "detect/sphere.h"
 #include "detect/transform.h"
 #include "metrics/stats.h"
+#include "paths/registry.h"
 #include "qubo/brute_force.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
     const std::vector<double> strengths{0.0, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0};
     std::vector<strength_result> results(strengths.size());
     const an::annealer_emulator device;
+    const auto zf_path = hcq::paths::registry::make("zf");
 
     hcq::util::parallel_for(strengths.size(), [&](std::size_t k) {
         for (std::size_t i = 0; i < instances; ++i) {
@@ -69,9 +72,17 @@ int main(int argc, char** argv) {
             // True ML solution by exact search (noise may move it off tx).
             const auto ml = dt::sphere_detector().detect(inst);
 
-            // LLR priors; apply to the single most confident symbol.
+            // LLR priors from the unified path-level soft output (the "zf"
+            // path's post-equalisation max-log LLRs); apply to the single
+            // most confident symbol.  The LLR vector uses THE canonical bit
+            // layout asserted in wireless/soft.h — user-major, and within a
+            // user the I-dimension bits MSB-first then the Q-dimension bits
+            // MSB-first — so llrs[u * bps + b] is bit b of user u, aligned
+            // index-for-index with ml.bits.
             auto mq = dt::ml_to_qubo(inst);
-            const auto llrs = wl::zf_soft_bits(inst);
+            auto det = zf_path->run({inst, nullptr, rng, nullptr});
+            zf_path->soft_output({inst, nullptr, rng, nullptr}, det);
+            const auto& llrs = det.llrs;
             const std::size_t bps = wl::bits_per_symbol(inst.mod);
             std::size_t best_user = 0;
             double best_conf = -1.0;
@@ -83,10 +94,10 @@ int main(int argc, char** argv) {
                     best_user = u;
                 }
             }
-            std::vector<std::uint8_t> pattern(bps);
+            std::vector<std::uint8_t> pattern;
+            wl::harden_into(std::span(llrs).subspan(best_user * bps, bps), pattern);
             std::size_t correct = 0;
             for (std::size_t b = 0; b < bps; ++b) {
-                pattern[b] = llrs[best_user * bps + b] >= 0.0 ? 0 : 1;
                 if (pattern[b] == ml.bits[best_user * bps + b]) ++correct;
             }
             results[k].prior_accuracy.add(static_cast<double>(correct) /

@@ -41,6 +41,13 @@ libclang dependency, so it runs anywhere python3 runs):
                      RAII fds and io_result values, never naked descriptors,
                      so EINTR/EAGAIN/EPIPE and non-blocking setup stay in one
                      audited place.
+  llr-sign           ad-hoc bit->sign arithmetic ((1 - 2*bit), ternary sign
+                     selection, pow(-1, bit)) on LLR-carrying lines in src/
+                     outside src/fec/ and src/wireless/soft.{h,cpp}: the
+                     canonical sign convention (positive favours bit 0) has
+                     exactly one bit->sign conversion, wireless::signed_llr —
+                     a hand-rolled flip silently inverts soft information
+                     for every downstream consumer.
 
 Suppressions (always carry a reason after the directive):
   // hcq-lint: allow(rule-id[, rule-id]) ...   this line and the next
@@ -345,6 +352,44 @@ def rule_raw_socket(sources: list[SourceFile], findings: list[Finding]) -> None:
         scan_tokens(src, "raw-socket", RAW_SOCKET_PATTERNS, findings)
 
 
+# --- llr-sign --------------------------------------------------------------
+
+# The canonical LLR contract (src/wireless/soft.h): positive LLR favours bit
+# 0, and wireless::signed_llr is the ONLY bit->sign conversion.  These two
+# modules own the convention; everywhere else in src/, sign arithmetic on a
+# line that touches an LLR is an ad-hoc flip waiting to invert the soft
+# chain.  Scoped to lines mentioning `llr` so the QUBO/Ising bipolar maps
+# (a different +/-1 domain entirely) stay out of scope.
+LLR_SIGN_EXEMPT_PREFIXES = ("src/fec/",)
+LLR_SIGN_EXEMPT = {"src/wireless/soft.h", "src/wireless/soft.cpp"}
+LLR_LINE_RE = re.compile(r"(?i)llr")
+LLR_SIGN_PATTERNS = [
+    (re.compile(r"\b1(\.0)?\s*-\s*2(\.0)?\s*\*"),
+     "bipolar (1 - 2*bit) mapping on an LLR-carrying line; the only "
+     "bit->sign conversion is wireless::signed_llr (soft.h sign contract)"),
+    (re.compile(r"\?\s*-[\w.(]|:\s*-[\w.(]"),
+     "ternary sign selection on an LLR-carrying line; apply the sign through "
+     "wireless::signed_llr instead of hand-flipping"),
+    (re.compile(r"\bpow\s*\(\s*-1"),
+     "pow(-1, bit) sign trick on an LLR-carrying line; use "
+     "wireless::signed_llr"),
+]
+
+
+def rule_llr_sign(sources: list[SourceFile], findings: list[Finding]) -> None:
+    for src in sources:
+        if not src.rel.startswith("src/"):
+            continue
+        if src.rel in LLR_SIGN_EXEMPT or src.rel.startswith(LLR_SIGN_EXEMPT_PREFIXES):
+            continue
+        for idx, code in enumerate(src.code_lines, start=1):
+            if not LLR_LINE_RE.search(code):
+                continue
+            for pattern, message in LLR_SIGN_PATTERNS:
+                if pattern.search(code) and not src.suppressed("llr-sign", idx):
+                    findings.append(Finding(src.rel, idx, "llr-sign", message))
+
+
 # --- hot-path-alloc --------------------------------------------------------
 
 # Opt-in marker: a file carrying this comment tag declares that its
@@ -419,6 +464,7 @@ RULES = {
     "test-registration": "tests/*_test.cpp <-> HCQ_TEST_SUITES consistency",
     "raw-socket": "raw socket/readiness syscalls outside src/serve/socket.{h,cpp}",
     "hot-path-alloc": "new / owning std::vector in files tagged // hcq-hot-path",
+    "llr-sign": "ad-hoc LLR sign arithmetic outside src/fec/ and wireless/soft",
 }
 
 
@@ -431,6 +477,7 @@ def run_lint(root: Path) -> list[Finding]:
     rule_spec_literal(sources, findings)
     rule_channel_spec_literal(sources, findings)
     rule_raw_socket(sources, findings)
+    rule_llr_sign(sources, findings)
     rule_hot_path_alloc(sources, findings)
     rule_test_registration(root, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))

@@ -89,15 +89,16 @@ fi
 if [[ $run_asan -eq 1 ]]; then
     dir="build-asan"
     [[ $clean -eq 1 ]] && rm -rf "$dir"
-    echo "== ASan+UBSan: detection paths + link simulator + hybrid solver + ARQ + serve =="
+    echo "== ASan+UBSan: detection paths + link simulator + hybrid solver + ARQ + FEC + serve =="
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHCQ_SANITIZE=address \
         -DHCQ_BUILD_EXAMPLES=OFF -DHCQ_BUILD_BENCHES=OFF
     cmake --build "$dir" -j "$jobs" --target paths_test link_test hybrid_test arq_test \
-        serve_test workspace_test
+        fec_test serve_test workspace_test
     "$dir/tests/paths_test"
     "$dir/tests/link_test"
     "$dir/tests/hybrid_test"
     "$dir/tests/arq_test"
+    "$dir/tests/fec_test"
     "$dir/tests/serve_test"
     "$dir/tests/workspace_test"
 fi

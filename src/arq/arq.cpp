@@ -50,7 +50,18 @@ std::size_t parse_max_retx(const std::string& value) {
     return static_cast<std::size_t>(parsed);
 }
 
+combining_mode parse_combining(const std::string& value) {
+    if (value == "chase") return combining_mode::chase;
+    if (value == "plain") return combining_mode::plain;
+    throw std::invalid_argument("arq: bad combining value '" + value +
+                                "' (expected chase or plain)");
+}
+
 }  // namespace
+
+const char* to_string(combining_mode mode) noexcept {
+    return mode == combining_mode::chase ? "chase" : "plain";
+}
 
 std::string arq_config::to_string() const {
     std::ostringstream out;
@@ -62,7 +73,7 @@ std::string arq_config::to_string() const {
     } else {
         out << util::format_double(deadline_us);
     }
-    out << ",max_retx=" << max_retx;
+    out << ",max_retx=" << max_retx << ",combining=" << arq::to_string(combining);
     return out.str();
 }
 
@@ -80,8 +91,8 @@ arq_config parse_arq(const std::string& text) {
         const std::size_t eq = part.find('=');
         if (eq == std::string::npos || eq == 0) {
             throw std::invalid_argument("arq: malformed option '" + part +
-                                        "' (expected deadline_us=<auto|none|us> or "
-                                        "max_retx=<n>)");
+                                        "' (expected deadline_us=<auto|none|us>, "
+                                        "max_retx=<n>, or combining=<chase|plain>)");
         }
         const std::string key = part.substr(0, eq);
         const std::string value = part.substr(eq + 1);
@@ -89,9 +100,11 @@ arq_config parse_arq(const std::string& text) {
             config.deadline_us = parse_deadline(value, config);
         } else if (key == "max_retx") {
             config.max_retx = parse_max_retx(value);
+        } else if (key == "combining") {
+            config.combining = parse_combining(value);
         } else {
             throw std::invalid_argument("arq: unknown option '" + key +
-                                        "' (accepted: deadline_us, max_retx)");
+                                        "' (accepted: deadline_us, max_retx, combining)");
         }
     }
     return config;

@@ -60,7 +60,17 @@ namespace hcq::arq {
 /// Sentinel: no retransmission deadline (error-driven ARQ only).
 inline constexpr double no_deadline = std::numeric_limits<double>::infinity();
 
-/// ARQ knobs, spec-string form "deadline_us=500,max_retx=2".
+/// How a hybrid-ARQ retransmission uses the previous attempts' soft
+/// information (engaged only when the link runs coded, link_config::fec):
+/// `chase` accumulates clamped per-bit LLRs across a frame's attempts and
+/// decodes against the combined vector (chase combining); `plain` decodes
+/// each attempt's LLRs alone — classical ARQ, the A/B baseline.  Uncoded
+/// links ignore the knob (there is no decoder to feed).
+enum class combining_mode { chase, plain };
+
+[[nodiscard]] const char* to_string(combining_mode mode) noexcept;
+
+/// ARQ knobs, spec-string form "deadline_us=500,max_retx=2,combining=chase".
 struct arq_config {
     /// Retransmission deadline on the replayed end-to-end latency.
     /// `no_deadline` disables the deadline trigger; 0 means every attempt
@@ -70,15 +80,20 @@ struct arq_config {
     bool deadline_auto = false;
     /// Retransmissions allowed per frame; 0 reproduces the open loop.
     std::size_t max_retx = 1;
+    /// Soft-information handling across a coded frame's attempts (hybrid
+    /// ARQ); the default is chase combining.
+    combining_mode combining = combining_mode::chase;
 
-    /// Canonical text form: "deadline_us=<auto|none|value>,max_retx=<n>".
+    /// Canonical text form with every key explicit:
+    /// "deadline_us=<auto|none|value>,max_retx=<n>,combining=<chase|plain>".
     [[nodiscard]] std::string to_string() const;
 };
 
-/// Parses "deadline_us=<auto|none|value>,max_retx=<n>" (both keys optional,
-/// any order).  "", "true", and "1" — what a bare `--arq` flag parses to —
-/// yield the defaults.  Throws std::invalid_argument naming the offending
-/// key or value and listing the accepted forms.
+/// Parses "deadline_us=<auto|none|value>,max_retx=<n>,combining=<chase|plain>"
+/// (every key optional, any order).  "", "true", and "1" — what a bare
+/// `--arq` flag parses to — yield the defaults.  Throws
+/// std::invalid_argument naming the offending key or value and listing the
+/// accepted forms.
 [[nodiscard]] arq_config parse_arq(const std::string& text);
 
 /// Deterministic retransmission decision for the detection domain: attempt

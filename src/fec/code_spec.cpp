@@ -1,0 +1,141 @@
+#include "fec/code_spec.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/spec.h"
+
+namespace hcq::fec {
+namespace {
+
+const util::spec::grammar kGrammar{"fec", "code kind"};
+
+struct kind_info {
+    const char* name;
+    std::size_t constraint_length;
+    std::uint32_t g0;
+    std::uint32_t g1;
+    const char* summary;
+};
+
+// Octal generator convention: bit j of g selects tap j of the shift
+// register window [newest input .. oldest], LSB = oldest state bit after
+// the encoder's `full = (b << (K-1)) | state` packing (see conv.cpp).
+constexpr kind_info kKinds[] = {
+    {"k3", 3, 07, 05, "toy K=3 code (7,5) - fast tests"},
+    {"k5", 5, 023, 035, "K=5 code (23,35)"},
+    {"k7", 7, 0133, 0171, "NASA-standard K=7 code (133,171)"},
+};
+
+const kind_info& find_kind(const std::string& kind, const std::string& text) {
+    for (const auto& info : kKinds) {
+        if (kind == info.name) return info;
+    }
+    std::ostringstream why;
+    why << "unknown code kind '" << kind << "' (valid:";
+    for (const auto& info : kKinds) why << " " << info.name;
+    why << ")";
+    util::spec::fail(kGrammar, text, why.str());
+}
+
+void parse_interleave(const std::string& value, const std::string& text, code_spec& spec) {
+    const std::size_t x = value.find('x');
+    const auto rows = x == std::string::npos
+                          ? std::nullopt
+                          : util::spec::parse_size_value(value.substr(0, x));
+    const auto cols = x == std::string::npos
+                          ? std::nullopt
+                          : util::spec::parse_size_value(value.substr(x + 1));
+    if (!rows || !cols || *rows == 0 || *cols == 0) {
+        util::spec::fail(kGrammar, text,
+                         "bad interleave value '" + value +
+                             "' (expected ROWSxCOLS, both positive, e.g. 16x8)");
+    }
+    if (*rows > 4096 || *cols > 4096) {
+        util::spec::fail(kGrammar, text,
+                         "interleave value '" + value + "' out of range (rows, cols <= 4096)");
+    }
+    spec.rows = *rows;
+    spec.cols = *cols;
+}
+
+}  // namespace
+
+code_spec code_spec::parse(const std::string& text) {
+    code_spec spec;
+    bool kind_seen = false;
+    const auto on_kind = [&](const std::string& kind) {
+        (void)find_kind(kind, text);
+        spec.kind = kind;
+        kind_seen = true;
+    };
+    const auto on_key = [&](const std::string& key, const std::string& value) {
+        if (key == "rate") {
+            if (value != "1/2") {
+                util::spec::fail(kGrammar, text,
+                                 "bad rate value '" + value + "' (only 1/2 is supported)");
+            }
+            spec.rate_num = 1;
+            spec.rate_den = 2;
+        } else if (key == "interleave") {
+            parse_interleave(value, text, spec);
+        } else {
+            util::spec::fail(kGrammar, text,
+                             "unknown key '" + key + "' (accepted: rate, interleave)");
+        }
+    };
+    (void)util::spec::parse(kGrammar, text, on_key, on_kind);
+    if (!kind_seen) util::spec::fail(kGrammar, text, "empty code kind");
+    // Geometry must fit the code: a whole number of code branches, with at
+    // least one information bit after the terminating tail.
+    if (spec.coded_bits() % spec.rate_den != 0) {
+        util::spec::fail(kGrammar, text,
+                         "interleaver of " + std::to_string(spec.coded_bits()) +
+                             " bits is not a multiple of the rate denominator " +
+                             std::to_string(spec.rate_den));
+    }
+    if (spec.coded_bits() / spec.rate_den <= spec.constraint_length() - 1) {
+        util::spec::fail(kGrammar, text,
+                         "interleaver of " + std::to_string(spec.coded_bits()) +
+                             " bits leaves no information bits after the " +
+                             std::to_string(spec.constraint_length() - 1) + "-bit tail");
+    }
+    return spec;
+}
+
+std::string code_spec::to_string() const {
+    std::ostringstream out;
+    out << kind << ":rate=" << rate_num << "/" << rate_den << ",interleave=" << rows << "x"
+        << cols;
+    return out.str();
+}
+
+std::size_t code_spec::constraint_length() const {
+    return find_kind(kind, kind).constraint_length;
+}
+
+std::vector<std::uint32_t> code_spec::generators() const {
+    const kind_info& info = find_kind(kind, kind);
+    return {info.g0, info.g1};
+}
+
+std::vector<std::string> code_spec::kinds() {
+    std::vector<std::string> names;
+    for (const auto& info : kKinds) names.emplace_back(info.name);
+    return names;
+}
+
+std::string code_spec::help() {
+    std::ostringstream out;
+    out << "FEC code kinds (--fec kind:key=value,...):\n";
+    for (const auto& info : kKinds) {
+        out << "  " << info.name << "  " << info.summary << "\n";
+    }
+    out << "keys (every kind):\n"
+        << "  rate        code rate (only 1/2 is supported; default 1/2)\n"
+        << "  interleave  block interleaver ROWSxCOLS = coded bits per frame\n"
+        << "              (default 16x8; frame info bits = R*C/2 - (K-1))\n";
+    return out.str();
+}
+
+}  // namespace hcq::fec

@@ -1,0 +1,36 @@
+#include "fec/codec.h"
+
+#include <stdexcept>
+
+namespace hcq::fec {
+
+codec::codec(const code_spec& spec)
+    : spec_(spec),
+      info_bits_(spec.info_bits()),
+      encoder_(spec.constraint_length(), spec.generators()),
+      inter_(spec.rows, spec.cols),
+      decoder_(spec.constraint_length(), spec.generators()) {
+    if (encoder_.coded_length(info_bits_) != inter_.size()) {
+        throw std::invalid_argument("fec: interleaver size does not match the code geometry");
+    }
+}
+
+void codec::encode_frame(std::span<const std::uint8_t> info, std::vector<std::uint8_t>& out) {
+    if (info.size() != info_bits_) {
+        throw std::invalid_argument("fec: encode_frame expects info_bits() bits");
+    }
+    encoder_.encode(info, coded_scratch_);
+    out.resize(inter_.size());
+    inter_.interleave<std::uint8_t>(coded_scratch_, out);
+}
+
+void codec::decode_frame(std::span<const double> llrs, std::vector<std::uint8_t>& out) {
+    if (llrs.size() != inter_.size()) {
+        throw std::invalid_argument("fec: decode_frame expects coded_bits() LLRs");
+    }
+    llr_scratch_.resize(inter_.size());
+    inter_.deinterleave<double>(llrs, llr_scratch_);
+    decoder_.decode(llr_scratch_, info_bits_, viterbi_scratch_, out);
+}
+
+}  // namespace hcq::fec

@@ -1,0 +1,54 @@
+// One coded frame end to end: conv_encoder -> interleaver on the way in,
+// deinterleaver -> soft-decision Viterbi on the way out, all configured by
+// one fec::code_spec.
+//
+// A frame is exactly one interleaver block (rows x cols coded bits); the
+// codec owns the scratch buffers, so a warmed-up instance encodes and
+// decodes without allocating.  Instances are NOT thread-safe (they carry
+// scratch) — the link layer keeps one per worker, like paths::workspace.
+#ifndef HCQ_FEC_CODEC_H
+#define HCQ_FEC_CODEC_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fec/code_spec.h"
+#include "fec/conv.h"
+#include "fec/interleaver.h"
+#include "fec/viterbi.h"
+
+namespace hcq::fec {
+
+class codec {
+public:
+    explicit codec(const code_spec& spec);
+
+    [[nodiscard]] const code_spec& spec() const noexcept { return spec_; }
+    [[nodiscard]] std::size_t info_bits() const noexcept { return info_bits_; }
+    [[nodiscard]] std::size_t coded_bits() const noexcept { return inter_.size(); }
+
+    /// Encodes one frame of info_bits() information bits into coded_bits()
+    /// interleaved coded bits (out resized).  Throws std::invalid_argument
+    /// on a length mismatch.
+    void encode_frame(std::span<const std::uint8_t> info, std::vector<std::uint8_t>& out);
+
+    /// Decodes one frame from coded_bits() channel LLRs (interleaved order,
+    /// sign convention of wireless/soft.h) into info_bits() information bits
+    /// (out resized).  Deterministic: a pure function of the LLR vector.
+    void decode_frame(std::span<const double> llrs, std::vector<std::uint8_t>& out);
+
+private:
+    code_spec spec_;
+    std::size_t info_bits_;
+    conv_encoder encoder_;
+    interleaver inter_;
+    viterbi_decoder decoder_;
+    std::vector<std::uint8_t> coded_scratch_;
+    std::vector<double> llr_scratch_;
+    viterbi_decoder::scratch viterbi_scratch_;
+};
+
+}  // namespace hcq::fec
+
+#endif  // HCQ_FEC_CODEC_H

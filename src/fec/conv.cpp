@@ -1,0 +1,40 @@
+#include "fec/conv.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hcq::fec {
+
+conv_encoder::conv_encoder(std::size_t constraint_length, std::vector<std::uint32_t> generators)
+    : k_(constraint_length), generators_(std::move(generators)) {
+    if (k_ < 2 || k_ > 16) {
+        throw std::invalid_argument("conv_encoder: constraint length must be in [2, 16]");
+    }
+    if (generators_.empty()) {
+        throw std::invalid_argument("conv_encoder: at least one generator required");
+    }
+    const std::uint32_t window_mask = (1U << k_) - 1U;
+    for (const std::uint32_t g : generators_) {
+        if (g == 0 || (g & ~window_mask) != 0) {
+            throw std::invalid_argument("conv_encoder: generator taps outside the K-bit window");
+        }
+    }
+}
+
+void conv_encoder::encode(std::span<const std::uint8_t> info,
+                          std::vector<std::uint8_t>& out) const {
+    out.resize(coded_length(info.size()));
+    std::uint32_t state = 0;
+    std::size_t w = 0;
+    const std::size_t total = info.size() + k_ - 1;
+    for (std::size_t i = 0; i < total; ++i) {
+        const std::uint32_t b = i < info.size() ? (info[i] & 1U) : 0U;  // K-1 zero tail
+        const std::uint32_t full = (b << (k_ - 1)) | state;
+        for (const std::uint32_t g : generators_) {
+            out[w++] = static_cast<std::uint8_t>(std::popcount(full & g) & 1U);
+        }
+        state = full >> 1;
+    }
+}
+
+}  // namespace hcq::fec

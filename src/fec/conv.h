@@ -1,0 +1,48 @@
+// Terminated convolutional encoder (feed-forward, rate 1/k).
+//
+// Encoding convention, shared with the Viterbi decoder (viterbi.h): the
+// encoder state is the K-1 most recent input bits with the OLDEST bit in
+// the least-significant position.  For each input bit b the window is
+// `full = (b << (K-1)) | state`; output j is the parity of `full & g_j`
+// (generators in the usual octal-literal convention); the next state is
+// `full >> 1`.  After the information bits, K-1 zero tail bits drive the
+// register back to state 0, terminating the trellis — so the decoder can
+// anchor both ends.
+//
+// Output order: for each input bit (information then tail), the generator
+// outputs in order g_0, g_1, ... — the order the interleaver and decoder
+// assume.
+#ifndef HCQ_FEC_CONV_H
+#define HCQ_FEC_CONV_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hcq::fec {
+
+class conv_encoder {
+public:
+    /// Throws std::invalid_argument on a constraint length outside [2, 16],
+    /// fewer than one generator, or a generator with taps beyond the window.
+    conv_encoder(std::size_t constraint_length, std::vector<std::uint32_t> generators);
+
+    [[nodiscard]] std::size_t constraint_length() const noexcept { return k_; }
+    [[nodiscard]] std::size_t num_generators() const noexcept { return generators_.size(); }
+    /// Coded bits produced for `info_bits` information bits (tail included).
+    [[nodiscard]] std::size_t coded_length(std::size_t info_bits) const noexcept {
+        return (info_bits + k_ - 1) * generators_.size();
+    }
+
+    /// Encodes `info` (values 0/1) followed by the K-1 zero tail bits into
+    /// `out` (resized to coded_length(info.size())).
+    void encode(std::span<const std::uint8_t> info, std::vector<std::uint8_t>& out) const;
+
+private:
+    std::size_t k_;
+    std::vector<std::uint32_t> generators_;
+};
+
+}  // namespace hcq::fec
+
+#endif  // HCQ_FEC_CONV_H

@@ -1,0 +1,62 @@
+// Row/column block interleaver.
+//
+// Write row-major, read column-major: interleave maps in[r*cols + c] to
+// out[c*rows + r], and deinterleave is the exact inverse.  A burst of up to
+// `rows` consecutive CODED-bit errors on the channel lands at least `cols`
+// apart after deinterleaving — which is what lets the Viterbi decoder
+// survive the Jakes-fading error bursts the uncoded link measures.
+// 1xN and Nx1 interleavers are the identity.
+#ifndef HCQ_FEC_INTERLEAVER_H
+#define HCQ_FEC_INTERLEAVER_H
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+namespace hcq::fec {
+
+class interleaver {
+public:
+    /// Throws std::invalid_argument on zero rows or columns.
+    interleaver(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+        if (rows == 0 || cols == 0) {
+            throw std::invalid_argument("interleaver: zero rows or cols");
+        }
+    }
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t size() const noexcept { return rows_ * cols_; }
+
+    /// out[c*rows + r] = in[r*cols + c].  Works for bits and for LLRs.
+    template <typename T>
+    void interleave(std::span<const T> in, std::span<T> out) const {
+        check(in.size(), out.size());
+        for (std::size_t r = 0; r < rows_; ++r) {
+            for (std::size_t c = 0; c < cols_; ++c) out[c * rows_ + r] = in[r * cols_ + c];
+        }
+    }
+
+    /// The inverse permutation: out[r*cols + c] = in[c*rows + r].
+    template <typename T>
+    void deinterleave(std::span<const T> in, std::span<T> out) const {
+        check(in.size(), out.size());
+        for (std::size_t r = 0; r < rows_; ++r) {
+            for (std::size_t c = 0; c < cols_; ++c) out[r * cols_ + c] = in[c * rows_ + r];
+        }
+    }
+
+private:
+    void check(std::size_t in, std::size_t out) const {
+        if (in != size() || out != size()) {
+            throw std::invalid_argument("interleaver: span length != rows*cols");
+        }
+    }
+
+    std::size_t rows_;
+    std::size_t cols_;
+};
+
+}  // namespace hcq::fec
+
+#endif  // HCQ_FEC_INTERLEAVER_H

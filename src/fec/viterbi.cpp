@@ -1,0 +1,89 @@
+#include "fec/viterbi.h"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace hcq::fec {
+
+viterbi_decoder::viterbi_decoder(std::size_t constraint_length,
+                                 std::vector<std::uint32_t> generators)
+    : k_(constraint_length), generators_(std::move(generators)) {
+    // Delegate parameter validation to the encoder's constructor checks.
+    (void)conv_encoder(k_, generators_);
+    num_states_ = std::size_t{1} << (k_ - 1);
+    outputs_.resize(num_states_ * 2);
+    for (std::uint32_t full = 0; full < outputs_.size(); ++full) {
+        std::uint32_t packed = 0;
+        for (std::size_t j = 0; j < generators_.size(); ++j) {
+            packed |= static_cast<std::uint32_t>(std::popcount(full & generators_[j]) & 1U) << j;
+        }
+        outputs_[full] = packed;
+    }
+}
+
+// Trellis bookkeeping.  A transition consumes input bit b in state prev:
+// full = (b << (K-1)) | prev, next = full >> 1.  Hence b is the MSB of the
+// NEXT state (the input bit just shifted in), and the two predecessors of a
+// next state differ only in the dropped LSB of full — which is what the
+// per-(step, state) decision stores.
+void viterbi_decoder::decode(std::span<const double> llrs, std::size_t info_bits, scratch& s,
+                             std::vector<std::uint8_t>& out) const {
+    const std::size_t steps = info_bits + k_ - 1;
+    const std::size_t branch = generators_.size();
+    if (llrs.size() != steps * branch) {
+        throw std::invalid_argument("viterbi: LLR length != (info_bits + K - 1) * generators");
+    }
+    constexpr double neg_inf = -std::numeric_limits<double>::infinity();
+    const std::size_t state_mask = num_states_ - 1;
+
+    s.metric.assign(num_states_, neg_inf);
+    s.metric[0] = 0.0;  // the encoder starts in state 0
+    s.next_metric.resize(num_states_);
+    s.decisions.resize(steps * num_states_);
+
+    for (std::size_t t = 0; t < steps; ++t) {
+        const bool tail = t >= info_bits;  // tail steps carry a forced 0 bit
+        for (std::size_t ns = 0; ns < num_states_; ++ns) s.next_metric[ns] = neg_inf;
+        std::uint8_t* const decide = s.decisions.data() + t * num_states_;
+        // Only same-b candidates ever compete for a next state (b is the
+        // next state's MSB), so the deterministic tie-break is purely the
+        // scan order below: ascending prev state plus strict >, i.e. the
+        // LOWER predecessor survives a tie.
+        for (std::uint32_t b = 0; b <= (tail ? 0U : 1U); ++b) {
+            for (std::size_t prev = 0; prev < num_states_; ++prev) {
+                const double from = s.metric[prev];
+                if (from == neg_inf) continue;
+                const std::uint32_t full = (b << (k_ - 1)) | static_cast<std::uint32_t>(prev);
+                const std::uint32_t packed = outputs_[full];
+                double m = from;
+                for (std::size_t j = 0; j < branch; ++j) {
+                    const double llr = llrs[t * branch + j];
+                    // Positive LLR favours coded bit 0 (wireless/soft.h).
+                    m += ((packed >> j) & 1U) != 0 ? -llr : llr;
+                }
+                const std::size_t next = full >> 1;
+                if (m > s.next_metric[next]) {
+                    s.next_metric[next] = m;
+                    decide[next] = static_cast<std::uint8_t>(full & 1U);  // dropped LSB
+                }
+            }
+        }
+        std::swap(s.metric, s.next_metric);
+    }
+
+    // Termination anchors the traceback at state 0; walking back, the input
+    // bit of step t is the MSB of the state AFTER step t, and the
+    // predecessor re-attaches the stored dropped LSB.
+    out.resize(info_bits);
+    std::size_t state = 0;
+    for (std::size_t t = steps; t-- > 0;) {
+        const std::uint8_t lsb = s.decisions[t * num_states_ + state];
+        const std::uint8_t b = static_cast<std::uint8_t>((state << 1) >> (k_ - 1));
+        if (t < info_bits) out[t] = b;
+        state = ((state << 1) | lsb) & state_mask;
+    }
+}
+
+}  // namespace hcq::fec

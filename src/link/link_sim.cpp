@@ -1,18 +1,25 @@
 #include "link/link_sim.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>  // hcq-lint: allow(unordered-container) pure-lookup thread registry
 
+#include "fec/codec.h"
 #include "metrics/stats.h"
 #include "paths/registry.h"
 #include "paths/workspace.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "wireless/mimo.h"
+#include "wireless/soft.h"
 
 namespace hcq::link {
 namespace {
@@ -37,6 +44,7 @@ constexpr std::uint64_t solve_stream_domain = stream_domains::solve;
 constexpr std::uint64_t arq_synth_domain = stream_domains::arq_synthesis;
 constexpr std::uint64_t arq_solve_domain = stream_domains::arq_solve;
 constexpr std::uint64_t fading_stream_domain = stream_domains::fading;
+constexpr std::uint64_t fec_stream_domain = stream_domains::fec;
 
 // An ARQ retransmission goes back on the air one channel use after the
 // attempt it repeats: attempt r of frame u sees the fading process at
@@ -117,6 +125,88 @@ struct arq_cell {
     std::vector<double> retx_service_us;  ///< measured service per retransmission
 };
 
+/// Per-(frame, path) outcome of the coded link — the attempt-0 decode plus
+/// the hybrid-ARQ chain when engaged — filled by the pool workers and folded
+/// serially.  Memory is O(frames-per-window x paths), constant in num_uses.
+struct fec_cell {
+    qubo::bit_vector decoded0;  ///< attempt-0 decoded information bits
+    std::size_t attempts = 1;   ///< transmissions incl. retransmissions
+    std::size_t wrong = 0;      ///< attempts whose decode came out wrong
+    bool first_ok = true;
+    bool final_ok = true;
+    std::vector<double> retx_service_us;  ///< measured service per retransmission
+};
+
+/// Per-worker FEC state: the codec (trellis tables + decode scratch — NOT
+/// thread-safe) plus the frame-assembly buffers.  Handed out per thread by
+/// codec_store, mirroring paths::workspace_store: acquire once, then work
+/// lock-free.  Holds no statistic — which worker decodes a frame never
+/// changes the (deterministic) decode.
+struct fec_worker {
+    explicit fec_worker(const fec::code_spec& spec) : codec(spec) {}
+    fec::codec codec;
+    std::vector<std::uint8_t> use_bits;   ///< one use's zero-padded coded bits
+    std::vector<double> frame_llrs;       ///< assembled attempt-0 frame LLRs
+    std::vector<double> attempt_llrs;     ///< one retransmission's frame LLRs
+    std::vector<double> combined_llrs;    ///< chase-combining accumulator
+    std::vector<std::uint8_t> decoded;    ///< retransmission decode scratch
+};
+
+std::uint64_t next_codec_store_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+}
+
+/// One fec_worker per thread, created lazily on first request (same shape as
+/// paths::workspace_store; see its header for the determinism argument).
+class codec_store {
+public:
+    explicit codec_store(const fec::code_spec& spec)
+        : id_(next_codec_store_id()), spec_(spec) {}
+    codec_store(const codec_store&) = delete;
+    codec_store& operator=(const codec_store&) = delete;
+
+    [[nodiscard]] fec_worker& local() HCQ_EXCLUDES(mutex_) {
+        thread_local std::uint64_t cached_id = 0;
+        thread_local fec_worker* cached = nullptr;
+        if (cached_id == id_ && cached != nullptr) return *cached;
+        const util::mutex_lock lock(mutex_);
+        std::unique_ptr<fec_worker>& slot = by_thread_[std::this_thread::get_id()];
+        if (slot == nullptr) slot = std::make_unique<fec_worker>(spec_);
+        cached_id = id_;
+        cached = slot.get();
+        return *slot;
+    }
+
+private:
+    const std::uint64_t id_;  ///< globally unique, never reused
+    const fec::code_spec spec_;
+    util::mutex mutex_;
+    // hcq-lint: allow(unordered-container) pure per-thread lookup, never iterated
+    std::unordered_map<std::thread::id, std::unique_ptr<fec_worker>> by_thread_
+        HCQ_GUARDED_BY(mutex_);
+};
+
+/// Coded bits of use `j` of a frame, zero-padded to a whole channel use (the
+/// final use of a frame may carry fewer than bits_per_use coded bits).
+void pad_use_bits(const qubo::bit_vector& coded, std::size_t j, std::size_t bits_per_use,
+                  std::vector<std::uint8_t>& out) {
+    out.assign(bits_per_use, 0);
+    const std::size_t lo = j * bits_per_use;
+    const std::size_t n = std::min(bits_per_use, coded.size() - lo);
+    std::copy(coded.begin() + static_cast<std::ptrdiff_t>(lo),
+              coded.begin() + static_cast<std::ptrdiff_t>(lo + n), out.begin());
+}
+
+/// Copies the non-padding prefix of one use's LLRs into the frame vector.
+void gather_use_llrs(const std::vector<double>& llrs, std::size_t j, std::size_t bits_per_use,
+                     std::size_t coded_bits, std::vector<double>& frame) {
+    const std::size_t lo = j * bits_per_use;
+    const std::size_t n = std::min(bits_per_use, coded_bits - lo);
+    std::copy(llrs.begin(), llrs.begin() + static_cast<std::ptrdiff_t>(n),
+              frame.begin() + static_cast<std::ptrdiff_t>(lo));
+}
+
 }  // namespace
 
 stage_trace::stage_trace(std::string name, std::size_t sample_stride)
@@ -138,6 +228,10 @@ void stage_trace::add(double service_us) {
 double burst_stats::mean_burst_length() const noexcept {
     if (bursts == 0) return 0.0;
     return static_cast<double>(error_frames) / static_cast<double>(bursts);
+}
+
+double fec_path_report::coded_fer() const noexcept {
+    return frames > 0 ? static_cast<double>(frame_errors) / static_cast<double>(frames) : 0.0;
 }
 
 std::vector<std::string> path_report::stage_names() const {
@@ -219,6 +313,7 @@ link_report run_link_simulation(const link_config& config) {
             path.stages.emplace_back(solve_stages[p][s], sample_stride);
             path.stage_servers.push_back(solve_servers[s]);
         }
+        if (config.fec) path.fec.emplace();
         if (config.arq) {
             path.arq.emplace();
             path.arq->retx_service = stage_trace("retx service", sample_stride);
@@ -229,6 +324,7 @@ link_report run_link_simulation(const link_config& config) {
     const util::rng solve_base = util::rng(config.seed).derive(solve_stream_domain);
     const util::rng arq_synth_base = util::rng(config.seed).derive(arq_synth_domain);
     const util::rng arq_solve_base = util::rng(config.seed).derive(arq_solve_domain);
+    const util::rng fec_base = util::rng(config.seed).derive(fec_stream_domain);
 
     // Realistic-channel spec resolution: one frozen channel realisation per
     // run (correlated taps drawn from the dedicated fading domain), plus the
@@ -245,24 +341,62 @@ link_report run_link_simulation(const link_config& config) {
             util::rng(config.seed).derive(fading_stream_domain));
     }
 
+    // Coded-link geometry.  One coded frame (rows x cols interleaved bits)
+    // spans ceil(coded_bits / bits_per_use) consecutive channel uses with the
+    // final use zero-padded; the stream must carry whole frames.
+    const bool coded = config.fec.has_value();
+    const std::size_t bits_per_use = config.num_users * wireless::bits_per_symbol(config.mod);
+    const std::size_t coded_bits = coded ? config.fec->coded_bits() : 0;
+    const std::size_t uses_per_frame =
+        coded ? (coded_bits + bits_per_use - 1) / bits_per_use : 1;
+    if (coded && config.num_uses % uses_per_frame != 0) {
+        throw std::invalid_argument(
+            "link: num_uses (" + std::to_string(config.num_uses) +
+            ") must be a whole number of coded frames — '" + config.fec->to_string() +
+            "' spans " + std::to_string(uses_per_frame) + " uses per frame at " +
+            std::to_string(bits_per_use) + " bits per use");
+    }
+
     // The stream is processed in fixed-size windows, each in three phases
     // with a barrier between them: (A) synthesise every use and build the
-    // shared QUBO reductions block-at-a-time, (B) run every (path, use)
-    // detection cell batched through detection_path::run_block, and (C) run
-    // the ARQ retransmission chains.  Workers fill disjoint slots in
-    // parallel, then the window is folded serially in use order into the
-    // constant-size aggregates above.  All buffers below persist across
-    // windows, so after the first window the steady state reuses their
-    // capacity; peak memory is O(stream_block x paths), independent of
-    // num_uses.
-    const std::size_t block = std::min(config.stream_block, config.num_uses);
+    // shared QUBO reductions block-at-a-time (per coded FRAME when FEC is
+    // on: the frame's info bits are drawn, encoded, and spread over its
+    // uses), (B) run every (path, use) detection cell batched through
+    // detection_path::run_block — plus the explicit soft_output call when
+    // FEC is on — and (C) run the ARQ retransmission chains (per use when
+    // uncoded; per coded frame, with chase combining, when FEC is on).
+    // Workers fill disjoint slots in parallel, then the window is folded
+    // serially in use order into the constant-size aggregates above.  All
+    // buffers below persist across windows, so after the first window the
+    // steady state reuses their capacity; peak memory is
+    // O(stream_block x paths), independent of num_uses.
+    std::size_t block = std::min(config.stream_block, config.num_uses);
+    if (coded) {
+        // Whole frames per window: round the block down to a frame multiple
+        // (at least one frame).  Pure scheduling — every draw, solve, and
+        // decode is indexed by its GLOBAL use/frame index, so the rounding
+        // affects no statistic (the invariance tests cover coded runs).
+        block = std::max(uses_per_frame, block / uses_per_frame * uses_per_frame);
+    }
     std::vector<wireless::mimo_instance> instances(block);
     std::vector<detect::ml_qubo> mqs(needs_qubo ? block : 0);
     std::vector<qubo::bit_vector> tx_bits(block);
     std::vector<double> synth_us(block, 0.0);
     std::vector<double> reduce_us(block, 0.0);
     std::vector<paths::path_result> cells(num_paths * block);  // path-major: [p * block + i]
-    std::vector<arq_cell> arq_cells(config.arq ? num_paths * block : 0);
+    std::vector<arq_cell> arq_cells(config.arq && !coded ? num_paths * block : 0);
+
+    // Coded-frame window state: per-frame info/coded bits (shared by every
+    // path) and the path-major per-frame outcome cells.
+    const std::size_t frames_per_block = coded ? block / uses_per_frame : 0;
+    std::vector<qubo::bit_vector> frame_info(frames_per_block);
+    std::vector<qubo::bit_vector> frame_coded(frames_per_block);
+    std::vector<fec_cell> fec_cells(num_paths * frames_per_block);
+    std::optional<codec_store> codecs;
+    if (coded) {
+        codecs.emplace(*config.fec);
+        (void)codecs->local();  // eager main-thread construction surfaces spec errors here
+    }
 
     // One scratch arena per worker thread (paths/workspace.h), warm across
     // windows.  With config.workspaces false every context instead carries
@@ -316,16 +450,18 @@ link_report run_link_simulation(const link_config& config) {
         // block-at-a-time.  The reduction is shared by the QUBO-based paths
         // and skipped — trace stays zero — when only conventional detectors
         // are configured.
-        const auto synth_cell = [&](std::size_t i) {
+        const std::size_t window_frames = coded ? window / uses_per_frame : 0;
+        const auto synth_use = [&](std::size_t i, std::span<const std::uint8_t> use_bits) {
             const std::size_t u = base + i;
             util::rng synth_rng = synth_base.derive(u);
             wireless::mimo_instance& instance = instances[i];
             util::timer synth_clock;
             if (process) {
-                wireless::synthesize_at_into(synth_rng, mimo, *process, static_cast<double>(u),
-                                             csi_est_err, instance);
+                wireless::synthesize_at_coded_into(synth_rng, mimo, *process,
+                                                   static_cast<double>(u), csi_est_err,
+                                                   use_bits, instance);
             } else {
-                wireless::synthesize_into(synth_rng, mimo, instance);
+                wireless::synthesize_coded_into(synth_rng, mimo, use_bits, instance);
             }
             synth_us[i] = synth_clock.elapsed_us();
             tx_bits[i] = instance.tx_bits;
@@ -341,7 +477,27 @@ link_report run_link_simulation(const link_config& config) {
                 reduce_us[i] = reduce_clock.elapsed_us();
             }
         };
-        run_all(window, synth_cell);
+        const auto synth_cell = [&](std::size_t i) { synth_use(i, {}); };
+        // Coded Phase A works frame-at-a-time: draw the frame's information
+        // bits from the dedicated fec stream (indexed by GLOBAL frame),
+        // encode + interleave once, then synthesise its uses with the coded
+        // bits overriding the (still consumed) uniform tx-bit draws.
+        const auto synth_frame = [&](std::size_t fi) {
+            fec_worker& fw = codecs->local();
+            const std::size_t f = base / uses_per_frame + fi;  // global frame index
+            util::rng info_rng = fec_base.derive(f);
+            info_rng.bits_into(fw.codec.info_bits(), frame_info[fi]);
+            fw.codec.encode_frame(frame_info[fi], frame_coded[fi]);
+            for (std::size_t j = 0; j < uses_per_frame; ++j) {
+                pad_use_bits(frame_coded[fi], j, bits_per_use, fw.use_bits);
+                synth_use(fi * uses_per_frame + j, fw.use_bits);
+            }
+        };
+        if (coded) {
+            run_all(window_frames, synth_frame);
+        } else {
+            run_all(window, synth_cell);
+        }
 
         // Phase B: every configured path detects every use, batched through
         // run_block in chunks.  Each (use, path) cell draws from its own
@@ -366,12 +522,134 @@ link_report run_link_simulation(const link_config& config) {
                 ctxs.push_back({instances[c0 + j], needs_qubo ? &mqs[c0 + j] : nullptr,
                                 rngs[j], ws});
             }
-            paths[p]->run_block(
-                ctxs, std::span<paths::path_result>(cells).subspan(p * block + c0, n));
+            const auto out = std::span<paths::path_result>(cells).subspan(p * block + c0, n);
+            paths[p]->run_block(ctxs, out);
+            if (coded) {
+                // The coded link needs soft information: the explicit opt-in
+                // second call of the path API, on the same contexts the hard
+                // run saw.  Deterministic and workspace-independent by the
+                // soft_output contract, so LLRs inherit the invariances.
+                for (std::size_t j = 0; j < n; ++j) paths[p]->soft_output(ctxs[j], out[j]);
+            }
         };
         run_all(num_paths * chunks_per_path, detect_chunk);
 
-        if (config.arq) {
+        if (coded) {
+            // Phase C' (coded link): decode every (frame, path) cell and,
+            // when ARQ is engaged, run the hybrid-ARQ chain at FRAME
+            // granularity.  A retransmission re-sends the SAME coded bits on
+            // fresh channel uses — synthesis streams indexed by the global
+            // (use, attempt), solve streams by (use * num_paths + p,
+            // attempt), exactly the uncoded ARQ scheme — and the decode
+            // combines attempts per arq_config::combining: chase accumulates
+            // clamped LLRs across attempts, plain decodes each attempt
+            // alone.  Everything here is deterministic (decode is a pure
+            // function of the LLRs; the combining order is the fixed attempt
+            // order), so coded counters inherit the thread-count /
+            // stream-block / workspace invariances.  The retransmitted use
+            // at (use, attempt) is shared across paths, memoised like the
+            // uncoded phase C.
+            const auto fec_frame = [&](std::size_t fi) {
+                fec_worker& fw = codecs->local();
+                paths::workspace* const ws = config.workspaces ? &workspaces.local() : nullptr;
+                const std::size_t i0 = fi * uses_per_frame;
+                const std::size_t max_retx = config.arq ? config.arq->max_retx : 0;
+                struct retx_attempt {
+                    wireless::mimo_instance instance;
+                    detect::ml_qubo mq;
+                    double reduce_us = 0.0;
+                    bool reduced = false;
+                };
+                std::vector<std::optional<retx_attempt>> shared(uses_per_frame * max_retx);
+                const auto attempt_for = [&](std::size_t j, std::size_t attempt,
+                                             bool needs_reduction) -> retx_attempt& {
+                    auto& slot = shared[j * max_retx + (attempt - 1)];
+                    if (!slot) {
+                        const std::size_t u = base + i0 + j;
+                        util::rng retx_synth = arq_synth_base.derive(u).derive(attempt);
+                        slot.emplace();
+                        pad_use_bits(frame_coded[fi], j, bits_per_use, fw.use_bits);
+                        if (process) {
+                            wireless::synthesize_at_coded_into(
+                                retx_synth, mimo, *process,
+                                static_cast<double>(u) +
+                                    static_cast<double>(attempt) * retx_lag_uses,
+                                csi_est_err, fw.use_bits, slot->instance);
+                        } else {
+                            wireless::synthesize_coded_into(retx_synth, mimo, fw.use_bits,
+                                                            slot->instance);
+                        }
+                    }
+                    if (needs_reduction && !slot->reduced) {
+                        util::timer reduce_clock;
+                        if (ws != nullptr) {
+                            detect::ml_to_qubo_into(slot->instance, ws->detect.qubo, slot->mq);
+                        } else {
+                            slot->mq = detect::ml_to_qubo(slot->instance);
+                        }
+                        slot->reduce_us = reduce_clock.elapsed_us();
+                        slot->reduced = true;
+                    }
+                    return *slot;
+                };
+                for (std::size_t p = 0; p < num_paths; ++p) {
+                    fec_cell& fc = fec_cells[p * frames_per_block + fi];
+                    // Attempt 0: assemble the window cells' per-use LLRs
+                    // (dropping each use's zero-padding tail) and decode.
+                    fw.frame_llrs.resize(coded_bits);
+                    for (std::size_t j = 0; j < uses_per_frame; ++j) {
+                        gather_use_llrs(cells[p * block + i0 + j].llrs, j, bits_per_use,
+                                        coded_bits, fw.frame_llrs);
+                    }
+                    fw.codec.decode_frame(fw.frame_llrs, fc.decoded0);
+                    bool ok = fc.decoded0 == frame_info[fi];
+                    fc.first_ok = ok;
+                    fc.wrong = ok ? 0 : 1;
+                    fc.retx_service_us.clear();  // keeps capacity across windows
+                    std::size_t attempt = 0;
+                    if (config.arq) {
+                        const bool chase =
+                            config.arq->combining == arq::combining_mode::chase;
+                        if (chase) fw.combined_llrs = fw.frame_llrs;
+                        const bool wants_qubo = path_needs_qubo[p] != 0;
+                        while (arq::needs_retx(*config.arq, ok, attempt)) {
+                            ++attempt;
+                            double service_sum = 0.0;
+                            fw.attempt_llrs.resize(coded_bits);
+                            for (std::size_t j = 0; j < uses_per_frame; ++j) {
+                                const std::size_t u = base + i0 + j;
+                                retx_attempt& retx = attempt_for(j, attempt, wants_qubo);
+                                if (wants_qubo) service_sum += retx.reduce_us;
+                                util::rng retx_solve =
+                                    arq_solve_base.derive(u * num_paths + p).derive(attempt);
+                                const paths::path_context retx_ctx{
+                                    retx.instance, wants_qubo ? &retx.mq : nullptr,
+                                    retx_solve, ws};
+                                paths::path_result result = paths[p]->run(retx_ctx);
+                                paths[p]->soft_output(retx_ctx, result);
+                                for (const auto& st : result.stages) {
+                                    service_sum += st.service_us;
+                                }
+                                gather_use_llrs(result.llrs, j, bits_per_use, coded_bits,
+                                                fw.attempt_llrs);
+                            }
+                            if (chase) {
+                                wireless::accumulate_llrs(fw.attempt_llrs, fw.combined_llrs);
+                                fw.codec.decode_frame(fw.combined_llrs, fw.decoded);
+                            } else {
+                                fw.codec.decode_frame(fw.attempt_llrs, fw.decoded);
+                            }
+                            ok = fw.decoded == frame_info[fi];
+                            if (!ok) ++fc.wrong;
+                            fc.retx_service_us.push_back(service_sum);
+                        }
+                    }
+                    fc.attempts = attempt + 1;
+                    fc.final_ok = ok;
+                }
+            };
+            run_all(window_frames, fec_frame);
+        } else if (config.arq) {
             // Phase C (ARQ only): run each path's retransmission chain.  A
             // retransmission is a REAL re-solve on a fresh channel use; its
             // RNG streams are indexed by (frame, attempt) globally, so the
@@ -492,11 +770,30 @@ link_report run_link_simulation(const link_config& config) {
                 }
                 path.service.add(service_sum);
 
-                if (config.arq) {
+                if (config.arq && !coded) {
                     const arq_cell& ac = arq_cells[p * block + i];
                     path.arq->counters.add_frame(ac.attempts, ac.wrong, ac.first_ok,
                                                  ac.final_ok);
                     for (const double s_us : ac.retx_service_us) {
+                        path.arq->retx_service.add(s_us);
+                    }
+                }
+            }
+        }
+        // Coded-frame fold, serial in frame order: attempt-0 decode
+        // statistics and — when FEC + ARQ run together — the hybrid-ARQ
+        // counters at frame granularity.
+        for (std::size_t fi = 0; fi < window_frames; ++fi) {
+            for (std::size_t p = 0; p < num_paths; ++p) {
+                path_report& path = report.paths[p];
+                const fec_cell& fc = fec_cells[p * frames_per_block + fi];
+                ++path.fec->frames;
+                if (!fc.first_ok) ++path.fec->frame_errors;
+                path.fec->info_ber.add_frame(frame_info[fi], fc.decoded0);
+                if (config.arq) {
+                    path.arq->counters.add_frame(fc.attempts, fc.wrong, fc.first_ok,
+                                                 fc.final_ok);
+                    for (const double s_us : fc.retx_service_us) {
                         path.arq->retx_service.add(s_us);
                     }
                 }
@@ -511,7 +808,10 @@ link_report run_link_simulation(const link_config& config) {
             // Closed-loop replay: same stages and pacing as the open-loop
             // replay, with failed frames re-entering the chain.  `auto`
             // deadlines resolve to the open-loop replay's p99 — the ARQ
-            // loop driven by the replay's own latency budget.
+            // loop driven by the replay's own latency budget.  With FEC on,
+            // the measured attempt_error_rate is frame-based while the
+            // replayed jobs are still per-use attempts — a documented
+            // approximation (the coded frame's uses share fate).
             arq_path_report& ar = *path.arq;
             const double resolved_deadline_us = config.arq->deadline_auto
                                                     ? path.replay.p99_latency_us
@@ -530,11 +830,17 @@ link_report run_link_simulation(const link_config& config) {
 }
 
 util::table summary_table(const link_report& report) {
+    const bool fec_on = report.config.fec.has_value();
     const bool arq_on = report.config.arq.has_value();
     std::vector<std::string> headers{"path", "BER", "bit errs", "exact uses", "err burst",
                                      "svc mean us",
                                      "svc p50 us", "svc p99 us", "thrpt use/ms", "p50 lat us",
                                      "p99 lat us", "drop rate", "peak queue"};
+    if (fec_on) {
+        // Attempt-0 coded statistics (detection domain, bit-identical): the
+        // raw BER columns to the left stay the uncoded per-use view.
+        headers.insert(headers.end(), {"coded FER", "coded BER"});
+    }
     if (arq_on) {
         // Detection-domain residual FER / retx rate (bit-identical), then
         // timing-domain deadline-miss rate / goodput (closed-loop replay).
@@ -562,6 +868,11 @@ util::table summary_table(const link_report& report) {
                                      util::format_double(path.replay.p99_latency_us),
                                      util::format_double(path.replay.drop_rate, 5),
                                      std::to_string(peak_queue)};
+        if (fec_on) {
+            const fec_path_report& fr = *path.fec;
+            row.push_back(util::format_double(fr.coded_fer(), 5));
+            row.push_back(util::format_double(fr.info_ber.rate(), 5));
+        }
         if (arq_on) {
             const arq_path_report& ar = *path.arq;
             row.push_back(util::format_double(ar.counters.residual_fer(), 5));

@@ -38,10 +38,11 @@
 // these statistics to the values the pre-registry (enum-dispatch, per-cell
 // storage) implementation produced.
 //
-// Concurrency contract: lock-free by design.  Workers fill disjoint,
-// preallocated per-use slots of the current window and the fold is serial,
-// so this layer holds no mutex and carries no thread-safety annotations —
-// the only annotated locking on the path is inside util::thread_pool.
+// Concurrency contract: lock-free steady state by design.  Workers fill
+// disjoint, preallocated per-use slots of the current window and the fold is
+// serial; the only annotated locking on the path is inside util::thread_pool
+// and the one-time per-thread arena acquisition (paths::workspace_store and
+// the coded link's codec store — both thread-local-cached after first touch).
 // TSan (verify.sh --tsan) and the thread-count-invariance tests enforce
 // the contract; see docs/ARCHITECTURE.md, "The determinism contract as
 // enforceable rules".
@@ -55,6 +56,7 @@
 #include <vector>
 
 #include "arq/arq.h"
+#include "fec/code_spec.h"
 #include "metrics/ber.h"
 #include "metrics/digest.h"
 #include "paths/detection_path.h"
@@ -80,6 +82,12 @@ inline constexpr std::uint64_t solve = 0x6c696e6b5f534c56ULL;           // "link
 inline constexpr std::uint64_t arq_synthesis = 0x6172715f5f434855ULL;   // "arq__CHU"
 inline constexpr std::uint64_t arq_solve = 0x6172715f5f534c56ULL;       // "arq__SLV"
 inline constexpr std::uint64_t fading = 0x6c696e6b5f464144ULL;          // "link_FAD"
+/// Per-frame information-bit draws of the coded link (link_config::fec):
+/// frame f's info bits come from rng(seed).derive(fec).derive(f) — disjoint
+/// from every domain above, so enabling FEC never perturbs the channel or
+/// noise draws (the coded use overrides the tx bits but still consumes the
+/// synthesis stream identically; see wireless::synthesize_coded_into).
+inline constexpr std::uint64_t fec = 0x6c696e6b5f464543ULL;             // "link_FEC"
 }  // namespace stream_domains
 
 /// Link-simulation knobs.  Defaults exercise the acceptance scenario: >= 100
@@ -135,6 +143,22 @@ struct link_config {
     /// of the same input — which tests/workspace_test.cpp pins.  false keeps
     /// the allocate-per-call behaviour for that A/B comparison.
     bool workspaces = true;
+
+    /// Forward error correction (fec/code_spec.h): when set, the stream
+    /// carries CODED frames — each frame's information bits (drawn from the
+    /// dedicated fec stream domain) are convolutionally encoded and
+    /// interleaved into rows x cols coded bits spanning ceil(coded_bits /
+    /// bits_per_use) consecutive channel uses (the last use zero-padded),
+    /// every path's per-use soft output (detection_path::soft_output) is
+    /// decoded per frame by a soft-decision Viterbi decoder, and the report
+    /// gains coded FER / coded BER beside the raw per-use statistics.
+    /// num_uses must be a whole number of frames.  With `arq` also set the
+    /// ARQ unit becomes the coded frame (hybrid ARQ): a frame whose decode
+    /// fails is retransmitted — same coded bits, fresh channel/noise from
+    /// the (use, attempt) derived streams — and decoded against chase-
+    /// combined (or per-attempt, combining=plain) LLRs.  unset = uncoded,
+    /// bit-identical to the pre-FEC link (golden-pinned).
+    std::optional<fec::code_spec> fec;
 
     /// ARQ / retransmission loop (arq/arq.h): when set, every frame whose
     /// detected bits are wrong (or every frame, when deadline_us == 0) is
@@ -225,6 +249,22 @@ struct arq_path_report {
     pipeline::simulation_result closed_replay;  ///< the feedback tandem-queue replay
 };
 
+/// Per-path coded-link outcome (present on path_report when
+/// link_config::fec is set).  Everything here is detection-domain:
+/// bit-identical at any thread count, stream_block size, and workspace
+/// setting, like BER.  The attempt-0 statistics are ARQ-independent — they
+/// describe the first decode of every frame even when hybrid ARQ then
+/// retransmits it (the ARQ outcome lives in arq_path_report, whose frame
+/// unit becomes the coded frame when FEC is on).
+struct fec_path_report {
+    std::uint64_t frames = 0;        ///< coded frames offered
+    std::uint64_t frame_errors = 0;  ///< frames whose attempt-0 decode was wrong
+    metrics::ber_counter info_ber;   ///< attempt-0 decoded info bits vs true info bits
+
+    /// Coded frame-error rate (attempt 0): decode failures / frames.
+    [[nodiscard]] double coded_fer() const noexcept;
+};
+
 /// Everything one detection path accumulated over the stream.
 struct path_report {
     std::string kind;  ///< registry kind, e.g. "kbest"
@@ -253,7 +293,12 @@ struct path_report {
     /// the link_config's buffer capacity / backpressure policy).
     pipeline::simulation_result replay;
 
-    /// ARQ loop outcome; engaged iff link_config::arq was set.
+    /// Coded-link outcome; engaged iff link_config::fec was set.
+    std::optional<fec_path_report> fec;
+
+    /// ARQ loop outcome; engaged iff link_config::arq was set.  When
+    /// link_config::fec is also set the counters count coded FRAMES (hybrid
+    /// ARQ at frame granularity), not channel uses.
     std::optional<arq_path_report> arq;
 
     [[nodiscard]] std::vector<std::string> stage_names() const;
@@ -283,10 +328,11 @@ struct link_report {
 /// service, the replay's
 /// sustained throughput and p50/p99 latency (the ARQ budget view), and the
 /// replay's drop rate and peak queue occupancy under the configured
-/// backpressure policy.  When the ARQ loop is engaged, four more columns:
-/// residual FER and retransmission rate (detection domain, bit-identical),
-/// deadline-miss rate and goodput (timing domain, from the closed-loop
-/// replay).
+/// backpressure policy.  When the link runs coded (link_config::fec), two
+/// more columns: coded FER and coded BER (attempt-0 decode, detection
+/// domain).  When the ARQ loop is engaged, four more columns: residual FER
+/// and retransmission rate (detection domain, bit-identical), deadline-miss
+/// rate and goodput (timing domain, from the closed-loop replay).
 [[nodiscard]] util::table summary_table(const link_report& report);
 
 }  // namespace hcq::link

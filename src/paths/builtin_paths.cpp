@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include <algorithm>
+
 #include "classical/greedy.h"
 #include "classical/parallel_tempering.h"
 #include "classical/simulated_annealing.h"
@@ -19,9 +21,11 @@
 #include "detect/linear.h"
 #include "detect/sic.h"
 #include "detect/sphere.h"
+#include "linalg/decompose.h"
 #include "paths/registry.h"
 #include "paths/workspace.h"
 #include "util/timer.h"
+#include "wireless/soft.h"
 
 namespace hcq::paths {
 namespace {
@@ -49,13 +53,44 @@ void require_qubo(const path_context& ctx) {
     }
 }
 
+/// Post-equalisation max-log soft output of the linear detection paths:
+/// equalise through the normal equations (H^H H + load I)^-1 H^H y — load 0
+/// is zero forcing — and scale each stream's max-log metric by the
+/// per-stream noise enhancement sigma^2 [(H^H H + load I)^-1]_uu.  The
+/// effective sigma^2 is floored (wireless::llr_noise_floor) so a noiseless
+/// instance yields large-but-finite confidences, and every LLR is clamped
+/// by equalized_llrs_into.  Deterministic, workspace-independent, and
+/// harden(llrs) reproduces the linear detector's hard decisions exactly:
+/// per symbol, the bit pattern minimising the max-log metric IS the nearest
+/// constellation point the detector slices to.
+void linear_soft_output(const wireless::mimo_instance& inst, double load, path_result& out) {
+    linalg::cmat a;
+    linalg::gram_into(inst.h, a);
+    for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += load;
+    const auto a_inv = linalg::inverse(a);
+    linalg::cvec hy;
+    linalg::herm_matvec_into(inst.h, inst.y, hy);
+    const linalg::cvec equalized = a_inv * hy;
+    const double sigma_sq = std::max(inst.noise_variance, wireless::llr_noise_floor);
+    std::vector<double> stream_nv(inst.num_users);
+    for (std::size_t u = 0; u < inst.num_users; ++u) {
+        stream_nv[u] = sigma_sq * std::max(a_inv(u, u).real(), 1e-12);
+    }
+    wireless::equalized_llrs_into(inst, equalized, stream_nv, out.llrs);
+}
+
 /// A conventional detector as a path: one "detect" stage straight on y and
-/// H, no QUBO, no randomness, no solver form.
+/// H, no QUBO, no randomness, no solver form.  `soft` selects the
+/// soft_output method: post-equalisation max-log for the linear detectors,
+/// single-bit-flip ML recost for the tree searches.
 class detector_path final : public detection_path {
 public:
+    enum class soft_kind { zf_equalized, mmse_equalized, recost };
+
     detector_path(std::shared_ptr<const detect::detector> det, std::string display_name,
-                  path_spec spec)
-        : det_(std::move(det)), name_(std::move(display_name)), spec_(std::move(spec)) {}
+                  path_spec spec, soft_kind soft = soft_kind::recost)
+        : det_(std::move(det)), name_(std::move(display_name)), spec_(std::move(spec)),
+          soft_(soft) {}
 
     [[nodiscard]] path_result run(const path_context& ctx) const override {
         path_result out;
@@ -65,6 +100,22 @@ public:
     void run_block(std::span<const path_context> ctxs, std::span<path_result> out) const override {
         check_block_sizes(ctxs, out);
         for (std::size_t i = 0; i < ctxs.size(); ++i) run_cell(ctxs[i], out[i]);
+    }
+    void soft_output(const path_context& ctx, path_result& out) const override {
+        switch (soft_) {
+            case soft_kind::zf_equalized:
+                linear_soft_output(ctx.instance, 0.0, out);
+                return;
+            case soft_kind::mmse_equalized:
+                linear_soft_output(ctx.instance,
+                                   ctx.instance.noise_variance /
+                                       wireless::mean_symbol_energy(ctx.instance.mod),
+                                   out);
+                return;
+            case soft_kind::recost:
+                wireless::flip_recost_llrs_into(ctx.instance, out.bits, out.llrs);
+                return;
+        }
     }
     [[nodiscard]] std::string name() const override { return name_; }
     [[nodiscard]] path_spec spec() const override { return spec_; }
@@ -90,6 +141,7 @@ private:
     std::shared_ptr<const detect::detector> det_;
     std::string name_;
     path_spec spec_;
+    soft_kind soft_;
 };
 
 /// A classical QUBO heuristic as a path: one "solve" stage on the shared
@@ -108,6 +160,14 @@ public:
     void run_block(std::span<const path_context> ctxs, std::span<path_result> out) const override {
         check_block_sizes(ctxs, out);
         for (std::size_t i = 0; i < ctxs.size(); ++i) run_cell(ctxs[i], out[i]);
+    }
+    /// Energy-gap soft output: the single-bit-flip ML recost of the
+    /// detected word — by the transform round-trip invariant these gaps
+    /// equal the QUBO flip deltas at the solver's answer, and unlike a
+    /// candidate-list method they exist identically with and without a
+    /// workspace (solve_best_into keeps no sample set).
+    void soft_output(const path_context& ctx, path_result& out) const override {
+        wireless::flip_recost_llrs_into(ctx.instance, out.bits, out.llrs);
     }
     [[nodiscard]] std::string name() const override { return solver_->name(); }
     [[nodiscard]] path_spec spec() const override { return spec_; }
@@ -219,6 +279,10 @@ public:
         check_block_sizes(ctxs, out);
         for (std::size_t i = 0; i < ctxs.size(); ++i) run_cell(ctxs[i], out[i]);
     }
+    /// Energy-gap soft output, like qubo_solver_path.
+    void soft_output(const path_context& ctx, path_result& out) const override {
+        wireless::flip_recost_llrs_into(ctx.instance, out.bits, out.llrs);
+    }
     [[nodiscard]] std::string name() const override {
         const std::string base = adapter_ != nullptr ? adapter_->name() : "KB+RA";
         return devices_ > 1 ? base + "x" + std::to_string(devices_) : base;
@@ -289,7 +353,8 @@ path_info zf_info() {
             .keys = {},
             .factory = [](const path_spec&) -> std::shared_ptr<const detection_path> {
                 return std::make_shared<const detector_path>(
-                    std::make_shared<const detect::zf_detector>(), "ZF", path_spec{"zf", {}});
+                    std::make_shared<const detect::zf_detector>(), "ZF", path_spec{"zf", {}},
+                    detector_path::soft_kind::zf_equalized);
             }};
 }
 
@@ -300,7 +365,7 @@ path_info mmse_info() {
             .factory = [](const path_spec&) -> std::shared_ptr<const detection_path> {
                 return std::make_shared<const detector_path>(
                     std::make_shared<const detect::mmse_detector>(), "MMSE",
-                    path_spec{"mmse", {}});
+                    path_spec{"mmse", {}}, detector_path::soft_kind::mmse_equalized);
             }};
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/spec.h"
+#include "wireless/soft.h"
 
 namespace hcq::paths {
 namespace {
@@ -24,6 +25,15 @@ void detection_path::run_block(std::span<const path_context> ctxs,
         throw std::invalid_argument("detection_path::run_block: span length mismatch");
     }
     for (std::size_t i = 0; i < ctxs.size(); ++i) out[i] = run(ctxs[i]);
+}
+
+void detection_path::soft_output(const path_context& /*ctx*/, path_result& out) const {
+    // Default: clamped hard decisions — an out-of-tree path that never
+    // heard of LLRs still feeds the coded link, at maximal confidence.
+    out.llrs.resize(out.bits.size());
+    for (std::size_t b = 0; b < out.bits.size(); ++b) {
+        out.llrs[b] = wireless::signed_llr(out.bits[b], wireless::llr_cap);
+    }
 }
 
 path_spec path_spec::parse(const std::string& text) {

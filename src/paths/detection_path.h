@@ -99,6 +99,13 @@ struct path_result {
     double ml_cost = 0.0;   ///< ||y - H x_hat||^2 of the detected word
     /// Per-stage timings, matching stage_names() in order and count.
     std::vector<stage_time> stages;
+    /// Per-bit LLRs of the detected word, filled ONLY by an explicit
+    /// soft_output() call (run/run_block leave it untouched, so the hard
+    /// path pays nothing).  Canonical layout and sign convention of
+    /// wireless/soft.h: user-major I-then-Q, positive favours bit 0, values
+    /// clamped into [-llr_cap, llr_cap].  The vector is resized in place —
+    /// a reused result in a warmed-up workspace loop stays allocation-free.
+    std::vector<double> llrs;
 };
 
 /// One detection path: classical detector, QUBO heuristic, or hybrid
@@ -122,6 +129,23 @@ public:
     /// anything.  Throws std::invalid_argument on span length mismatch.
     virtual void run_block(std::span<const path_context> ctxs,
                            std::span<path_result> out) const;
+
+    /// Fills `out.llrs` with per-bit soft information for the detection
+    /// carried by `out` (which must hold this path's result for `ctx`, i.e.
+    /// soft_output is called after run / run_block on the same context).
+    /// Mirrors the `ws`/`run_block` opt-in pattern: the soft path is an
+    /// explicit second call, so paths — and callers — that never ask for
+    /// LLRs are byte-for-byte unaffected, and out-of-tree paths compile
+    /// unchanged: the DEFAULT emits clamped hard decisions (+/-llr_cap from
+    /// out.bits), which downstream decoding treats as maximal-confidence
+    /// soft values.  Overrides must be deterministic (no ctx.rng draws) and
+    /// independent of ctx.ws, so LLRs — like bits — are bit-identical at
+    /// any thread count, stream block, and workspace setting.  The built-in
+    /// overrides: linear paths produce post-equalisation max-log LLRs
+    /// (wireless::equalized_llrs_into); tree-search and QUBO-solver paths
+    /// produce single-bit-flip recost LLRs (wireless::flip_recost_llrs_into
+    /// — for solver paths the QUBO energy gap at the detected word).
+    virtual void soft_output(const path_context& ctx, path_result& out) const;
 
     /// Display name for tables, e.g. "ZF", "K-best", "GS+RA".
     [[nodiscard]] virtual std::string name() const = 0;

@@ -166,6 +166,7 @@ std::vector<std::uint8_t> encode_request(const request& req) {
     w.u32(req.num_users);
     w.f64(req.snr_db);
     w.u8(req.noiseless ? 1 : 0);
+    w.u8(req.want_soft ? 1 : 0);
     w.str(req.mod);
     w.str(req.spec);
     w.str(req.channel);
@@ -184,6 +185,7 @@ request decode_request(std::span<const std::uint8_t> payload) {
     req.num_users = r.u32("num_users");
     req.snr_db = r.f64("snr_db");
     req.noiseless = r.u8("noiseless") != 0;
+    req.want_soft = r.u8("want_soft") != 0;
     req.mod = r.str("mod");
     req.spec = r.str("spec");
     req.channel = r.str("channel");
@@ -210,6 +212,14 @@ std::vector<std::uint8_t> encode_response(const response& resp) {
     w.u32(resp.bits_per_use);
     w.bytes(resp.bits);
     for (const double c : resp.ml_cost) w.f64(c);
+    const std::size_t total_bits =
+        static_cast<std::size_t>(resp.num_uses) * resp.bits_per_use;
+    if (!resp.llrs.empty() && resp.llrs.size() != total_bits) {
+        throw protocol_error("serve: encode response: " + std::to_string(resp.llrs.size()) +
+                             " LLRs for " + std::to_string(total_bits) + " batch bits");
+    }
+    w.u8(resp.llrs.empty() ? 0 : 1);
+    for (const double l : resp.llrs) w.f64(l);
     w.f64(resp.synth_us);
     w.f64(resp.qubo_us);
     w.f64(resp.solve_us);
@@ -250,6 +260,25 @@ response decode_response(std::span<const std::uint8_t> payload) {
     resp.bits.assign(packed.begin(), packed.end());
     resp.ml_cost.resize(resp.num_uses);
     for (std::uint32_t u = 0; u < resp.num_uses; ++u) resp.ml_cost[u] = r.f64("ml_cost");
+    const std::uint8_t has_soft = r.u8("has_soft");
+    if (has_soft > 1) {
+        throw protocol_error("serve: decode response: has_soft flag " +
+                             std::to_string(has_soft) + " (accepted: 0 or 1)");
+    }
+    if (has_soft == 1) {
+        // Bounds-check the whole LLR block BEFORE sizing the vector, so a
+        // hostile header cannot demand a huge allocation the payload does
+        // not back (total_bits is already capped by the checks above).
+        const auto llr_bytes = r.bytes(total_bits * 8, "llrs");
+        resp.llrs.resize(total_bits);
+        for (std::size_t b = 0; b < total_bits; ++b) {
+            std::uint64_t v = 0;
+            for (int i = 0; i < 8; ++i) {
+                v |= static_cast<std::uint64_t>(llr_bytes[b * 8 + i]) << (8 * i);
+            }
+            std::memcpy(&resp.llrs[b], &v, sizeof(double));
+        }
+    }
     resp.synth_us = r.f64("synth_us");
     resp.qubo_us = r.f64("qubo_us");
     resp.solve_us = r.f64("solve_us");

@@ -12,7 +12,7 @@
 //     u64 tenant_id, u64 request_seq, u64 seed,
 //     f64 deadline_us,
 //     u32 num_uses, u32 num_users,
-//     f64 snr_db, u8 noiseless,
+//     f64 snr_db, u8 noiseless, u8 want_soft,
 //     str mod, str spec, str channel      (str = u32 length + bytes)
 //
 // Response payload (type 2):
@@ -23,7 +23,15 @@
 //     u32 num_uses, u32 bits_per_use,
 //     bytes packed_bits                    (ceil(num_uses*bits_per_use/8)),
 //     f64 ml_cost[num_uses],
+//     u8 has_soft,
+//     f64 llrs[num_uses*bits_per_use]      (present iff has_soft == 1),
 //     f64 synth_us, f64 qubo_us, f64 solve_us
+//
+// Version history: v2 added the soft-information feature flag — `want_soft`
+// on the request and the has_soft/llrs fields on the response (the wire form
+// of paths::detection_path::soft_output, canonical wireless/soft.h layout
+// and sign convention).  Hard-decision clients simply leave want_soft 0 and
+// the response carries no LLR bytes.
 //
 // Decoding is strictly bounds-checked and self-documenting in the registry
 // style: a truncated buffer names the field it starved on, a bad
@@ -50,8 +58,9 @@
 
 namespace hcq::serve {
 
-/// Protocol version carried in every payload; bumped on any layout change.
-inline constexpr std::uint8_t protocol_version = 1;
+/// Protocol version carried in every payload; bumped on any layout change
+/// (v2: soft-information flag + LLR-bearing responses).
+inline constexpr std::uint8_t protocol_version = 2;
 
 /// Hard ceiling on one frame's payload, enforced before allocation on both
 /// sides: a corrupt or hostile length prefix must not OOM the server.
@@ -60,6 +69,12 @@ inline constexpr std::uint32_t max_frame_bytes = 1u << 20;
 /// Ceiling on channel uses per request (bounds per-request work and the
 /// response size well under max_frame_bytes).
 inline constexpr std::uint32_t max_batch_uses = 16384;
+
+/// Ceiling on the LLR payload of one soft response (want_soft requests):
+/// num_uses * bits_per_use * 8 bytes must fit here, keeping the framed
+/// response under max_frame_bytes.  The server rejects larger soft batches
+/// as bad-request with a message naming this bound.
+inline constexpr std::uint32_t max_soft_payload_bytes = 1u << 19;
 
 /// Response status.  busy / deadline are the 503-style admission-control
 /// rejections: the request was well-formed but shed to protect the bank.
@@ -94,6 +109,10 @@ struct request {
     std::uint32_t num_users = 4;    ///< transmit streams, N_r = N_t
     double snr_db = 16.0;           ///< per-antenna SNR when AWGN is on
     bool noiseless = false;         ///< paper Section-4.2 corpus setting
+    /// Soft-information feature flag (protocol v2): when set the server runs
+    /// the path's soft_output per use and the ok-response carries per-bit
+    /// LLRs beside the hard bits.  Bounded by max_soft_payload_bytes.
+    bool want_soft = false;
     std::string mod = "qam16";      ///< modulation name (wireless::parse_modulation)
     std::string spec;               ///< detection-path spec, e.g. "kbest:width=8"
     std::string channel;            ///< wireless channel spec; "" = i.i.d. rayleigh
@@ -115,6 +134,11 @@ struct response {
     /// bits[(u * bits_per_use + b) / 8] >> ((u * bits_per_use + b) % 8) & 1.
     std::vector<std::uint8_t> bits;
     std::vector<double> ml_cost;  ///< per-use ||y - H x_hat||^2
+    /// Per-bit LLRs, use-major (llrs[u * bits_per_use + b] is bit b of use
+    /// u), canonical wireless/soft.h layout and sign convention.  Present —
+    /// size num_uses * bits_per_use — iff the request set want_soft; empty
+    /// otherwise (has_soft == 0 on the wire).
+    std::vector<double> llrs;
     double synth_us = 0.0;        ///< measured synthesis total across the batch
     double qubo_us = 0.0;         ///< measured QUBO-reduction total
     double solve_us = 0.0;        ///< measured solve total

@@ -31,6 +31,16 @@ batch_result run_batch(const request& req) {
 
     const auto path = paths::registry::make(req.spec);
     const wireless::modulation mod = wireless::parse_modulation(req.mod);
+    if (req.want_soft) {
+        const std::size_t soft_bytes = static_cast<std::size_t>(req.num_uses) * req.num_users *
+                                       wireless::bits_per_symbol(mod) * sizeof(double);
+        if (soft_bytes > max_soft_payload_bytes) {
+            throw std::invalid_argument(
+                "serve: soft batch of " + std::to_string(soft_bytes) +
+                " LLR bytes exceeds the " + std::to_string(max_soft_payload_bytes) +
+                "-byte soft-payload cap (shrink num_uses or drop want_soft)");
+        }
+    }
     std::optional<wireless::channel_spec> channel;
     if (!req.channel.empty()) channel = wireless::channel_spec::parse(req.channel);
 
@@ -99,6 +109,12 @@ batch_result run_batch(const request& req) {
         util::timer solve_clock;
         path->run_block(std::span<const paths::path_context>(&ctx, 1),
                         std::span<paths::path_result>(&cell, 1));
+        if (req.want_soft) {
+            // The explicit opt-in second call of the path API; hard-decision
+            // requests pay nothing.
+            path->soft_output(ctx, cell);
+            result.llrs.insert(result.llrs.end(), cell.llrs.begin(), cell.llrs.end());
+        }
         result.solve_us += solve_clock.elapsed_us();
 
         ber.add_frame(instance.tx_bits, cell.bits);
@@ -129,6 +145,7 @@ response make_ok_response(const request& req, const batch_result& result) {
     // size it explicitly so the wire length always matches the header.
     resp.bits.resize((result.bits.size() * result.bits_per_use + 7) / 8, 0);
     resp.ml_cost = result.ml_cost;
+    resp.llrs = result.llrs;
     resp.synth_us = result.synth_us;
     resp.qubo_us = result.qubo_us;
     resp.solve_us = result.solve_us;

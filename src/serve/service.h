@@ -34,6 +34,10 @@ namespace hcq::serve {
 struct batch_result {
     std::vector<qubo::bit_vector> bits;  ///< detected bits per use (natural map)
     std::vector<double> ml_cost;         ///< ||y - H x_hat||^2 per use
+    /// Per-bit LLRs, use-major flat layout (llrs[u * bits_per_use + b]),
+    /// from detection_path::soft_output; filled iff the request set
+    /// want_soft, empty otherwise.  Deterministic like `bits`.
+    std::vector<double> llrs;
     std::size_t bits_per_use = 0;
 
     // Detection-domain aggregates against the synthesized ground truth —

@@ -36,6 +36,27 @@ double mimo_instance::ml_cost_bits(std::span<const std::uint8_t> bits,
     return ml_cost(symbol_scratch, residual_scratch);
 }
 
+namespace {
+
+// Shared tx-bit step of every synthesis flavour: the uniform bit draws
+// ALWAYS happen (they pace the per-use stream), and a non-empty override
+// then replaces the drawn bits — so a coded use consumes the rng exactly
+// like an uncoded one and every later draw (AWGN, estimation error) lands
+// on the same stream position.
+void draw_or_override_bits(util::rng& rng, const mimo_config& config,
+                           std::span<const std::uint8_t> override_bits, mimo_instance& inst) {
+    const std::size_t num_bits = config.num_users * bits_per_symbol(config.mod);
+    rng.bits_into(num_bits, inst.tx_bits);
+    if (!override_bits.empty()) {
+        if (override_bits.size() != num_bits) {
+            throw std::invalid_argument("synthesize: tx-bit override has wrong length");
+        }
+        inst.tx_bits.assign(override_bits.begin(), override_bits.end());
+    }
+}
+
+}  // namespace
+
 mimo_instance synthesize(util::rng& rng, const mimo_config& config) {
     mimo_instance inst;
     synthesize_into(rng, config, inst);
@@ -43,6 +64,11 @@ mimo_instance synthesize(util::rng& rng, const mimo_config& config) {
 }
 
 void synthesize_into(util::rng& rng, const mimo_config& config, mimo_instance& inst) {
+    synthesize_coded_into(rng, config, {}, inst);
+}
+
+void synthesize_coded_into(util::rng& rng, const mimo_config& config,
+                           std::span<const std::uint8_t> tx_bits, mimo_instance& inst) {
     if (config.num_users == 0 || config.num_antennas == 0) {
         throw std::invalid_argument("synthesize: empty dimensions");
     }
@@ -55,7 +81,7 @@ void synthesize_into(util::rng& rng, const mimo_config& config, mimo_instance& i
     draw_channel_into(rng, config.channel, config.num_antennas, config.num_users, inst.h);
     inst.h_true.resize(0, 0);  // perfect CSI: true_channel() is h
     inst.csi_error_variance = 0.0;
-    rng.bits_into(config.num_users * bits_per_symbol(config.mod), inst.tx_bits);
+    draw_or_override_bits(rng, config, tx_bits, inst);
     modulate_into(config.mod, inst.tx_bits, inst.tx_symbols);
     linalg::matvec_into(inst.h, inst.tx_symbols, inst.y);
     inst.noise_variance = config.noise_variance;
@@ -73,6 +99,13 @@ mimo_instance synthesize_at(util::rng& rng, const mimo_config& config,
 void synthesize_at_into(util::rng& rng, const mimo_config& config,
                         const channel_process& process, double t, double csi_error_variance,
                         mimo_instance& inst) {
+    synthesize_at_coded_into(rng, config, process, t, csi_error_variance, {}, inst);
+}
+
+void synthesize_at_coded_into(util::rng& rng, const mimo_config& config,
+                              const channel_process& process, double t,
+                              double csi_error_variance,
+                              std::span<const std::uint8_t> tx_bits, mimo_instance& inst) {
     if (config.num_users == 0 || config.num_antennas == 0) {
         throw std::invalid_argument("synthesize_at: empty dimensions");
     }
@@ -95,7 +128,7 @@ void synthesize_at_into(util::rng& rng, const mimo_config& config,
     process.at_into(t, rng, inst.h);
     inst.h_true.resize(0, 0);
     inst.csi_error_variance = 0.0;
-    rng.bits_into(config.num_users * bits_per_symbol(config.mod), inst.tx_bits);
+    draw_or_override_bits(rng, config, tx_bits, inst);
     modulate_into(config.mod, inst.tx_bits, inst.tx_symbols);
     linalg::matvec_into(inst.h, inst.tx_symbols, inst.y);
     inst.noise_variance = config.noise_variance;

@@ -7,6 +7,7 @@
 #define HCQ_WIRELESS_MIMO_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -95,6 +96,24 @@ void synthesize_into(util::rng& rng, const mimo_config& config, mimo_instance& i
 void synthesize_at_into(util::rng& rng, const mimo_config& config,
                         const channel_process& process, double t, double csi_error_variance,
                         mimo_instance& inst);
+
+/// synthesize_into with the transmitted bits OVERRIDDEN by `tx_bits` — how
+/// the coded link (src/fec) puts a frame's coded bits on the air.  Draw-
+/// order contract: the rng is consumed EXACTLY as synthesize_into consumes
+/// it — the uniform tx-bit draws still happen (and are discarded) — so the
+/// channel and AWGN realisations of a coded use are byte-identical to the
+/// uncoded use at the same stream index, making coded-vs-uncoded an A/B
+/// comparison on identical channels.  Throws std::invalid_argument when
+/// `tx_bits` is not num_users * bits_per_symbol(mod) long.
+void synthesize_coded_into(util::rng& rng, const mimo_config& config,
+                           std::span<const std::uint8_t> tx_bits, mimo_instance& inst);
+
+/// The coded-bits override of synthesize_at_into, same draw-order contract
+/// (estimation-error draws still strictly last).
+void synthesize_at_coded_into(util::rng& rng, const mimo_config& config,
+                              const channel_process& process, double t,
+                              double csi_error_variance,
+                              std::span<const std::uint8_t> tx_bits, mimo_instance& inst);
 
 /// The exact corpus recipe of the paper: unit-gain random-phase channel,
 /// N_r = N_t = num_users, no AWGN.

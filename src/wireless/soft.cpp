@@ -1,5 +1,6 @@
 #include "wireless/soft.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -8,12 +9,33 @@
 
 namespace hcq::wireless {
 
+double clamp_llr(double llr) noexcept {
+    if (std::isnan(llr)) return 0.0;
+    return std::clamp(llr, -llr_cap, llr_cap);
+}
+
+double signed_llr(std::uint8_t bit, double magnitude) noexcept {
+    return clamp_llr(bit == 0 ? magnitude : -magnitude);
+}
+
 std::vector<double> symbol_llrs(modulation mod, linalg::cxd equalized, double noise_variance) {
+    std::vector<double> llrs(bits_per_symbol(mod));
+    symbol_llrs_into(mod, equalized, noise_variance, llrs);
+    return llrs;
+}
+
+void symbol_llrs_into(modulation mod, linalg::cxd equalized, double noise_variance,
+                      std::span<double> out) {
     if (noise_variance <= 0.0) throw std::invalid_argument("symbol_llrs: noise_variance <= 0");
     const auto points = constellation(mod);
     const std::size_t bps = bits_per_symbol(mod);
-    std::vector<double> min0(bps, std::numeric_limits<double>::infinity());
-    std::vector<double> min1(bps, std::numeric_limits<double>::infinity());
+    if (out.size() != bps) throw std::invalid_argument("symbol_llrs: wrong output length");
+    double min0[8];  // bits_per_symbol is at most 6
+    double min1[8];
+    for (std::size_t b = 0; b < bps; ++b) {
+        min0[b] = std::numeric_limits<double>::infinity();
+        min1[b] = std::numeric_limits<double>::infinity();
+    }
     for (std::size_t pattern = 0; pattern < points.size(); ++pattern) {
         const double dist = std::norm(equalized - points[pattern]);
         for (std::size_t b = 0; b < bps; ++b) {
@@ -23,11 +45,48 @@ std::vector<double> symbol_llrs(modulation mod, linalg::cxd equalized, double no
             best = std::min(best, dist);
         }
     }
-    std::vector<double> llrs(bps);
     for (std::size_t b = 0; b < bps; ++b) {
-        llrs[b] = (min1[b] - min0[b]) / noise_variance;
+        out[b] = clamp_llr((min1[b] - min0[b]) / noise_variance);
     }
-    return llrs;
+}
+
+void equalized_llrs_into(const mimo_instance& instance, const linalg::cvec& equalized,
+                         std::span<const double> stream_noise_variance,
+                         std::vector<double>& out) {
+    if (equalized.size() != instance.num_users ||
+        stream_noise_variance.size() != instance.num_users) {
+        throw std::invalid_argument("equalized_llrs: wrong per-user vector length");
+    }
+    const std::size_t bps = bits_per_symbol(instance.mod);
+    out.resize(instance.num_bits());
+    for (std::size_t u = 0; u < instance.num_users; ++u) {
+        const double nv = std::max(stream_noise_variance[u], llr_noise_floor * 1e-9);
+        symbol_llrs_into(instance.mod, equalized[u], nv,
+                         std::span<double>(out).subspan(u * bps, bps));
+    }
+}
+
+void flip_recost_llrs_into(const mimo_instance& instance, std::span<const std::uint8_t> bits,
+                           std::vector<double>& out) {
+    if (bits.size() != instance.num_bits()) {
+        throw std::invalid_argument("flip_recost_llrs: wrong bit-string length");
+    }
+    const double nv = std::max(instance.noise_variance, llr_noise_floor);
+    // Scratch word reused per flip; cost of the detected word computed once.
+    std::vector<std::uint8_t> word(bits.begin(), bits.end());
+    linalg::cvec symbols;
+    linalg::cvec residual;
+    const double base_cost = instance.ml_cost_bits(word, symbols, residual);
+    out.resize(bits.size());
+    for (std::size_t b = 0; b < bits.size(); ++b) {
+        word[b] ^= 1U;
+        const double flip_cost = instance.ml_cost_bits(word, symbols, residual);
+        word[b] ^= 1U;
+        // LLR = (cost of the b=1 word - cost of the b=0 word) / nv: when the
+        // detected bit is 0 the base word IS the b=0 word, and vice versa.
+        const double gap = (flip_cost - base_cost) / nv;
+        out[b] = signed_llr(bits[b], gap);
+    }
 }
 
 std::vector<double> zf_soft_bits(const mimo_instance& instance, double noise_floor) {
@@ -39,20 +98,33 @@ std::vector<double> zf_soft_bits(const mimo_instance& instance, double noise_flo
     const auto gram_inv = linalg::inverse(gram);
     const double sigma_sq = std::max(instance.noise_variance, noise_floor);
 
-    std::vector<double> llrs;
-    llrs.reserve(instance.num_bits());
+    std::vector<double> stream_nv(instance.num_users);
     for (std::size_t u = 0; u < instance.num_users; ++u) {
-        const double enhancement = std::max(gram_inv(u, u).real(), 1e-12);
-        const auto per_symbol = symbol_llrs(instance.mod, soft[u], sigma_sq * enhancement);
-        llrs.insert(llrs.end(), per_symbol.begin(), per_symbol.end());
+        stream_nv[u] = sigma_sq * std::max(gram_inv(u, u).real(), 1e-12);
     }
+    std::vector<double> llrs;
+    equalized_llrs_into(instance, soft, stream_nv, llrs);
     return llrs;
 }
 
 std::vector<std::uint8_t> harden(const std::vector<double>& llrs) {
-    std::vector<std::uint8_t> bits(llrs.size());
-    for (std::size_t b = 0; b < llrs.size(); ++b) bits[b] = llrs[b] >= 0.0 ? 0 : 1;
+    std::vector<std::uint8_t> bits;
+    harden_into(llrs, bits);
     return bits;
+}
+
+void harden_into(std::span<const double> llrs, std::vector<std::uint8_t>& out) {
+    out.resize(llrs.size());
+    for (std::size_t b = 0; b < llrs.size(); ++b) out[b] = clamp_llr(llrs[b]) >= 0.0 ? 0 : 1;
+}
+
+void accumulate_llrs(std::span<const double> in, std::span<double> out) {
+    if (in.size() != out.size()) {
+        throw std::invalid_argument("accumulate_llrs: length mismatch");
+    }
+    for (std::size_t b = 0; b < in.size(); ++b) {
+        out[b] = clamp_llr(out[b] + clamp_llr(in[b]));
+    }
 }
 
 }  // namespace hcq::wireless

@@ -47,16 +47,28 @@ TEST(ArqConfig, ParsesDefaultsAndKeys) {
     EXPECT_TRUE(autod.deadline_auto);
 
     EXPECT_EQ(aq::parse_arq("deadline_us=none").deadline_us, aq::no_deadline);
+
+    // Hybrid-ARQ combining: chase by default, plain as the A/B baseline.
+    EXPECT_EQ(defaults.combining, aq::combining_mode::chase);
+    EXPECT_EQ(aq::parse_arq("combining=plain").combining, aq::combining_mode::plain);
+    EXPECT_EQ(aq::parse_arq("combining=chase,max_retx=3").combining,
+              aq::combining_mode::chase);
 }
 
 TEST(ArqConfig, ToStringRoundTrips) {
+    // Canonical form has every key explicit (registry style), so the
+    // combining mode always appears.
     EXPECT_EQ(aq::parse_arq("deadline_us=500,max_retx=2").to_string(),
-              "deadline_us=500,max_retx=2");
-    EXPECT_EQ(aq::arq_config{}.to_string(), "deadline_us=none,max_retx=1");
-    EXPECT_EQ(aq::parse_arq("deadline_us=auto").to_string(), "deadline_us=auto,max_retx=1");
+              "deadline_us=500,max_retx=2,combining=chase");
+    EXPECT_EQ(aq::arq_config{}.to_string(), "deadline_us=none,max_retx=1,combining=chase");
+    EXPECT_EQ(aq::parse_arq("deadline_us=auto").to_string(),
+              "deadline_us=auto,max_retx=1,combining=chase");
+    EXPECT_EQ(aq::parse_arq("combining=plain,max_retx=2").to_string(),
+              "deadline_us=none,max_retx=2,combining=plain");
 }
 
 TEST(ArqConfig, RejectsMalformedSpecs) {
+    EXPECT_THROW((void)aq::parse_arq("combining=maximal"), std::invalid_argument);
     EXPECT_THROW((void)aq::parse_arq("deadline_us=soon"), std::invalid_argument);
     EXPECT_THROW((void)aq::parse_arq("deadline_us=-3"), std::invalid_argument);
     EXPECT_THROW((void)aq::parse_arq("max_retx=-1"), std::invalid_argument);

@@ -7,7 +7,9 @@
 
 #include <stdexcept>
 
+#include "arq/arq.h"
 #include "core/schedule.h"
+#include "fec/code_spec.h"
 #include "link/link_sim.h"
 #include "paths/registry.h"
 
@@ -632,6 +634,121 @@ TEST(LinkChannel, SpecSnrOverrideBeatsConfigSnr) {
     config.channel_spec = wl::channel_spec::parse("rayleigh");
     const auto low = lk::run_link_simulation(config);
     EXPECT_GE(low.paths[0].ber.errors(), overridden.paths[0].ber.errors());
+}
+
+// ---------------------------------------------------------------------------
+// Coded link (link_config::fec): the soft chain end to end
+// ---------------------------------------------------------------------------
+
+// The fixed gate config of the coded A/B tests: correlated fading bursty
+// enough that the interleaver + soft Viterbi visibly pay off.
+lk::link_config coded_gate_config() {
+    lk::link_config config;
+    config.num_uses = 120;
+    config.num_users = 4;
+    config.mod = wl::modulation::qam16;
+    config.snr_db = 10.0;
+    config.channel_spec = wl::channel_spec::parse("jakes:doppler_hz=40");
+    config.paths = pt::parse_spec_list("zf,kbest");
+    config.seed = 7;
+    config.fec = hcq::fec::code_spec::parse("k5:interleave=8x8");  // 4 uses/frame
+    return config;
+}
+
+TEST(LinkFec, ReportCarriesFecStatisticsIffConfigured) {
+    auto config = coded_gate_config();
+    const auto coded = lk::run_link_simulation(config);
+    for (const auto& path : coded.paths) {
+        ASSERT_TRUE(path.fec.has_value()) << path.name;
+        EXPECT_EQ(path.fec->frames, config.num_uses / 4);  // whole frames
+        EXPECT_LE(path.fec->frame_errors, path.fec->frames);
+        EXPECT_EQ(path.fec->info_ber.total_bits(),
+                  path.fec->frames * config.fec->info_bits());
+    }
+    config.fec.reset();
+    const auto uncoded = lk::run_link_simulation(config);
+    for (const auto& path : uncoded.paths) EXPECT_FALSE(path.fec.has_value());
+}
+
+TEST(LinkFec, CodedFerBeatsUncodedFrameErrorRateUnderFading) {
+    // The point of the whole chain: at the gate config the coded link's
+    // frame error rate must land below the uncoded per-use error rate the
+    // same detectors deliver on the same channel realisations.
+    const auto config = coded_gate_config();
+    const auto report = lk::run_link_simulation(config);
+    for (const auto& path : report.paths) {
+        SCOPED_TRACE(path.name);
+        const double uncoded_use_fer =
+            1.0 - static_cast<double>(path.exact_frames) /
+                      static_cast<double>(config.num_uses);
+        EXPECT_LT(path.fec->coded_fer(), uncoded_use_fer);
+        // And the decoded information bits beat the raw detected bits.
+        EXPECT_LT(path.fec->info_ber.rate(), path.ber.rate());
+    }
+}
+
+TEST(LinkFec, ChaseCombiningBeatsPlainArqAtFixedSeeds) {
+    // Hybrid ARQ: chase (accumulate LLRs across attempts, decode the
+    // combined frame) versus plain (each attempt decodes alone) on the same
+    // seeds.  Chase must deliver no more residual frame errors anywhere and
+    // strictly fewer somewhere.
+    auto config = coded_gate_config();
+    config.arq = hcq::arq::parse_arq("max_retx=2");
+    config.arq->combining = hcq::arq::combining_mode::chase;
+    const auto chase = lk::run_link_simulation(config);
+    config.arq->combining = hcq::arq::combining_mode::plain;
+    const auto plain = lk::run_link_simulation(config);
+    std::size_t strictly_better = 0;
+    for (std::size_t p = 0; p < chase.paths.size(); ++p) {
+        SCOPED_TRACE(chase.paths[p].name);
+        const auto& ca = chase.paths[p].arq->counters;
+        const auto& pa = plain.paths[p].arq->counters;
+        EXPECT_LE(ca.residual_errors, pa.residual_errors);
+        EXPECT_LE(ca.attempts, pa.attempts);  // combining converges sooner
+        strictly_better += ca.residual_errors < pa.residual_errors;
+    }
+    EXPECT_GE(strictly_better, 1u);
+}
+
+TEST(LinkFec, CodedStatisticsBitIdenticalAcrossThreadsAndStreamBlock) {
+    auto config = coded_gate_config();
+    config.snr_db = 11.0;
+    config.paths = pt::parse_spec_list("zf,kbest,gsra");
+    config.arq = hcq::arq::parse_arq("max_retx=2");
+
+    config.num_threads = 1;
+    const auto serial = lk::run_link_simulation(config);
+    const auto expect_same = [&](const lk::link_report& other, const char* what) {
+        ASSERT_EQ(other.paths.size(), serial.paths.size());
+        for (std::size_t p = 0; p < serial.paths.size(); ++p) {
+            SCOPED_TRACE(std::string(what) + " " + serial.paths[p].name);
+            EXPECT_EQ(other.paths[p].ber.errors(), serial.paths[p].ber.errors());
+            EXPECT_EQ(other.paths[p].fec->frame_errors, serial.paths[p].fec->frame_errors);
+            EXPECT_EQ(other.paths[p].fec->info_ber.errors(),
+                      serial.paths[p].fec->info_ber.errors());
+            EXPECT_EQ(other.paths[p].arq->counters.attempts,
+                      serial.paths[p].arq->counters.attempts);
+            EXPECT_EQ(other.paths[p].arq->counters.residual_errors,
+                      serial.paths[p].arq->counters.residual_errors);
+            EXPECT_EQ(other.paths[p].arq->counters.corrected_frames,
+                      serial.paths[p].arq->counters.corrected_frames);
+        }
+    };
+    for (const std::size_t threads : {2UL, 8UL}) {
+        config.num_threads = threads;
+        expect_same(lk::run_link_simulation(config), "threads");
+    }
+    config.num_threads = 8;
+    for (const std::size_t block : {3UL, 40UL}) {
+        config.stream_block = block;
+        expect_same(lk::run_link_simulation(config), "stream_block");
+    }
+}
+
+TEST(LinkFec, PartialFrameGeometryThrows) {
+    auto config = coded_gate_config();
+    config.num_uses = 5;  // 4 uses/frame: a partial trailing frame
+    EXPECT_THROW((void)lk::run_link_simulation(config), std::invalid_argument);
 }
 
 }  // namespace

@@ -31,6 +31,7 @@ EXPECTED = {
     ("test-registration", "tests/CMakeLists.txt"): 1,     # ghost_test listed, no file
     ("raw-socket", "src/bad_socket.cpp"): 5,  # lifecycle, io, readiness, sockopt, include
     ("hot-path-alloc", "src/bad_hot_path.cpp"): 2,        # new + owning vector
+    ("llr-sign", "src/bad_llr_sign.cpp"): 3,  # bipolar map, ternary, pow(-1)
 }
 
 # Files that must produce NO findings at all: suppressed twins, allowlisted
@@ -43,8 +44,10 @@ MUST_BE_CLEAN = [
     "src/serve/socket.cpp",
     "src/bad_clock_suppressed.cpp",
     "src/bad_unordered_suppressed.cpp",
+    "src/bad_llr_sign_suppressed.cpp",
     "src/paths/ok_spec.cpp",
     "src/wireless/ok_channel.cpp",
+    "src/wireless/soft.cpp",
     "src/comment_only.cpp",
     "src/util/rng.h",
     "src/util/timer.h",

@@ -1,0 +1,14 @@
+// Fixture: deliberate llr-sign violations — ad-hoc bit->sign arithmetic on
+// LLR-carrying lines outside the soft/coding layers.
+double fixture_llr_bipolar(int bit) {
+    double llr = (1.0 - 2.0 * bit) * 3.5;
+    return llr;
+}
+
+double fixture_llr_ternary(int bit, double llr_mag) {
+    return bit ? -llr_mag : llr_mag;
+}
+
+double fixture_llr_pow(double bit, double llr_mag) {
+    return pow(-1.0, bit) * llr_mag;
+}

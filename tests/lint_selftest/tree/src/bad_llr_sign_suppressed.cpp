@@ -1,0 +1,10 @@
+// Fixture: the same llr-sign violations, silenced by both suppression forms.
+double fixture_llr_bipolar_suppressed(int bit) {
+    // hcq-lint: allow(llr-sign) fixture: preceding-line suppression form
+    double llr = (1.0 - 2.0 * bit) * 3.5;
+    return llr;
+}
+
+double fixture_llr_ternary_suppressed(int bit, double llr_mag) {
+    return bit ? -llr_mag : llr_mag;  // hcq-lint: allow(llr-sign) fixture: same-line form
+}

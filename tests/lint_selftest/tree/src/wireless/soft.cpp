@@ -1,0 +1,5 @@
+// Fixture: the allowlisted soft-information module — it OWNS the sign
+// convention, so the same idioms that fire elsewhere must stay clean here.
+double fixture_signed_llr(int bit, double llr_mag) {
+    return bit ? -llr_mag : llr_mag;
+}

@@ -53,6 +53,7 @@ TEST(ServeProtocol, RequestRoundTripsExactly) {
     req.deadline_us = 1234.5;
     req.noiseless = true;
     req.channel = "jakes:doppler_hz=5";
+    req.want_soft = true;
     const auto decoded = serve::decode_request(serve::encode_request(req));
     EXPECT_EQ(decoded.tenant_id, req.tenant_id);
     EXPECT_EQ(decoded.request_seq, req.request_seq);
@@ -62,6 +63,7 @@ TEST(ServeProtocol, RequestRoundTripsExactly) {
     EXPECT_EQ(decoded.num_users, req.num_users);
     EXPECT_EQ(decoded.snr_db, req.snr_db);
     EXPECT_EQ(decoded.noiseless, req.noiseless);
+    EXPECT_EQ(decoded.want_soft, req.want_soft);
     EXPECT_EQ(decoded.mod, req.mod);
     EXPECT_EQ(decoded.spec, req.spec);
     EXPECT_EQ(decoded.channel, req.channel);
@@ -93,6 +95,42 @@ TEST(ServeProtocol, ResponseRoundTripsExactly) {
     EXPECT_EQ(decoded.bits, resp.bits);
     EXPECT_EQ(decoded.ml_cost, resp.ml_cost);
     EXPECT_EQ(decoded.synth_us, resp.synth_us);
+}
+
+TEST(ServeProtocol, SoftResponseRoundTripsLlrBitPatterns) {
+    serve::response resp;
+    resp.state = serve::status::ok;
+    resp.num_uses = 2;
+    resp.bits_per_use = 3;
+    resp.bits.assign(1, 0x2B);
+    resp.ml_cost = {0.5, 0.75};
+    // Exercise the values the clamp layer can emit: the cap, a subnormal-ish
+    // magnitude, zero (erased bit), and negatives.
+    resp.llrs = {1.0e4, -1.0e4, 0.0, 1e-3, -42.125, 7.0};
+    const auto decoded = serve::decode_response(serve::encode_response(resp));
+    ASSERT_EQ(decoded.llrs.size(), resp.llrs.size());
+    for (std::size_t i = 0; i < resp.llrs.size(); ++i) {
+        EXPECT_EQ(decoded.llrs[i], resp.llrs[i]) << "llr " << i;  // exact f64
+    }
+    // A hard-decision response stays LLR-free on the wire and after decode.
+    resp.llrs.clear();
+    EXPECT_TRUE(serve::decode_response(serve::encode_response(resp)).llrs.empty());
+}
+
+TEST(ServeProtocol, SoftResponseSizeMismatchAndBadFlagAreRejected) {
+    serve::response resp;
+    resp.state = serve::status::ok;
+    resp.num_uses = 2;
+    resp.bits_per_use = 3;
+    resp.bits.assign(1, 0);
+    resp.ml_cost = {0.0, 0.0};
+    resp.llrs = {1.0, 2.0, 3.0};  // != num_uses * bits_per_use
+    EXPECT_THROW((void)serve::encode_response(resp), serve::protocol_error);
+    resp.llrs.clear();
+    auto bytes = serve::encode_response(resp);
+    // has_soft sits immediately before the three trailing f64 timings.
+    bytes[bytes.size() - 3 * 8 - 1] = 2;
+    EXPECT_THROW((void)serve::decode_response(bytes), serve::protocol_error);
 }
 
 TEST(ServeProtocol, TruncatedRequestNamesTheStarvedField) {
@@ -263,6 +301,52 @@ TEST(ServeServer, ServedBatchesBitIdenticalToInProcessWithEightWorkers) {
     for (auto& t : clients) t.join();
     EXPECT_EQ(failures.load(), 0);
     EXPECT_EQ(server.stats().served_ok, kClients * kRequestsEach);
+}
+
+// Soft round trip (protocol v2): a want_soft batch comes back with LLRs that
+// are bit-identical to the in-process run, and they harden to the served bits.
+TEST(ServeServer, SoftBatchBitIdenticalToInProcessAndHardensToBits) {
+    serve::tcp_server server(test_server(1));
+    serve::client cl(server.port());
+    serve::request req = small_request(9, 0);
+    req.want_soft = true;
+    const auto resp = cl.call(req);
+    ASSERT_EQ(resp.state, serve::status::ok) << resp.message;
+    const auto local = serve::run_batch(req);
+    ASSERT_EQ(resp.llrs.size(),
+              static_cast<std::size_t>(resp.num_uses) * resp.bits_per_use);
+    ASSERT_EQ(resp.llrs.size(), local.llrs.size());
+    for (std::size_t i = 0; i < local.llrs.size(); ++i) {
+        EXPECT_EQ(resp.llrs[i], local.llrs[i]) << "llr " << i;  // exact f64
+    }
+    // Sign convention: positive LLR means bit 0, so the served soft and hard
+    // views of the same use can never disagree.
+    for (std::uint32_t u = 0; u < resp.num_uses; ++u) {
+        const auto hard = serve::unpack_bits(
+            resp.bits, static_cast<std::size_t>(u) * resp.bits_per_use,
+            resp.bits_per_use);
+        for (std::uint32_t b = 0; b < resp.bits_per_use; ++b) {
+            const double l = resp.llrs[static_cast<std::size_t>(u) * resp.bits_per_use + b];
+            EXPECT_EQ(hard[b], l > 0.0 ? 0 : 1) << "use " << u << " bit " << b;
+        }
+    }
+    // Hard-decision requests stay LLR-free.
+    serve::request hard_req = small_request(9, 1);
+    EXPECT_TRUE(cl.call(hard_req).llrs.empty());
+}
+
+TEST(ServeServer, OversizedSoftBatchIsRejectedAndConnectionSurvives) {
+    serve::tcp_server server(test_server(1));
+    serve::client cl(server.port());
+    serve::request req = small_request(1, 0);
+    req.want_soft = true;
+    req.num_uses = 8192;  // 8192 uses * 16 bits * 8 bytes = 1 MiB of LLRs
+    const auto resp = cl.call(req);
+    EXPECT_EQ(resp.state, serve::status::bad_request);
+    EXPECT_NE(resp.message.find("soft-payload cap"), std::string::npos) << resp.message;
+    // The frame was well-formed, so the connection stays usable.
+    serve::request good = small_request(1, 1);
+    expect_served_matches_in_process(cl.call(good), good);
 }
 
 TEST(ServeServer, PollBackendServesIdentically) {
